@@ -1,0 +1,57 @@
+// Ablation: the lookup-cache TTL (paper §5 uses 1.25 h, derived from the
+// PlanetLab join/leave rate).
+//
+// Shorter TTLs discard still-valid range entries between a user's
+// sessions (more lookups); very long TTLs risk staleness under churn —
+// here the ring is stable inside the measurement windows, so this sweep
+// isolates the expiry cost.
+#include "bench_common.h"
+
+using namespace d2;
+
+int main() {
+  bench::print_header("Ablation: lookup-cache TTL", "design choice from Section 5");
+
+  const int nodes = bench::performance_sizes()[1];
+  struct TtlRow {
+    const char* name;
+    SimTime ttl;
+  };
+  const TtlRow ttls[] = {
+      {"5min", minutes(5)},
+      {"30min", minutes(30)},
+      {"1.25h", hours(1) + minutes(15)},
+      {"6h", hours(6)},
+      {"24h", hours(24)},
+  };
+  std::printf("%-8s | %14s %18s | %14s %18s\n", "ttl", "d2 miss rate",
+              "d2 lookups/node", "trad miss rate", "trad lookups/node");
+  for (const TtlRow& row : ttls) {
+    double miss[2], msgs[2];
+    int i = 0;
+    for (const fs::KeyScheme scheme :
+         {fs::KeyScheme::kD2, fs::KeyScheme::kTraditionalBlock}) {
+      core::PerformanceParams p;
+      p.system = bench::system_config(scheme, nodes);
+      p.system.replicas = 4;
+      p.workload = bench::harvard_workload();
+      p.workload.days = 3;
+      p.workload.target_active_bytes =
+          static_cast<Bytes>(mB(1) * nodes * bench::scale_factor());
+      p.warmup = hours(18);
+      p.window_count = 4;
+      p.lookup_cache_ttl = row.ttl;
+      const core::PerformanceResult r = core::PerformanceExperiment(p).run();
+      miss[i] = r.mean_cache_miss_rate;
+      msgs[i] = r.lookup_messages_per_node;
+      ++i;
+    }
+    std::printf("%-8s | %13.1f%% %18.1f | %13.1f%% %18.1f\n", row.name,
+                100 * miss[0], msgs[0], 100 * miss[1], msgs[1]);
+  }
+  std::printf(
+      "\nexpected: D2's miss rate is far less TTL-sensitive than the\n"
+      "traditional DHT's (few ranges cover a user's whole working set, and\n"
+      "they are re-learned with one lookup each).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: whole-block replication vs erasure coding (paper §3).
+//
+// The paper chooses replication "for simplicity" and argues the
+// D2-vs-traditional comparison holds under either scheme. This bench runs
+// the availability experiment for both redundancy schemes under both key
+// schemes, reporting task unavailability, storage overhead, and repair
+// (migration) traffic.
+#include "bench_common.h"
+
+using namespace d2;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double unavailability;
+  double storage_x;   // physical bytes / logical bytes
+  Bytes migration;
+};
+
+Row run(const char* name, fs::KeyScheme scheme,
+        core::SystemConfig::Redundancy redundancy) {
+  const int nodes = bench::availability_nodes();
+  core::AvailabilityParams p;
+  p.system = bench::system_config(scheme, nodes, 104);
+  p.system.replicas = 3;
+  p.system.redundancy = redundancy;
+  p.system.ec_total_fragments = 6;
+  p.system.ec_data_fragments = 3;
+  p.workload = bench::harvard_workload();
+  p.failure = bench::failure_params(nodes);
+  p.failure_seed = 900;
+  p.warmup = days(1);
+  p.inter = seconds(5);
+  const core::AvailabilityResult r = core::AvailabilityExperiment(p).run();
+
+  // Storage overhead: physical vs logical bytes at trace end — rebuild
+  // cheaply from a fresh system? The experiment doesn't expose its system,
+  // so approximate from the scheme: replication r=3 -> 3x; EC (6,3) -> 2x.
+  const double storage =
+      redundancy == core::SystemConfig::Redundancy::kErasure ? 6.0 / 3.0 : 3.0;
+  return Row{name, r.task_unavailability(), storage, r.migration_bytes};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: replication vs (6,3) erasure coding",
+                      "redundancy discussion in Section 3");
+
+  std::printf("%-28s %16s %10s %16s\n", "system", "unavailability",
+              "storage x", "repair (MB)");
+  const Row rows[] = {
+      run("d2 + replication(3)", fs::KeyScheme::kD2,
+          core::SystemConfig::Redundancy::kReplication),
+      run("d2 + erasure(6,3)", fs::KeyScheme::kD2,
+          core::SystemConfig::Redundancy::kErasure),
+      run("traditional + replication(3)", fs::KeyScheme::kTraditionalBlock,
+          core::SystemConfig::Redundancy::kReplication),
+      run("traditional + erasure(6,3)", fs::KeyScheme::kTraditionalBlock,
+          core::SystemConfig::Redundancy::kErasure),
+  };
+  for (const Row& r : rows) {
+    std::printf("%-28s %16.2e %10.1f %16.1f\n", r.name, r.unavailability,
+                r.storage_x, static_cast<double>(r.migration) / mB(1));
+  }
+  std::printf(
+      "\nexpected (the paper's §3 argument): D2 beats traditional under\n"
+      "either redundancy scheme; erasure halves storage but pays k x repair\n"
+      "traffic after failures.\n");
+  return 0;
+}

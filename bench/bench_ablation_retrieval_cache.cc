@@ -1,0 +1,43 @@
+// Ablation: retrieval caches for request-load balance (paper §6).
+//
+// Zipf-hot reads concentrate serve traffic on a few replica groups; this
+// sweep shows per-node request imbalance collapsing as the per-node
+// retrieval cache grows, for D2 and (as a control) the traditional DHT —
+// caching is orthogonal to defragmentation, which is exactly the paper's
+// point.
+#include "bench_common.h"
+#include "core/request_load.h"
+
+using namespace d2;
+
+int main() {
+  bench::print_header("Ablation: retrieval caches vs request hot spots",
+                      "design discussion in Section 6");
+
+  std::printf("%-14s | %12s %12s %10s | %12s %12s %10s\n", "cache/node",
+              "d2 imbal", "d2 max/mean", "d2 hit%", "trad imbal",
+              "trad max/mean", "trad hit%");
+  for (const Bytes capacity : {Bytes{0}, mB(1), mB(4), mB(16)}) {
+    double imbal[2], mom[2], hit[2];
+    int i = 0;
+    for (const fs::KeyScheme scheme :
+         {fs::KeyScheme::kD2, fs::KeyScheme::kTraditionalBlock}) {
+      core::RequestLoadParams p;
+      p.system = bench::system_config(scheme, 48);
+      p.retrieval_cache_capacity = capacity;
+      const core::RequestLoadResult r = core::RequestLoadExperiment(p).run();
+      imbal[i] = r.serve_imbalance;
+      mom[i] = r.max_over_mean_serves;
+      hit[i] = r.cache_hit_rate;
+      ++i;
+    }
+    std::printf("%11lld KB | %12.2f %12.1f %9.0f%% | %12.2f %12.1f %9.0f%%\n",
+                static_cast<long long>(capacity / 1024), imbal[0], mom[0],
+                100 * hit[0], imbal[1], mom[1], 100 * hit[1]);
+  }
+  std::printf(
+      "\nexpected: without caches D2's hot files hammer their replica groups\n"
+      "(higher max/mean than traditional, which scatters blocks); with\n"
+      "modest caches the hot traffic is absorbed and both systems flatten.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: routing-table size (k long links per node).
+//
+// Mercury keeps k = O(log n) harmonic links; this sweep measures lookup
+// hop counts against k on uniform and on heavily skewed (post-balancing)
+// node ID distributions, confirming routing stays logarithmic in both.
+#include <cmath>
+
+#include "bench_common.h"
+#include "dht/consistent_hash.h"
+#include "dht/router.h"
+
+using namespace d2;
+
+namespace {
+
+double mean_hops(dht::Router& router, Rng& rng, int n) {
+  double total = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    const Key k = Key::random(rng);
+    const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    total += router.lookup(src, k).hops;
+  }
+  return total / trials;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: router long links per node",
+                      "design choice from Section 6 (Mercury routing)");
+
+  const int n = 512;
+  std::printf("%-6s %18s %18s\n", "k", "uniform IDs", "skewed IDs");
+  for (const int k : {1, 2, 4, 9, 18, 36}) {
+    Rng rng(7);
+    // Uniform ring.
+    dht::Ring uniform;
+    for (int i = 0; i < n; ++i) {
+      Key id = dht::random_node_id(rng);
+      while (uniform.id_taken(id)) id = dht::random_node_id(rng);
+      uniform.add(i, id);
+    }
+    dht::Router r1(uniform, rng, k);
+    const double h1 = mean_hops(r1, rng, n);
+
+    // Skewed ring: all IDs inside a 2^-40 fraction of the key space, as
+    // after load balancing a single hot volume.
+    dht::Ring skewed;
+    for (int i = 0; i < n; ++i) {
+      skewed.add(i, Key::from_uint64(1'000'000 + static_cast<std::uint64_t>(i) *
+                                                     997));
+    }
+    dht::Router r2(skewed, rng, k);
+    const double h2 = mean_hops(r2, rng, n);
+
+    std::printf("%-6d %18.1f %18.1f\n", k, h1, h2);
+  }
+  std::printf(
+      "\nexpected: hops ~ O(log^2 n / k); k = ceil(log2 n) = %d gives\n"
+      "near-minimal hops, and skewed ID distributions route just as well\n"
+      "because links are sampled by ring rank, not key distance.\n",
+      static_cast<int>(std::ceil(std::log2(n))));
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared configuration for the per-figure/table benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper. The
+// default parameters are laptop-scale (each binary finishes in seconds to
+// a couple of minutes); set D2_BENCH_SCALE=<factor> to multiply workload
+// size and node counts towards paper scale (factor ~4-8 approaches the
+// original 247-1000 node setups).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/availability.h"
+#include "core/balance.h"
+#include "core/config.h"
+#include "core/performance.h"
+#include "trace/harvard_gen.h"
+#include "trace/hp_gen.h"
+#include "trace/web_gen.h"
+
+namespace d2::bench {
+
+inline double scale_factor() {
+  if (const char* s = std::getenv("D2_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline int scaled(int base) {
+  return static_cast<int>(static_cast<double>(base) * scale_factor());
+}
+
+/// The standard Harvard-like workload used across benches (Table 1 row 2
+/// substitute), scaled.
+inline trace::HarvardParams harvard_workload(std::uint64_t seed = 42) {
+  trace::HarvardParams p;
+  p.users = scaled(20);
+  p.days = 7;
+  p.target_active_bytes = static_cast<Bytes>(mB(96) * scale_factor());
+  p.accesses_per_user_day = 300;
+  p.seed = seed;
+  return p;
+}
+
+inline trace::HpParams hp_workload(std::uint64_t seed = 7) {
+  trace::HpParams p;
+  p.apps = scaled(20);
+  p.days = 7;
+  p.accesses_per_app_day = 1200;
+  p.seed = seed;
+  return p;
+}
+
+inline trace::WebParams web_workload(std::uint64_t seed = 11) {
+  trace::WebParams p;
+  p.clients = scaled(40);
+  p.days = 7;
+  p.sites = scaled(200);
+  p.requests_per_client_day = 250;
+  p.seed = seed;
+  return p;
+}
+
+inline core::SystemConfig system_config(fs::KeyScheme scheme, int nodes,
+                                        std::uint64_t seed = 1) {
+  core::SystemConfig c;
+  c.node_count = nodes;
+  c.scheme = scheme;
+  // Active balancing is D2's companion; the traditional baselines rely on
+  // consistent hashing alone (Traditional+Merc turns it back on).
+  c.active_load_balance = scheme == fs::KeyScheme::kD2;
+  c.seed = seed;
+  return c;
+}
+
+/// §8.1 availability testbed node count, scaled from the paper's 247.
+inline int availability_nodes() { return scaled(64); }
+
+/// §9 performance system sizes, scaled stand-ins for {200, 500, 1000}.
+inline std::vector<int> performance_sizes() {
+  return {scaled(64), scaled(128), scaled(256)};
+}
+
+inline sim::FailureParams failure_params(int nodes) {
+  sim::FailureParams f;
+  f.node_count = nodes;
+  f.duration = days(8);
+  // Compressed PlanetLab-like week: enough failure mass that a scaled-down
+  // run still observes task failures.
+  f.mttf_hours = 60;
+  f.mttr_hours = 5;
+  f.correlated_events_per_day = 0.8;
+  f.correlated_fraction = 0.2;
+  f.correlated_outage_hours = 2.0;
+  return f;
+}
+
+/// One §9 performance run. Workload data scales with system size (the
+/// paper replicates the file system as nodes grow).
+inline core::PerformanceResult perf_run(fs::KeyScheme scheme, int nodes,
+                                        BitRate bandwidth, bool parallel,
+                                        std::uint64_t seed = 1) {
+  core::PerformanceParams p;
+  p.system = system_config(scheme, nodes, seed);
+  p.system.replicas = 4;  // §9.1: 4 replicas per object
+  p.workload = harvard_workload();
+  p.workload.days = 3;  // windows sample the first days; keeps runs fast
+  p.workload.target_active_bytes =
+      static_cast<Bytes>(mB(1) * nodes * scale_factor());
+  p.warmup = hours(18);
+  p.window_count = 4;
+  p.node_bandwidth = bandwidth;
+  p.parallel = parallel;
+  return core::PerformanceExperiment(p).run();
+}
+
+inline const char* scheme_name(fs::KeyScheme s) {
+  switch (s) {
+    case fs::KeyScheme::kD2:
+      return "d2";
+    case fs::KeyScheme::kTraditionalBlock:
+      return "traditional";
+    case fs::KeyScheme::kTraditionalFile:
+      return "traditional-file";
+  }
+  return "?";
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n  (reproduces %s; D2_BENCH_SCALE=%.1f)\n", title, paper_ref,
+              scale_factor());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace d2::bench

@@ -1,0 +1,48 @@
+// Figure 7: task unavailability under each system while varying the task
+// inter-arrival threshold, across 5 trials with different node IDs.
+#include "bench_common.h"
+
+using namespace d2;
+
+int main() {
+  bench::print_header("Figure 7: task unavailability vs inter",
+                      "Fig 7, Section 8.2");
+
+  const int nodes = bench::availability_nodes();
+  const SimTime inters[] = {seconds(1), seconds(5), seconds(15), minutes(1)};
+  const char* inter_names[] = {"1sec", "5sec", "15sec", "1min"};
+  const fs::KeyScheme schemes[] = {fs::KeyScheme::kTraditionalBlock,
+                                   fs::KeyScheme::kTraditionalFile,
+                                   fs::KeyScheme::kD2};
+  const int trials = 5;
+
+  std::printf("%-8s %-18s %12s %12s %12s\n", "inter", "system", "mean",
+              "min", "max");
+  for (int i = 0; i < 4; ++i) {
+    for (const fs::KeyScheme scheme : schemes) {
+      double sum = 0, mn = 1, mx = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        core::AvailabilityParams p;
+        p.system = bench::system_config(scheme, nodes,
+                                        /*seed=*/100 + static_cast<std::uint64_t>(trial));
+        p.system.replicas = 3;
+        p.workload = bench::harvard_workload();
+        p.failure = bench::failure_params(nodes);
+        p.failure_seed = 900;  // same failure trace across trials (paper)
+        p.warmup = days(1);
+        p.inter = inters[i];
+        const core::AvailabilityResult r = core::AvailabilityExperiment(p).run();
+        const double u = r.task_unavailability();
+        sum += u;
+        mn = std::min(mn, u);
+        mx = std::max(mx, u);
+      }
+      std::printf("%-8s %-18s %12.2e %12.2e %12.2e\n", inter_names[i],
+                  bench::scheme_name(scheme), sum / trials, mn, mx);
+    }
+  }
+  std::printf(
+      "\npaper's shape: D2 about an order of magnitude below traditional at\n"
+      "every inter; traditional-file in between.\n");
+  return 0;
+}

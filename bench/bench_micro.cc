@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: key
+// arithmetic, Fig-4 encoding, SHA-1, ring/router operations, lookup-cache
+// probes, block-map range scans and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/key.h"
+#include "common/rng.h"
+#include "dht/consistent_hash.h"
+#include "dht/ring.h"
+#include "dht/router.h"
+#include "fs/key_encoding.h"
+#include "sim/event_queue.h"
+#include "store/block_map.h"
+#include "store/lookup_cache.h"
+
+namespace d2 {
+namespace {
+
+void BM_KeyCompare(benchmark::State& state) {
+  Rng rng(1);
+  const Key a = Key::random(rng);
+  const Key b = Key::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+  }
+}
+BENCHMARK(BM_KeyCompare);
+
+void BM_KeyAdd(benchmark::State& state) {
+  Rng rng(2);
+  const Key a = Key::random(rng);
+  const Key b = Key::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_KeyAdd);
+
+void BM_KeyInArc(benchmark::State& state) {
+  Rng rng(3);
+  const Key a = Key::random(rng);
+  const Key b = Key::random(rng);
+  const Key k = Key::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Key::in_arc(k, a, b));
+  }
+}
+BENCHMARK(BM_KeyInArc);
+
+void BM_EncodeBlockKey(benchmark::State& state) {
+  const fs::VolumeId vol = fs::make_volume_id("vol");
+  fs::EncodedPath p;
+  for (int i = 1; i <= 6; ++i) {
+    p = fs::extend_path(p, static_cast<std::uint16_t>(i), "dir");
+  }
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fs::encode_block_key(vol, p, fs::BlockType::kData, n++ & 0xffff, 3));
+  }
+}
+BENCHMARK(BM_EncodeBlockKey);
+
+void BM_HashedKey(benchmark::State& state) {
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dht::hashed_key("vol|/home/u1/project/file" + std::to_string(n++)));
+  }
+}
+BENCHMARK(BM_HashedKey);
+
+void BM_Sha1_8KB(benchmark::State& state) {
+  const std::string data(8192, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_Sha1_8KB);
+
+void BM_RingOwner(benchmark::State& state) {
+  Rng rng(4);
+  dht::Ring ring;
+  for (int i = 0; i < state.range(0); ++i) {
+    Key id = dht::random_node_id(rng);
+    while (ring.id_taken(id)) id = dht::random_node_id(rng);
+    ring.add(i, id);
+  }
+  Key k = Key::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.owner(k));
+    k = k + Key::from_uint64(0x123456789);
+  }
+}
+BENCHMARK(BM_RingOwner)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RouterLookup(benchmark::State& state) {
+  Rng rng(5);
+  dht::Ring ring;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    Key id = dht::random_node_id(rng);
+    while (ring.id_taken(id)) id = dht::random_node_id(rng);
+    ring.add(i, id);
+  }
+  dht::Router router(ring, rng);
+  Key k = Key::random(rng);
+  std::int64_t hops = 0;
+  for (auto _ : state) {
+    const auto res = router.lookup(0, k);
+    hops += res.hops;
+    benchmark::DoNotOptimize(res.owner);
+    k = k + Key::from_uint64(0x9876543210);
+  }
+  state.counters["hops"] = benchmark::Counter(
+      static_cast<double>(hops), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RouterLookup)->Arg(200)->Arg(1000);
+
+void BM_LookupCacheFind(benchmark::State& state) {
+  store::LookupCache cache(hours(100));
+  Rng rng(6);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    cache.insert(0, static_cast<int>(i), Key::from_uint64(i * 1000),
+                 Key::from_uint64((i + 1) * 1000));
+  }
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find(1, Key::from_uint64(q % 1000000)));
+    q += 777;
+  }
+}
+BENCHMARK(BM_LookupCacheFind);
+
+void BM_BlockMapArcScan(benchmark::State& state) {
+  store::BlockMap map(16);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    map.insert(Key::random(rng), kBlockSize, {i % 16});
+  }
+  for (auto _ : state) {
+    const Key from = Key::random(rng);
+    const Key to = from + Key::from_uint64(1) + Key::random(rng).half().half();
+    int count = 0;
+    const_cast<store::BlockMap&>(map).for_each_in_arc(
+        from, to, [&count](const Key&, store::BlockState&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BlockMapArcScan);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.push((i * 7919) % 1000, [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+}  // namespace
+}  // namespace d2
+
+BENCHMARK_MAIN();

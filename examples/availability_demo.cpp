@@ -1,0 +1,63 @@
+// Availability demo: why defragmentation survives failures (paper §8).
+//
+// Runs a small Harvard-like workload against the same failure trace under
+// D2, a traditional (per-block consistent hashing) DHT, and a
+// traditional-file DHT, and reports the fraction of user tasks that fail.
+#include <cstdio>
+
+#include "core/availability.h"
+
+using namespace d2;
+
+int main() {
+  trace::HarvardParams workload;
+  workload.users = 16;
+  workload.days = 2;
+  workload.target_active_bytes = mB(64);
+  workload.accesses_per_user_day = 250;
+  workload.seed = 42;
+
+  core::AvailabilityParams base;
+  base.workload = workload;
+  base.system.node_count = 48;
+  base.system.replicas = 3;
+  base.failure.node_count = 48;
+  base.failure.duration = days(3);
+  base.failure.mttf_hours = 48;  // a rough week on PlanetLab, compressed
+  base.failure.mttr_hours = 6;
+  base.failure.correlated_events_per_day = 1.0;
+  base.failure.correlated_fraction = 0.25;
+  base.warmup = hours(12);
+  base.inter = seconds(5);
+
+  std::printf("=== Task availability under correlated failures (inter=5s) ===\n");
+  std::printf("%-18s %10s %10s %14s %12s\n", "system", "tasks", "failed",
+              "unavailability", "nodes/task");
+
+  struct Row {
+    const char* name;
+    fs::KeyScheme scheme;
+    bool lb;
+  };
+  const Row rows[] = {
+      {"traditional", fs::KeyScheme::kTraditionalBlock, false},
+      {"traditional-file", fs::KeyScheme::kTraditionalFile, false},
+      {"d2", fs::KeyScheme::kD2, true},
+  };
+  for (const Row& row : rows) {
+    core::AvailabilityParams p = base;
+    p.system.scheme = row.scheme;
+    p.system.active_load_balance = row.lb;
+    const core::AvailabilityResult r = core::AvailabilityExperiment(p).run();
+    std::printf("%-18s %10llu %10llu %14.2e %12.1f\n", row.name,
+                static_cast<unsigned long long>(r.tasks),
+                static_cast<unsigned long long>(r.failed_tasks),
+                r.task_unavailability(), r.mean_nodes_per_task);
+  }
+
+  std::printf(
+      "\nA task fails when ANY block it touches is unavailable; because D2\n"
+      "tasks live on ~1-3 replica groups instead of 10+, far fewer tasks\n"
+      "observe a failure.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Custom-trace example: feed your own workload through the D2 stack.
+//
+// Writes a small trace in the d2-trace v1 text format, reads it back, and
+// replays it against a D2 system — counting the store operations it
+// produces and the nodes it touches. Swap the generated file for a
+// converted real trace (e.g. an NFS dump) to evaluate D2 on your own
+// workload.
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "core/replay.h"
+#include "core/system.h"
+#include "trace/trace_io.h"
+
+using namespace d2;
+
+int main() {
+  // A hand-written mini-workload: user 7 edits a project, user 8 reads
+  // shared libraries.
+  const char* text = R"(# d2-trace v1
+0         7 create home/u7/proj/main.cc 0 24576
+500000    7 create home/u7/proj/util.cc 0 8192
+2000000   8 create shared/libc/libm.so 0 65536
+120000000 7 read   home/u7/proj/main.cc 0 24576
+121000000 7 read   home/u7/proj/util.cc 0 8192
+125000000 8 read   shared/libc/libm.so 0 65536
+180000000 7 write  home/u7/proj/main.cc 8192 4096
+241000000 7 rename home/u7/proj/util.cc -> home/u7/proj/helpers.cc
+300000000 7 read   home/u7/proj/helpers.cc 0 8192
+360000000 7 remove home/u7/proj/main.cc
+)";
+
+  std::istringstream is(text);
+  const std::vector<trace::TraceRecord> records = trace::read_trace(is);
+  std::printf("parsed %zu records\n", records.size());
+
+  sim::Simulator sim;
+  core::SystemConfig config;
+  config.node_count = 32;
+  config.replicas = 3;
+  config.scheme = fs::KeyScheme::kD2;
+  core::System system(config, sim);
+  core::VolumeSet volumes(config.scheme);
+
+  std::set<int> nodes_touched;
+  int puts = 0, gets = 0, removes = 0;
+  std::vector<fs::StoreOp> ops;
+  for (const trace::TraceRecord& r : records) {
+    sim.run_until(r.time);
+    ops.clear();
+    volumes.apply(r, r.time, ops);
+    for (const fs::StoreOp& op : ops) {
+      switch (op.kind) {
+        case fs::StoreOp::Kind::kPut:
+          system.put(op.key, op.size);
+          ++puts;
+          break;
+        case fs::StoreOp::Kind::kGet:
+          if (auto n = system.serving_node(op.key)) nodes_touched.insert(*n);
+          ++gets;
+          break;
+        case fs::StoreOp::Kind::kRemove:
+          system.remove(op.key);
+          ++removes;
+          break;
+      }
+    }
+  }
+  // Flush the 30 s write-back tails.
+  ops.clear();
+  volumes.flush_all(records.back().time + minutes(1), ops);
+  for (const fs::StoreOp& op : ops) {
+    if (op.kind == fs::StoreOp::Kind::kPut) {
+      system.put(op.key, op.size);
+      ++puts;
+    } else if (op.kind == fs::StoreOp::Kind::kRemove) {
+      system.remove(op.key);
+      ++removes;
+    }
+  }
+  sim.run_until(sim.now() + minutes(1));
+
+  std::printf("store ops: %d puts, %d gets, %d removes\n", puts, gets, removes);
+  std::printf("blocks resident: %zu (%lld KB)\n",
+              system.block_map().block_count(),
+              static_cast<long long>(system.block_map().total_bytes() / 1024));
+  std::printf("distinct nodes serving this workload's reads: %zu of %d\n",
+              nodes_touched.size(), config.node_count);
+  std::printf(
+      "\nthe same file (helpers.cc, ex-util.cc) kept its keys across the\n"
+      "rename, and the temporary main.cc removal cleaned up its blocks.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Hybrid replica placement demo (paper §11 future work).
+//
+// Pure D2 placement puts all r replicas on consecutive ring nodes: great
+// for locality, but a correlated failure of that one neighbourhood takes
+// a user's data with it, and large parallel reads are capped by the
+// replica group's combined uplink. The hybrid mode keeps the successor
+// chain for locality but scatters some replicas at consistent-hash
+// positions — "a combination of locality preserving and consistent
+// hashing replica placement" (§11).
+#include <cstdio>
+#include <set>
+
+#include "core/system.h"
+#include "sim/failure.h"
+
+using namespace d2;
+
+namespace {
+
+struct Outcome {
+  std::size_t nodes_used = 0;      // distinct nodes holding the volume
+  int survived = 0;                // blocks readable during the outage
+  int total = 0;
+};
+
+Outcome run(int scatter) {
+  sim::Simulator sim;
+  core::SystemConfig config;
+  config.node_count = 40;
+  config.replicas = 4;
+  config.scatter_replicas = scatter;
+  config.regen_delay = hours(12);  // regeneration too slow to help here
+  config.seed = 21;
+  core::System system(config, sim);
+
+  // One user's project: 200 blocks in one contiguous key range.
+  std::vector<Key> keys;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    keys.push_back(Key::from_uint64(50'000 + i * 64));
+    system.put(keys.back(), kB(8));
+  }
+
+  Outcome out;
+  std::set<int> nodes;
+  for (const Key& k : keys) {
+    for (int n : system.replica_nodes(k)) nodes.insert(n);
+  }
+  out.nodes_used = nodes.size();
+
+  // Correlated outage: the whole successor neighbourhood of the volume
+  // goes down (e.g., one rack / one AS).
+  const auto base = system.replica_nodes(keys.front());
+  std::set<int> neighbourhood(base.begin(), base.end());
+  int cursor = base.front();
+  for (int i = 0; i < 6; ++i) {
+    neighbourhood.insert(cursor);
+    cursor = system.ring().successor(cursor);
+  }
+  std::vector<sim::FailureTrace::DownInterval> downs;
+  for (int n : neighbourhood) downs.push_back({n, minutes(10), hours(6)});
+  const auto trace =
+      sim::FailureTrace::from_intervals(config.node_count, days(1), downs);
+  system.attach_failure_trace(&trace, 0);
+  sim.run_until(hours(1));
+
+  for (const Key& k : keys) {
+    ++out.total;
+    if (system.block_available(k)) ++out.survived;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Hybrid scatter placement vs a correlated outage ===\n\n");
+  std::printf("%-22s %14s %22s\n", "placement", "nodes used",
+              "blocks surviving outage");
+  for (const int scatter : {0, 1, 2}) {
+    const Outcome o = run(scatter);
+    std::printf("%d scattered of 4      %14zu %15d / %d\n", scatter,
+                o.nodes_used, o.survived, o.total);
+  }
+  std::printf(
+      "\nWith pure successor placement the outage of one ring neighbourhood\n"
+      "erases every replica of the volume; each scattered replica is an\n"
+      "independent off-neighbourhood copy that keeps the data readable (at\n"
+      "a small cost in nodes-used, i.e. lookup-cache entries).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Load-balancing demo: watch Mercury-style active balancing absorb a
+// massively skewed insertion (paper §6 & §10).
+//
+// A large volume is inserted into a contiguous key range — under
+// consistent hashing this never happens, but it is exactly what D2's
+// locality-preserving keys produce. Every block initially lands on one
+// replica group; the probe/split protocol then spreads primaries across
+// the ring, with block pointers deferring the actual byte movement.
+#include <cstdio>
+
+#include "core/system.h"
+#include "fs/volume.h"
+
+using namespace d2;
+
+int main() {
+  sim::Simulator sim;
+  core::SystemConfig config;
+  config.node_count = 40;
+  config.replicas = 3;
+  config.scheme = fs::KeyScheme::kD2;
+  config.probe_interval = minutes(10);
+  config.pointer_stabilization = hours(1);
+  core::System system(config, sim);
+
+  // One user's 80 MB home volume: ~10k 8KB blocks in one key range.
+  fs::Volume volume("bob-home");
+  std::vector<fs::StoreOp> ops;
+  for (int d = 0; d < 20; ++d) {
+    for (int f = 0; f < 25; ++f) {
+      volume.write("d" + std::to_string(d) + "/f" + std::to_string(f), 0,
+                   kB(160), 0, ops);
+    }
+  }
+  volume.flush(0, ops);
+  for (const fs::StoreOp& op : ops) {
+    if (op.kind == fs::StoreOp::Kind::kPut) system.put(op.key, op.size);
+  }
+
+  std::printf("inserted %zu blocks (%lld MB) into one key range\n",
+              system.block_map().block_count(),
+              static_cast<long long>(system.block_map().total_bytes() / mB(1)));
+  std::printf("%8s %12s %12s %10s %14s\n", "hours", "imbalance", "max/mean",
+              "moves", "migrated (MB)");
+
+  system.start_load_balancing();
+  for (int h = 0; h <= 48; h += 4) {
+    sim.run_until(hours(h));
+    std::printf("%8d %12.3f %12.2f %10lld %14lld\n", h, system.load_imbalance(),
+                system.max_over_mean_load(),
+                static_cast<long long>(system.lb_moves()),
+                static_cast<long long>(system.migration_bytes() / mB(1)));
+  }
+
+  std::printf(
+      "\nimbalance = stddev/mean of per-node stored bytes. Note how moves\n"
+      "happen early but bytes migrate later (pointer stabilization = 1 h),\n"
+      "and the steady state keeps max/mean within the t=4 threshold.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Quickstart: a 64-node D2 DHT hosting a small file-system volume.
+//
+// Shows the public API end to end:
+//   1. build a System (ring + store + load balancer) inside a Simulator,
+//   2. write files through a fs::Volume (locality-preserving keys),
+//   3. flush the write-back cache and apply the store ops,
+//   4. observe that a whole directory of files lives on just a few nodes,
+//      while the same files under consistent hashing scatter everywhere.
+#include <iostream>
+#include <set>
+
+#include "core/system.h"
+#include "fs/key_encoding.h"
+#include "fs/volume.h"
+
+using namespace d2;
+
+namespace {
+
+// Writes the same little project tree into a volume and returns the set of
+// DHT nodes that a reader of the whole src/ directory would contact.
+std::set<int> nodes_for_project(core::System& system, fs::KeyScheme scheme) {
+  fs::VolumeConfig config;
+  config.scheme = scheme;
+  fs::Volume volume("alice-home", config);
+
+  std::vector<fs::StoreOp> ops;
+  for (int i = 0; i < 12; ++i) {
+    volume.write("project/src/module" + std::to_string(i) + ".cc", 0, kB(24),
+                 seconds(i), ops);
+    volume.write("project/src/module" + std::to_string(i) + ".h", 0, kB(2),
+                 seconds(i), ops);
+  }
+  volume.write("project/Makefile", 0, kB(1), seconds(20), ops);
+  volume.write("papers/draft.tex", 0, kB(120), seconds(30), ops);
+  volume.flush(minutes(1), ops);
+
+  // Store every block in the DHT.
+  for (const fs::StoreOp& op : ops) {
+    if (op.kind == fs::StoreOp::Kind::kPut) system.put(op.key, op.size);
+  }
+
+  // Which nodes would a "compile the project" task touch?
+  std::set<int> nodes;
+  for (int i = 0; i < 12; ++i) {
+    for (const fs::StoreOp& op : volume.uncached_read_ops(
+             "project/src/module" + std::to_string(i) + ".cc")) {
+      nodes.insert(system.owner_of(op.key));
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== D2 quickstart: defragmented vs traditional placement ===\n\n";
+
+  for (const fs::KeyScheme scheme :
+       {fs::KeyScheme::kD2, fs::KeyScheme::kTraditionalBlock}) {
+    sim::Simulator sim;
+    core::SystemConfig config;
+    config.node_count = 64;
+    config.replicas = 3;
+    config.scheme = scheme;
+    config.active_load_balance = scheme == fs::KeyScheme::kD2;
+    core::System system(config, sim);
+
+    const std::set<int> nodes = nodes_for_project(system, scheme);
+    std::cout << fs::to_string(scheme) << " keys: reading the 12-file src/ "
+              << "directory contacts " << nodes.size() << " of "
+              << config.node_count << " nodes\n";
+  }
+
+  std::cout << "\nWith locality-preserving keys the whole task is served by a\n"
+               "couple of replica groups; with hashed keys nearly every file\n"
+               "lands somewhere else (more lookups, more failure exposure).\n\n";
+
+  // Peek at the keys themselves: D2 keys of one directory are contiguous.
+  fs::Volume v("alice-home");
+  std::vector<fs::StoreOp> ops;
+  v.write("project/src/a.cc", 0, kB(16), 0, ops);
+  v.write("project/src/b.cc", 0, kB(16), 0, ops);
+  v.write("papers/notes.txt", 0, kB(16), 0, ops);
+  v.flush(0, ops);
+  std::cout << "sample D2 keys (first 8 hex digits; note the shared prefix "
+               "within src/):\n";
+  for (const fs::StoreOp& op : ops) {
+    if (op.kind != fs::StoreOp::Kind::kPut) continue;
+    const fs::DecodedKey d = fs::decode_block_key(op.key);
+    if (d.type != fs::BlockType::kData) continue;
+    std::cout << "  " << op.key.short_hex() << "...  (" << op.size
+              << " bytes)\n";
+  }
+  std::cout << "\nDone.\n";
+  return 0;
+}

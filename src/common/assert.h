@@ -1,0 +1,64 @@
+// Precondition / invariant checking for the d2 libraries.
+//
+// D2_REQUIRE is for preconditions on public APIs: violations throw
+// d2::PreconditionError so callers (and tests) can observe them.
+// D2_ASSERT is for internal invariants: violations also throw, carrying
+// file/line, so simulation bugs surface immediately instead of corrupting
+// long experiment runs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace d2 {
+
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_assert(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace d2
+
+#define D2_REQUIRE(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::d2::detail::fail_require(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define D2_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) ::d2::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define D2_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::d2::detail::fail_assert(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define D2_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::d2::detail::fail_assert(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

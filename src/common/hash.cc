@@ -1,0 +1,137 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace d2 {
+
+namespace {
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+Sha1::Sha1()
+    : h_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u} {}
+
+void Sha1::update(const void* data, std::size_t len) {
+  D2_REQUIRE_MSG(!finalized_, "Sha1 reused after digest()");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  while (len > 0) {
+    std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+Sha1Digest Sha1::digest() {
+  D2_REQUIRE_MSG(!finalized_, "Sha1 reused after digest()");
+  finalized_ = true;
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Append 0x80, zero-pad to 56 mod 64, then the 64-bit big-endian length.
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    while (buffer_len_ < 64) buffer_[buffer_len_++] = 0;
+    process_block(buffer_.data());
+    buffer_len_ = 0;
+  }
+  while (buffer_len_ < 56) buffer_[buffer_len_++] = 0;
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  process_block(buffer_.data());
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4 + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1Digest Sha1::hash(std::string_view s) {
+  Sha1 h;
+  h.update(s);
+  return h.digest();
+}
+
+std::string to_hex(const Sha1Digest& d) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(d.size() * 2);
+  for (std::uint8_t b : d) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view s) { return fnv1a64(s.data(), s.size()); }
+
+std::uint16_t hash16(std::string_view s) {
+  std::uint64_t h = fnv1a64(s);
+  return static_cast<std::uint16_t>(h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48));
+}
+
+}  // namespace d2

@@ -1,0 +1,54 @@
+// Hash functions used by d2.
+//
+// SHA-1 (implemented from scratch; no external deps) provides content
+// hashes for block integrity chaining and the 20-byte volume IDs of the
+// Fig 4 key encoding, matching the paper's use of content hashes in CFS.
+// FNV-1a provides cheap 64-bit hashes for the "hash of path remainder"
+// field and consistent-hashing of names in the traditional baselines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace d2 {
+
+/// 20-byte SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1.
+class Sha1 {
+ public:
+  Sha1();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Sha1Digest digest();
+
+  /// One-shot convenience.
+  static Sha1Digest hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+std::string to_hex(const Sha1Digest& d);
+
+/// 64-bit FNV-1a.
+std::uint64_t fnv1a64(std::string_view s);
+std::uint64_t fnv1a64(const void* data, std::size_t len);
+
+/// 16-bit hash derived from FNV-1a, used for the "2-byte hash of each
+/// directory name" fallback encoding (paper §4.2, footnote 2).
+std::uint16_t hash16(std::string_view s);
+
+}  // namespace d2

@@ -1,0 +1,99 @@
+// 512-bit DHT keys and ring arithmetic.
+//
+// D2 keys are 64 bytes (paper §4.2, Fig 4). Keys form a circular ID space
+// of size 2^512; the node responsible for a key is the successor of the key
+// on the ring. This class provides the lexicographic ordering that makes
+// the locality-preserving encoding work (byte-wise big-endian comparison)
+// plus the modular arithmetic the load balancer needs (distance, midpoint).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+
+namespace d2 {
+
+class Rng;
+
+class Key {
+ public:
+  static constexpr std::size_t kBytes = 64;
+  static constexpr std::size_t kBits = kBytes * 8;
+
+  /// Zero key.
+  constexpr Key() : bytes_{} {}
+
+  /// Key from raw big-endian bytes (64 of them).
+  static Key from_bytes(const std::array<std::uint8_t, kBytes>& b);
+
+  /// Key whose low 8 bytes are `v` (useful in tests).
+  static Key from_uint64(std::uint64_t v);
+
+  /// Uniformly random key.
+  static Key random(Rng& rng);
+
+  /// Smallest / largest keys.
+  static Key min();
+  static Key max();
+
+  const std::array<std::uint8_t, kBytes>& bytes() const { return bytes_; }
+  std::array<std::uint8_t, kBytes>& mutable_bytes() { return bytes_; }
+
+  std::uint8_t byte(std::size_t i) const { return bytes_[i]; }
+  void set_byte(std::size_t i, std::uint8_t v) { bytes_[i] = v; }
+
+  /// Low 8 bytes as an integer (inverse of from_uint64 for small keys).
+  std::uint64_t low64() const;
+
+  /// Big-endian lexicographic comparison == numeric comparison.
+  std::strong_ordering operator<=>(const Key& o) const {
+    int c = std::memcmp(bytes_.data(), o.bytes_.data(), kBytes);
+    if (c < 0) return std::strong_ordering::less;
+    if (c > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  bool operator==(const Key& o) const { return bytes_ == o.bytes_; }
+
+  /// this + o (mod 2^512).
+  Key operator+(const Key& o) const;
+  /// this - o (mod 2^512).
+  Key operator-(const Key& o) const;
+  /// this >> 1.
+  Key half() const;
+  /// this + 1 (mod 2^512).
+  Key next() const;
+
+  /// Clockwise distance from `from` to `to` on the ring: (to - from) mod 2^512.
+  static Key distance(const Key& from, const Key& to) { return to - from; }
+
+  /// Point halfway along the clockwise arc from `from` to `to`.
+  static Key midpoint(const Key& from, const Key& to);
+
+  /// True iff `k` lies in the clockwise half-open arc (from, to].
+  /// This is the "key k is owned by the successor node" test: node with ID
+  /// `to` owns (predecessor_id, to]. When from == to, the arc is the whole
+  /// ring (a single node owns everything).
+  static bool in_arc(const Key& k, const Key& from, const Key& to);
+
+  /// Hex string (128 chars). `short_form` gives the first 8 chars.
+  std::string hex() const;
+  std::string short_hex() const;
+
+  /// Fraction of the ring in [0, 1) this key sits at (top 64 bits).
+  double ring_position() const;
+
+ private:
+  // Big-endian: bytes_[0] is the most significant byte.
+  std::array<std::uint8_t, kBytes> bytes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Key& k);
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const;
+};
+
+}  // namespace d2

@@ -1,0 +1,72 @@
+// Deterministic random number generation for simulations and workload
+// synthesis.
+//
+// Every source of randomness in d2 flows through an explicitly seeded Rng
+// (xoshiro256**), so experiments are reproducible bit-for-bit and trials
+// differ only by seed. Includes the distributions the synthetic traces
+// need: Zipf (web popularity), lognormal (file sizes), exponential
+// (failure inter-arrivals, session gaps), Pareto (heavy-tailed bursts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace d2 {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Lognormal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Geometric: number of failures before first success, success prob p.
+  std::int64_t geometric(double p);
+
+  /// Derive an independent stream (for per-node / per-user RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf distribution over ranks {0, .., n-1} with exponent `s`.
+/// Sampling is O(log n) via binary search over precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace d2

@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace d2 {
+
+double Stats::sum() const {
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double Stats::mean() const {
+  D2_REQUIRE(!samples_.empty());
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Stats::min() const {
+  D2_REQUIRE(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  D2_REQUIRE(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::stddev() const {
+  D2_REQUIRE(!samples_.empty());
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Stats::normalized_stddev() const {
+  const double m = mean();
+  D2_REQUIRE(m != 0);
+  return stddev() / m;
+}
+
+double Stats::geometric_mean() const { return d2::geometric_mean(samples_); }
+
+double Stats::percentile(double p) const {
+  D2_REQUIRE(!samples_.empty());
+  D2_REQUIRE(p >= 0 && p <= 100);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double geometric_mean(const std::vector<double>& v) {
+  D2_REQUIRE(!v.empty());
+  double log_sum = 0;
+  for (double x : v) {
+    D2_REQUIRE_MSG(x > 0, "geometric mean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+std::vector<double> ranked_descending(std::vector<double> v) {
+  std::sort(v.begin(), v.end(), std::greater<double>());
+  return v;
+}
+
+}  // namespace d2

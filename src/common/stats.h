@@ -1,0 +1,44 @@
+// Statistics helpers used by the experiment harnesses.
+//
+// The paper reports results as means, geometric means (speedups, §9.3),
+// normalized standard deviation (load imbalance, §10) and ranked per-user
+// series (Figs 8, 12). These helpers implement exactly those reductions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace d2 {
+
+/// Accumulates samples; all reductions are over the retained samples.
+class Stats {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// stddev / mean — the paper's load-imbalance metric (§10).
+  double normalized_stddev() const;
+  /// Geometric mean; requires all samples > 0.
+  double geometric_mean() const;
+  /// p in [0, 100]; nearest-rank percentile.
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Geometric mean of a vector (paper's speedup averaging).
+double geometric_mean(const std::vector<double>& v);
+
+/// Sorted copy, descending — for "ranked by decreasing X" figures.
+std::vector<double> ranked_descending(std::vector<double> v);
+
+}  // namespace d2

@@ -1,0 +1,148 @@
+#include "core/availability.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "common/assert.h"
+#include "core/replay.h"
+#include "sim/simulator.h"
+
+namespace d2::core {
+
+AvailabilityExperiment::AvailabilityExperiment(const AvailabilityParams& params)
+    : params_(params) {
+  D2_REQUIRE(params.failure.node_count >= params.system.node_count);
+}
+
+AvailabilityResult AvailabilityExperiment::run() {
+  sim::Simulator sim;
+  System system(params_.system, sim);
+  VolumeSet volumes(params_.system.scheme);
+  trace::HarvardGenerator gen(params_.workload);
+
+  auto apply_ops = [&system](const std::vector<fs::StoreOp>& ops) {
+    for (const fs::StoreOp& op : ops) {
+      switch (op.kind) {
+        case fs::StoreOp::Kind::kPut:
+          system.put(op.key, op.size);
+          break;
+        case fs::StoreOp::Kind::kRemove:
+          system.remove(op.key);
+          break;
+        case fs::StoreOp::Kind::kGet:
+          break;  // initialization reads nothing
+      }
+    }
+  };
+
+  // Initial population + load-balance warm-up (§8.1).
+  std::vector<fs::StoreOp> ops;
+  volumes.insert_initial(gen.initial_files(), 0, ops);
+  apply_ops(ops);
+  system.start_load_balancing();
+  sim.run_until(params_.warmup);
+
+  // Failure process starts with the workload.
+  sim::FailureTrace failure_trace = sim::FailureTrace::all_up(
+      params_.failure.node_count, params_.failure.duration);
+  if (params_.enable_failures) {
+    Rng frng(params_.failure_seed);
+    failure_trace = sim::FailureTrace::generate(params_.failure, frng);
+  }
+  system.attach_failure_trace(&failure_trace, params_.warmup);
+
+  // Task segmentation and record -> task mapping.
+  const std::vector<trace::TraceRecord>& records = gen.records();
+  std::vector<trace::Task> tasks =
+      trace::segment_tasks(records, params_.inter, params_.task_cap);
+  std::vector<std::int32_t> record_task(records.size(), -1);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (std::size_t i : tasks[t].record_indices) {
+      record_task[i] = static_cast<std::int32_t>(t);
+    }
+  }
+
+  struct TaskAgg {
+    bool failed = false;
+    std::uint64_t blocks = 0;
+    std::set<std::string> files;
+    std::set<int> nodes;
+  };
+  std::vector<TaskAgg> agg(tasks.size());
+
+  AvailabilityResult result;
+
+  // Replay.
+  std::vector<fs::StoreOp> rec_ops;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const trace::TraceRecord& r = records[i];
+    const SimTime abs_t = params_.warmup + r.time;
+    sim.run_until(abs_t);
+    rec_ops.clear();
+    volumes.apply(r, abs_t, rec_ops);
+    const std::int32_t ti = record_task[i];
+    for (const fs::StoreOp& op : rec_ops) {
+      switch (op.kind) {
+        case fs::StoreOp::Kind::kPut:
+          system.put(op.key, op.size);
+          break;
+        case fs::StoreOp::Kind::kRemove:
+          system.remove(op.key);
+          break;
+        case fs::StoreOp::Kind::kGet: {
+          if (ti < 0) break;
+          TaskAgg& a = agg[static_cast<std::size_t>(ti)];
+          ++a.blocks;
+          if (!system.has(op.key)) {
+            ++result.unknown_key_gets;
+            break;
+          }
+          if (!system.block_available(op.key)) {
+            a.failed = true;
+          } else if (auto node = system.serving_node(op.key)) {
+            a.nodes.insert(*node);
+          }
+          break;
+        }
+      }
+    }
+    if (ti >= 0) agg[static_cast<std::size_t>(ti)].files.insert(r.path);
+  }
+
+  // Aggregate.
+  std::map<int, std::pair<std::uint64_t, std::uint64_t>> per_user;  // total, failed
+  double blocks_sum = 0, files_sum = 0, nodes_sum = 0;
+  std::uint64_t counted = 0;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const TaskAgg& a = agg[t];
+    ++result.tasks;
+    auto& [total, failed] = per_user[tasks[t].user];
+    ++total;
+    if (a.failed) {
+      ++result.failed_tasks;
+      ++failed;
+    }
+    if (a.blocks > 0) {
+      ++counted;
+      blocks_sum += static_cast<double>(a.blocks);
+      files_sum += static_cast<double>(a.files.size());
+      nodes_sum += static_cast<double>(a.nodes.size());
+    }
+  }
+  if (counted > 0) {
+    result.mean_blocks_per_task = blocks_sum / static_cast<double>(counted);
+    result.mean_files_per_task = files_sum / static_cast<double>(counted);
+    result.mean_nodes_per_task = nodes_sum / static_cast<double>(counted);
+  }
+  for (const auto& [user, counts] : per_user) {
+    result.per_user_unavailability[user] =
+        counts.first == 0 ? 0.0
+                          : static_cast<double>(counts.second) /
+                                static_cast<double>(counts.first);
+  }
+  result.migration_bytes = system.migration_bytes();
+  result.lb_moves = system.lb_moves();
+  return result;
+}
+
+}  // namespace d2::core

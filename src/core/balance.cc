@@ -1,0 +1,130 @@
+#include "core/balance.h"
+
+#include "common/assert.h"
+#include "core/replay.h"
+#include "core/system.h"
+#include "core/webcache.h"
+#include "sim/simulator.h"
+
+namespace d2::core {
+
+double BalanceResult::mean_imbalance() const {
+  if (imbalance.empty()) return 0;
+  double sum = 0;
+  for (const auto& [t, v] : imbalance) sum += v;
+  return sum / static_cast<double>(imbalance.size());
+}
+
+double BalanceResult::mean_max_over_mean() const {
+  if (max_over_mean.empty()) return 0;
+  double sum = 0;
+  for (double v : max_over_mean) sum += v;
+  return sum / static_cast<double>(max_over_mean.size());
+}
+
+BalanceExperiment::BalanceExperiment(const BalanceParams& params)
+    : params_(params) {}
+
+BalanceResult BalanceExperiment::run() {
+  sim::Simulator sim;
+  System system(params_.system, sim);
+  BalanceResult result;
+
+  const bool harvard = params_.workload == BalanceWorkload::kHarvard;
+  const SimTime workload_start = harvard ? params_.warmup : 0;
+  const int trace_days =
+      harvard ? params_.harvard.days : params_.web.days;
+
+  // Imbalance sampling, relative to workload start.
+  std::function<void()> sample = [&] {
+    result.imbalance.emplace_back(sim.now() - workload_start,
+                                  system.load_imbalance());
+    result.max_over_mean.push_back(system.max_over_mean_load());
+    sim.schedule_after(params_.sample_interval, sample);
+  };
+
+  // Day accounting: snapshot counters at each day boundary.
+  std::vector<Bytes> w_marks, r_marks, l_marks, totals;
+  auto day_mark = [&] {
+    w_marks.push_back(system.user_write_bytes());
+    r_marks.push_back(system.user_removed_bytes());
+    l_marks.push_back(system.migration_bytes());
+    totals.push_back(system.block_map().total_bytes());
+  };
+
+  if (harvard) {
+    VolumeSet volumes(params_.system.scheme);
+    trace::HarvardGenerator gen(params_.harvard);
+    std::vector<fs::StoreOp> ops;
+    volumes.insert_initial(gen.initial_files(), 0, ops);
+    for (const fs::StoreOp& op : ops) {
+      if (op.kind == fs::StoreOp::Kind::kPut) system.put(op.key, op.size);
+    }
+    system.start_load_balancing();
+    sim.run_until(params_.warmup);
+    sim.schedule_after(0, sample);
+
+    int next_day = 0;
+    std::vector<fs::StoreOp> rec_ops;
+    for (const trace::TraceRecord& r : gen.records()) {
+      const SimTime abs_t = workload_start + r.time;
+      while (next_day <= trace_days && r.time >= days(next_day)) {
+        sim.run_until(workload_start + days(next_day));
+        day_mark();
+        ++next_day;
+      }
+      sim.run_until(abs_t);
+      rec_ops.clear();
+      volumes.apply(r, abs_t, rec_ops, /*include_reads=*/false);
+      for (const fs::StoreOp& op : rec_ops) {
+        if (op.kind == fs::StoreOp::Kind::kPut) {
+          system.put(op.key, op.size);
+        } else if (op.kind == fs::StoreOp::Kind::kRemove) {
+          system.remove(op.key);
+        }
+      }
+    }
+    while (next_day <= trace_days) {
+      sim.run_until(workload_start + days(next_day));
+      day_mark();
+      ++next_day;
+    }
+  } else {
+    // Webcache: the DHT starts empty; every record is a client request.
+    WebCache cache(system, params_.system.scheme);
+    trace::WebGenerator gen(params_.web);
+    system.start_load_balancing();
+    sim.schedule_after(0, sample);
+
+    int next_day = 0;
+    for (const trace::TraceRecord& r : gen.records()) {
+      while (next_day <= trace_days && r.time >= days(next_day)) {
+        sim.run_until(days(next_day));
+        day_mark();
+        ++next_day;
+      }
+      sim.run_until(r.time);
+      cache.request(r.path, std::max<Bytes>(r.length, 1));
+    }
+    while (next_day <= trace_days) {
+      sim.run_until(days(next_day));
+      day_mark();
+      ++next_day;
+    }
+  }
+
+  // Turn cumulative marks into per-day rows. marks[0] is the workload
+  // start (day 0 boundary); day i spans marks[i] .. marks[i+1].
+  for (std::size_t i = 0; i + 1 < w_marks.size(); ++i) {
+    DayStats d;
+    d.written = w_marks[i + 1] - w_marks[i];
+    d.removed = r_marks[i + 1] - r_marks[i];
+    d.migrated = l_marks[i + 1] - l_marks[i];
+    d.total_at_start = totals[i];
+    result.days.push_back(d);
+  }
+  result.lb_moves = system.lb_moves();
+  return result;
+}
+
+}  // namespace d2::core

@@ -1,0 +1,61 @@
+// Load balance & overhead experiment (paper §10, Figures 16-17, Tables
+// 3-4).
+//
+// Long simulation of the write/remove stream (reads don't move data) with
+// the full load-balancing machinery. Tracks the imbalance time series
+// (normalized stddev of per-node physical storage), the max/mean load, and
+// per-day byte accounting: user writes W_i, removals R_i, migration L_i,
+// resident total T_i.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "trace/harvard_gen.h"
+#include "trace/web_gen.h"
+
+namespace d2::core {
+
+enum class BalanceWorkload { kHarvard, kWebcache };
+
+struct BalanceParams {
+  SystemConfig system;
+  BalanceWorkload workload = BalanceWorkload::kHarvard;
+  trace::HarvardParams harvard;
+  trace::WebParams web;
+  /// Load-balance warm-up after initial insertion (Harvard only; the
+  /// Webcache starts from an empty DHT, as in the paper).
+  SimTime warmup = days(3);
+  SimTime sample_interval = hours(1);
+};
+
+struct DayStats {
+  Bytes written = 0;        // W_i
+  Bytes removed = 0;        // R_i
+  Bytes migrated = 0;       // L_i
+  Bytes total_at_start = 0; // T_i
+};
+
+struct BalanceResult {
+  /// (time since workload start, normalized stddev of node storage).
+  std::vector<std::pair<SimTime, double>> imbalance;
+  /// Max-over-mean load at each sample (paper: D2 averages ~1.6, the
+  /// traditional DHT ~2.4).
+  std::vector<double> max_over_mean;
+  std::vector<DayStats> days;
+  std::int64_t lb_moves = 0;
+
+  double mean_imbalance() const;
+  double mean_max_over_mean() const;
+};
+
+class BalanceExperiment {
+ public:
+  explicit BalanceExperiment(const BalanceParams& params);
+  BalanceResult run();
+
+ private:
+  BalanceParams params_;
+};
+
+}  // namespace d2::core

@@ -1,0 +1,77 @@
+// System-level configuration shared by all experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "fs/volume.h"
+
+namespace d2::core {
+
+struct SystemConfig {
+  int node_count = 200;
+
+  /// Replicas per block (r). The paper uses 3 in the availability study
+  /// and 4 in the performance study.
+  int replicas = 3;
+
+  /// Redundancy scheme (§3): whole-block replication (the paper's choice,
+  /// "for simplicity") or (n, k) erasure coding — n fragments of size/k on
+  /// the n successors, any k of which reconstruct the block. Erasure
+  /// saves storage (n/k x instead of r x) at the cost of read fan-out and
+  /// k x repair traffic.
+  enum class Redundancy { kReplication, kErasure };
+  Redundancy redundancy = Redundancy::kReplication;
+  /// Erasure parameters: n total fragments (placed like replicas), k data
+  /// fragments needed to read/reconstruct. Used when redundancy==kErasure;
+  /// `replicas` is ignored in that mode.
+  int ec_total_fragments = 6;
+  int ec_data_fragments = 3;
+
+  /// Hybrid placement (the paper's §11 future work): this many of the r
+  /// replicas are placed at consistent-hash positions of the key instead
+  /// of on the successor chain. Scattered replicas restore parallel
+  /// download bandwidth for large files and resist targeted ID-space
+  /// attacks, at the cost of extra lookup state. 0 = pure D2 placement.
+  int scatter_replicas = 0;
+
+  /// Key scheme of the system under test (D2 or a baseline).
+  fs::KeyScheme scheme = fs::KeyScheme::kD2;
+
+  /// Mercury-style active load balancing (on for D2 and for the
+  /// "Traditional+Merc" comparison system of §10).
+  bool active_load_balance = true;
+
+  /// Use block pointers to defer migration (§6). Off = eager transfer on
+  /// every ID change (the ablation in Table 4).
+  bool use_pointers = true;
+
+  /// Load-balancing probe interval (§8.1: 10 minutes).
+  SimTime probe_interval = minutes(10);
+
+  /// Pointer stabilization time (§8.1: 1 hour).
+  SimTime pointer_stabilization = hours(1);
+
+  /// Block removal delay (§3: 30 seconds, matching view staleness).
+  SimTime remove_delay = seconds(30);
+
+  /// Blocks are also removed automatically after this TTL unless
+  /// refreshed (§3: removal can fail when nodes are partitioned, so
+  /// blocks expire unless their publisher refreshes them). 0 disables
+  /// expiry (the default for experiments, which model explicit removal).
+  SimTime block_ttl = 0;
+
+  /// Per-node bandwidth cap on migration traffic (§8.1: 750 kbps).
+  BitRate migration_bandwidth = kbps(750);
+
+  /// Load-balance trigger threshold t (§6: 4).
+  double lb_threshold = 4.0;
+
+  /// How long a node must stay down before its blocks regenerate onto the
+  /// next successor.
+  SimTime regen_delay = minutes(30);
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace d2::core

@@ -1,0 +1,76 @@
+// The §4.1 data-locality analysis behind Figure 3.
+//
+// For each workload it computes the mean number of nodes each user needs
+// to contact per hour under three placement scenarios, with 250 MB of data
+// assigned per node:
+//   traditional — every block gets a uniformly random key;
+//   ordered     — keys follow the alphabetical order of block names (full
+//                 path + block number for Harvard, disk block number for
+//                 HP, reversed-domain URL for Web);
+//   lower-bound — ceil(blocks the user touched / blocks per node): the
+//                 information-theoretic floor, not necessarily achievable.
+//
+// Like the paper's analysis, this assumes each node stores exactly the
+// same number of blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "trace/harvard_gen.h"
+#include "trace/hp_gen.h"
+#include "trace/web_gen.h"
+
+namespace d2::core {
+
+/// One block-level access: who touched which named block when.
+struct BlockAccess {
+  SimTime time;
+  int user;
+  std::string block_name;
+};
+
+struct LocalityParams {
+  Bytes node_capacity = mB(250);
+  Bytes block_size = kBlockSize;
+};
+
+struct LocalityResult {
+  double traditional_nodes_per_user_hour = 0;
+  double ordered_nodes_per_user_hour = 0;
+  double lower_bound_nodes_per_user_hour = 0;
+  std::uint64_t distinct_blocks = 0;
+  std::uint64_t user_hours = 0;
+  int nodes = 0;
+
+  double ordered_normalized() const {
+    return ordered_nodes_per_user_hour / traditional_nodes_per_user_hour;
+  }
+  double lower_bound_normalized() const {
+    return lower_bound_nodes_per_user_hour / traditional_nodes_per_user_hour;
+  }
+};
+
+class LocalityAnalysis {
+ public:
+  /// Expands the Harvard trace into per-8KB-block accesses named by full
+  /// path + zero-padded block number (alphabetical order == namespace
+  /// preorder within a directory).
+  static std::vector<BlockAccess> from_harvard(
+      const trace::HarvardGenerator& gen);
+
+  /// HP accesses are already block-level; names are zero-padded disk
+  /// block numbers.
+  static std::vector<BlockAccess> from_hp(const trace::HpGenerator& gen);
+
+  /// Web accesses become one block per 8KB of the object, named by the
+  /// reversed-domain URL + block number.
+  static std::vector<BlockAccess> from_web(const trace::WebGenerator& gen);
+
+  static LocalityResult analyze(const std::vector<BlockAccess>& accesses,
+                                const LocalityParams& params = {});
+};
+
+}  // namespace d2::core

@@ -1,0 +1,94 @@
+// End-to-end performance experiment (paper §9, Figures 9-15).
+//
+// Reproduces the Emulab methodology in simulation: the system is warmed
+// (placement + load balance + each user's lookup-cache content) by
+// replaying the workload from the beginning, then selected 15-minute
+// windows are replayed in detail with the full network model:
+//   - DHT lookups route through dht::Router (per-hop latency, message
+//     counts) unless the user's range-based lookup cache covers the key;
+//   - block downloads come from a random replica over a per-node shared
+//     uplink (1500 or 384 kbps) with the net::TcpModel slow-start
+//     behaviour (idle > RTO => cold window, >= 2 RTTs for an 8 KB block);
+//   - clients issue at most 15 concurrent transfers (§9.1).
+// Access groups (gaps > 1 s are think time) are the latency unit; `seq`
+// chains a group's requests, `para` issues them all concurrently.
+//
+// Running the same workload under two schemes and matching access groups
+// by id yields the paper's speedup metric (geometric mean per user, then
+// across users).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/config.h"
+#include "trace/harvard_gen.h"
+
+namespace d2::core {
+
+struct PerformanceParams {
+  SystemConfig system;
+  trace::HarvardParams workload;
+  SimTime warmup = days(1);
+  int window_count = 4;
+  SimTime window_length = minutes(15);
+  /// Per-node access-link capacity (paper: 1500 or 384 kbps).
+  BitRate node_bandwidth = kbps(1500);
+  int max_concurrent_transfers = 15;
+  /// false = seq (fully dependent), true = para (fully parallel).
+  bool parallel = false;
+  /// Replica selection: the paper's D2 picks a random replica; §9.3 notes
+  /// that the per-user slowdowns of Fig 12 could be mitigated "by always
+  /// downloading blocks from the closest replica". true enables that.
+  bool closest_replica = false;
+  double mean_rtt_ms = 90.0;
+  SimTime lookup_cache_ttl = hours(1) + minutes(15);
+};
+
+struct GroupResult {
+  int user = 0;
+  std::uint64_t group_id = 0;  // stable across schemes (same workload)
+  SimTime latency = 0;
+  int block_gets = 0;
+};
+
+struct PerformanceResult {
+  std::vector<GroupResult> groups;
+  std::uint64_t lookup_messages = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double lookup_messages_per_node = 0;
+  /// Mean of per-user lookup-cache miss rates inside the windows.
+  double mean_cache_miss_rate = 0;
+  std::uint64_t tcp_cold_starts = 0;
+  std::uint64_t tcp_transfers = 0;
+};
+
+class PerformanceExperiment {
+ public:
+  explicit PerformanceExperiment(const PerformanceParams& params);
+  PerformanceResult run();
+
+ private:
+  PerformanceParams params_;
+};
+
+struct SpeedupSummary {
+  /// Geometric mean across users of each user's geometric-mean speedup.
+  double overall = 1.0;
+  std::map<int, double> per_user;
+  std::uint64_t matched_groups = 0;
+};
+
+/// Speedup of `treatment` over `baseline` (ratio baseline/treatment per
+/// access group, matched by group id).
+SpeedupSummary compute_speedup(const PerformanceResult& baseline,
+                               const PerformanceResult& treatment);
+
+/// Matched (baseline, treatment) latency pairs for the Fig 14/15 scatter.
+std::vector<std::pair<SimTime, SimTime>> matched_latencies(
+    const PerformanceResult& baseline, const PerformanceResult& treatment);
+
+}  // namespace d2::core

@@ -1,0 +1,103 @@
+#include "core/replay.h"
+
+#include "common/assert.h"
+#include "fs/key_encoding.h"
+
+namespace d2::core {
+
+VolumeSet::VolumeSet(fs::KeyScheme scheme, SimTime writeback_ttl)
+    : scheme_(scheme), writeback_ttl_(writeback_ttl) {}
+
+fs::Volume& VolumeSet::volume_for(const std::string& path,
+                                  std::string* relative) {
+  // "home/uN/rest" -> volume "home/uN"; "shared/rest" -> volume "shared";
+  // anything else -> volume = first component.
+  std::vector<std::string> parts = fs::split_path(path);
+  D2_REQUIRE_MSG(!parts.empty(), "empty path");
+  std::string vol_name;
+  std::size_t skip;
+  if (parts[0] == "home" && parts.size() >= 2) {
+    vol_name = parts[0] + "/" + parts[1];
+    skip = 2;
+  } else {
+    vol_name = parts[0];
+    skip = 1;
+  }
+  std::string rel;
+  for (std::size_t i = skip; i < parts.size(); ++i) {
+    if (!rel.empty()) rel.push_back('/');
+    rel += parts[i];
+  }
+  *relative = rel;
+  auto it = volumes_.find(vol_name);
+  if (it == volumes_.end()) {
+    fs::VolumeConfig config;
+    config.scheme = scheme_;
+    config.writeback_ttl = writeback_ttl_;
+    it = volumes_
+             .emplace(vol_name,
+                      std::make_unique<fs::Volume>(vol_name, config))
+             .first;
+  }
+  return *it->second;
+}
+
+void VolumeSet::apply(const trace::TraceRecord& r, SimTime now,
+                      std::vector<fs::StoreOp>& out, bool include_reads) {
+  std::string rel;
+  switch (r.op) {
+    case trace::TraceRecord::Op::kRead: {
+      fs::Volume& v = volume_for(r.path, &rel);
+      if (!include_reads) return;
+      if (!v.exists(rel) || v.is_directory(rel)) return;
+      v.read(rel, r.offset, r.length, now, out);
+      return;
+    }
+    case trace::TraceRecord::Op::kWrite:
+    case trace::TraceRecord::Op::kCreate: {
+      fs::Volume& v = volume_for(r.path, &rel);
+      if (v.is_directory(rel)) return;
+      v.write(rel, r.offset, r.length, now, out);
+      return;
+    }
+    case trace::TraceRecord::Op::kRemove: {
+      fs::Volume& v = volume_for(r.path, &rel);
+      if (!v.exists(rel)) return;
+      v.remove(rel, now, out);
+      return;
+    }
+    case trace::TraceRecord::Op::kRename: {
+      fs::Volume& v = volume_for(r.path, &rel);
+      std::string rel_to;
+      fs::Volume& v_to = volume_for(r.path2, &rel_to);
+      // Cross-volume renames degenerate to keeping the file where it is
+      // (single-writer volumes cannot adopt another volume's blocks).
+      if (&v != &v_to) return;
+      if (!v.exists(rel) || v.exists(rel_to)) return;
+      v.rename(rel, rel_to, now, out);
+      return;
+    }
+    case trace::TraceRecord::Op::kMkdir: {
+      fs::Volume& v = volume_for(r.path, &rel);
+      if (rel.empty() || v.exists(rel)) return;
+      v.mkdir(rel, now, out);
+      return;
+    }
+  }
+}
+
+void VolumeSet::insert_initial(const std::vector<trace::FileSpec>& files,
+                               SimTime now, std::vector<fs::StoreOp>& out) {
+  std::string rel;
+  for (const trace::FileSpec& f : files) {
+    fs::Volume& v = volume_for(f.path, &rel);
+    v.write(rel, 0, f.size, now, out);
+  }
+  flush_all(now, out);
+}
+
+void VolumeSet::flush_all(SimTime now, std::vector<fs::StoreOp>& out) {
+  for (auto& [name, vol] : volumes_) vol->flush(now, out);
+}
+
+}  // namespace d2::core

@@ -1,0 +1,52 @@
+// Trace replay plumbing: routes trace records into per-user volumes.
+//
+// Following the paper's usage assumptions (§3), each user's home subtree
+// is its own single-writer volume ("home/uN"), and there is one shared
+// read-mostly volume ("shared"). A volume's embedded 30-second write-back
+// / buffer cache therefore acts as that user's client cache. (The shared
+// volume's buffer cache is shared between readers — a small optimistic
+// artifact affecting ~5% of reads; see DESIGN.md.)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/volume.h"
+#include "trace/workload.h"
+
+namespace d2::core {
+
+class VolumeSet {
+ public:
+  explicit VolumeSet(fs::KeyScheme scheme,
+                     SimTime writeback_ttl = seconds(30));
+
+  /// Applies one trace record; store operations are appended to `out`.
+  /// Reads can be skipped entirely (they never change store contents) by
+  /// passing include_reads = false — the balance experiments do this.
+  /// Records referencing paths that no longer exist are dropped (the
+  /// defensive behaviour of a real client hitting ENOENT).
+  void apply(const trace::TraceRecord& r, SimTime now,
+             std::vector<fs::StoreOp>& out, bool include_reads = true);
+
+  /// Creates the pre-trace file population and flushes it.
+  void insert_initial(const std::vector<trace::FileSpec>& files, SimTime now,
+                      std::vector<fs::StoreOp>& out);
+
+  /// Flushes every volume's write-back cache.
+  void flush_all(SimTime now, std::vector<fs::StoreOp>& out);
+
+  /// Volume (and in-volume relative path) responsible for `path`.
+  fs::Volume& volume_for(const std::string& path, std::string* relative);
+
+  std::size_t volume_count() const { return volumes_.size(); }
+
+ private:
+  fs::KeyScheme scheme_;
+  SimTime writeback_ttl_;
+  std::map<std::string, std::unique_ptr<fs::Volume>> volumes_;
+};
+
+}  // namespace d2::core

@@ -1,0 +1,54 @@
+// Request-load experiment (paper §6).
+//
+// Storage balance says nothing about *request* balance: a few hot files
+// can concentrate read traffic on their replica groups regardless of how
+// well bytes are spread. The paper's answer is the traditional one —
+// retrieval caches at the reading nodes (as in PAST) absorb hot-spot
+// traffic, "thereby balancing both storage and request load". This
+// experiment replays a Zipf-skewed read workload against a D2 system and
+// measures how per-node serve counts spread out as the per-node retrieval
+// cache grows.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/system.h"
+
+namespace d2::core {
+
+struct RequestLoadParams {
+  SystemConfig system;
+  /// Content: `total_files` files of `file_size` bytes in one volume.
+  int total_files = 400;
+  Bytes file_size = kB(64);
+  /// Readers sit on random nodes; each issues `reads_per_reader` whole-file
+  /// reads with Zipf(zipf_s) file popularity.
+  int readers = 50;
+  int reads_per_reader = 200;
+  double zipf_s = 1.1;
+  /// Per-node retrieval cache capacity (0 disables caching).
+  Bytes retrieval_cache_capacity = 0;
+  std::uint64_t seed = 3;
+};
+
+struct RequestLoadResult {
+  /// Normalized stddev of per-node remote-serve counts (request load).
+  double serve_imbalance = 0;
+  double max_over_mean_serves = 0;
+  /// Fraction of block requests absorbed by retrieval caches.
+  double cache_hit_rate = 0;
+  std::uint64_t block_requests = 0;
+  std::uint64_t remote_serves = 0;
+};
+
+class RequestLoadExperiment {
+ public:
+  explicit RequestLoadExperiment(const RequestLoadParams& params);
+  RequestLoadResult run();
+
+ private:
+  RequestLoadParams params_;
+};
+
+}  // namespace d2::core

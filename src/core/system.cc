@@ -1,0 +1,505 @@
+#include "core/system.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "dht/consistent_hash.h"
+
+namespace d2::core {
+
+namespace {
+/// How far past the owner the replica scan may extend while skipping down
+/// nodes, and therefore how many predecessors a readjustment arc covers.
+int scan_cap(int replicas) { return replicas + 6; }
+constexpr SimTime kFetchRetryDelay = minutes(10);
+}  // namespace
+
+int System::effective_replicas() const {
+  return config_.redundancy == SystemConfig::Redundancy::kErasure
+             ? config_.ec_total_fragments
+             : config_.replicas;
+}
+
+bool System::erasure() const {
+  return config_.redundancy == SystemConfig::Redundancy::kErasure;
+}
+
+System::System(const SystemConfig& config, sim::Simulator& sim)
+    : config_(config),
+      sim_(sim),
+      rng_(config.seed),
+      map_(config.node_count),
+      balancer_(dht::LoadBalanceConfig{config.lb_threshold, 4}) {
+  D2_REQUIRE(config.node_count > 0);
+  D2_REQUIRE(config.replicas > 0);
+  if (config.redundancy == SystemConfig::Redundancy::kErasure) {
+    D2_REQUIRE(config.ec_data_fragments > 0);
+    D2_REQUIRE(config.ec_total_fragments >= config.ec_data_fragments);
+    D2_REQUIRE_MSG(config.scatter_replicas == 0,
+                   "hybrid placement + erasure coding not supported together");
+  }
+  nodes_.reserve(static_cast<std::size_t>(config.node_count));
+  for (int i = 0; i < config.node_count; ++i) {
+    nodes_.emplace_back(config.migration_bandwidth);
+    Key id = dht::random_node_id(rng_);
+    while (ring_.id_taken(id)) id = dht::random_node_id(rng_);
+    ring_.add(i, id);
+  }
+}
+
+bool System::node_up(int node) const {
+  D2_REQUIRE(node >= 0 && node < config_.node_count);
+  return nodes_[static_cast<std::size_t>(node)].up;
+}
+
+// ------------------------------------------------------------ replicas --
+
+Key System::scatter_position(const Key& k, int i) {
+  return dht::hashed_key(k.hex() + "#scatter" + std::to_string(i));
+}
+
+std::vector<int> System::target_replica_set(const Key& k) const {
+  // Successor-order replica set for `k` under the current up/down state:
+  // the canonical successors, extended past down nodes until enough up
+  // members are included (bounded by scan_cap). With hybrid placement,
+  // the tail of the set lives at consistent-hash positions instead.
+  const int scatter =
+      erasure() ? 0 : std::min(config_.scatter_replicas, config_.replicas - 1);
+  const int r = effective_replicas() - scatter;
+  std::vector<int> out;
+  const int cap = std::min<int>(static_cast<int>(ring_.size()), scan_cap(r));
+  int node = ring_.owner(k);
+  int up_count = 0;
+  for (int i = 0; i < cap; ++i) {
+    out.push_back(node);
+    if (node_up(node)) ++up_count;
+    if (up_count >= r && static_cast<int>(out.size()) >= r) break;
+    node = ring_.successor(node);
+  }
+  // Scattered members: first non-duplicate node at each hashed position,
+  // plus the next up one if it is down (mirroring the successor logic).
+  for (int s = 0; s < scatter; ++s) {
+    int candidate = ring_.owner(scatter_position(k, s));
+    int steps = 0;
+    bool added_up = false;
+    while (steps < scan_cap(1) + static_cast<int>(out.size())) {
+      const bool duplicate =
+          std::find(out.begin(), out.end(), candidate) != out.end();
+      if (!duplicate) {
+        out.push_back(candidate);
+        if (node_up(candidate)) {
+          added_up = true;
+        }
+      }
+      if (added_up) break;
+      candidate = ring_.successor(candidate);
+      ++steps;
+      if (static_cast<std::size_t>(out.size()) >= ring_.size()) break;
+    }
+  }
+  return out;
+}
+
+void System::register_scatter(const Key& k) {
+  const int scatter = std::min(config_.scatter_replicas, config_.replicas - 1);
+  for (int s = 0; s < scatter; ++s) {
+    scatter_index_.emplace(scatter_position(k, s), k);
+  }
+}
+
+void System::forget_scatter(const Key& k) {
+  const int scatter = std::min(config_.scatter_replicas, config_.replicas - 1);
+  for (int s = 0; s < scatter; ++s) {
+    const Key pos = scatter_position(k, s);
+    auto [lo, hi] = scatter_index_.equal_range(pos);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == k) {
+        scatter_index_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<int> System::replica_nodes(const Key& k) const {
+  const store::BlockState* b = map_.find(k);
+  if (b == nullptr) return {};
+  std::vector<int> out;
+  out.reserve(b->replicas.size());
+  for (const store::Replica& r : b->replicas) out.push_back(r.node);
+  return out;
+}
+
+std::optional<int> System::fetch_source(const store::BlockState& b) const {
+  for (const store::Replica& r : b.replicas) {
+    if (r.has_data && node_up(r.node)) return r.node;
+  }
+  for (int n : b.stale_holders) {
+    if (node_up(n)) return n;
+  }
+  return std::nullopt;
+}
+
+int System::up_data_holders(const store::BlockState& b) const {
+  int count = 0;
+  for (const store::Replica& r : b.replicas) {
+    if (r.has_data && node_up(r.node)) ++count;
+  }
+  for (int n : b.stale_holders) {
+    if (node_up(n)) ++count;
+  }
+  return count;
+}
+
+bool System::block_available(const Key& k) const {
+  const store::BlockState* b = map_.find(k);
+  if (b == nullptr) return false;
+  if (erasure()) {
+    // (n, k) coding: readable iff >= k fragments sit on up nodes (stale
+    // holders still carry their fragment).
+    return up_data_holders(*b) >= config_.ec_data_fragments;
+  }
+  bool responsible_up = false;
+  for (const store::Replica& r : b->replicas) {
+    if (!node_up(r.node)) continue;
+    if (r.has_data) return true;
+    responsible_up = true;
+  }
+  if (!responsible_up) return false;
+  // A responsible (pointer-holding) node is up; it can redirect to any up
+  // holder of the bytes.
+  for (int n : b->stale_holders) {
+    if (node_up(n)) return true;
+  }
+  return false;
+}
+
+std::optional<int> System::serving_node(const Key& k) const {
+  const store::BlockState* b = map_.find(k);
+  if (b == nullptr) return std::nullopt;
+  if (erasure()) {
+    // A read fans out to k fragment holders; report the primary-most one.
+    if (up_data_holders(*b) < config_.ec_data_fragments) return std::nullopt;
+  }
+  for (const store::Replica& r : b->replicas) {
+    if (r.has_data && node_up(r.node)) return r.node;
+  }
+  bool responsible_up = false;
+  for (const store::Replica& r : b->replicas) {
+    if (node_up(r.node)) responsible_up = true;
+  }
+  if (responsible_up) {
+    for (int n : b->stale_holders) {
+      if (node_up(n)) return n;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------- puts --
+
+void System::put(const Key& k, Bytes size) {
+  D2_REQUIRE(size >= 0);
+  user_write_bytes_ += size;
+  bool fresh_key = true;
+  if (const store::BlockState* existing = map_.find(k)) {
+    // In-place update (the mutable root block, or a webcache version
+    // replacement): the previous version's bytes are discarded.
+    user_removed_bytes_ += existing->size;
+    fresh_key = false;  // scatter-index entries stay valid
+    if (existing->size != size) {
+      map_.erase(k);
+    } else {
+      refresh(k);
+      return;
+    }
+  }
+  const std::vector<int> set = target_replica_set(k);
+  const Bytes member_bytes =
+      erasure() ? (size + config_.ec_data_fragments - 1) / config_.ec_data_fragments
+                : size;
+  map_.insert(k, size, set, member_bytes);
+  note_set_shape(k, set.size());
+  // A write cannot land on a down member; it catches up on recovery.
+  for (int n : set) {
+    if (!node_up(n)) map_.mark_missing(k, n);
+  }
+  if (fresh_key && config_.scatter_replicas > 0) register_scatter(k);
+  refresh(k);
+}
+
+void System::remove(const Key& k) {
+  sim_.schedule_after(config_.remove_delay, [this, k] {
+    if (const store::BlockState* b = map_.find(k)) {
+      user_removed_bytes_ += b->size;
+      map_.erase(k);
+      expiry_.erase(k);
+      extended_.erase(k);
+      if (config_.scatter_replicas > 0) forget_scatter(k);
+    }
+  });
+}
+
+void System::refresh(const Key& k) {
+  if (config_.block_ttl <= 0) return;
+  if (!map_.contains(k)) return;
+  const SimTime deadline = sim_.now() + config_.block_ttl;
+  expiry_[k] = deadline;
+  sim_.schedule_at(deadline, [this, k, deadline] {
+    auto it = expiry_.find(k);
+    if (it == expiry_.end() || it->second != deadline) return;  // refreshed
+    if (const store::BlockState* b = map_.find(k)) {
+      user_removed_bytes_ += b->size;
+      map_.erase(k);
+      extended_.erase(k);
+      if (config_.scatter_replicas > 0) forget_scatter(k);
+    }
+    expiry_.erase(it);
+  });
+}
+
+// -------------------------------------------------------------- fetches --
+
+void System::schedule_fetch(const Key& k, int node, SimTime delay) {
+  sim_.schedule_after(delay, [this, k, node] { try_fetch(k, node); });
+}
+
+void System::try_fetch(const Key& k, int node) {
+  store::BlockState* b = map_.find_mutable(k);
+  if (b == nullptr) return;  // removed meanwhile
+  store::Replica* member = nullptr;
+  for (store::Replica& r : b->replicas) {
+    if (r.node == node) {
+      member = &r;
+      break;
+    }
+  }
+  if (member == nullptr) return;  // responsibility handed off (pointer win)
+  if (member->has_data || member->fetch_in_flight) return;
+  if (!node_up(node)) return;  // recovery readjustment will reschedule
+  Bytes transfer_bytes;
+  if (erasure()) {
+    // Regenerating one fragment requires reading k others (the classic
+    // erasure-coding repair penalty, §3's "cost of ... complexity").
+    if (up_data_holders(*b) < config_.ec_data_fragments) {
+      schedule_fetch(k, node, kFetchRetryDelay);  // not reconstructible yet
+      return;
+    }
+    transfer_bytes = b->member_bytes * config_.ec_data_fragments;
+  } else {
+    if (!fetch_source(*b).has_value()) {
+      schedule_fetch(k, node, kFetchRetryDelay);  // no up source; retry
+      return;
+    }
+    transfer_bytes = b->size;
+  }
+  member->fetch_in_flight = true;
+  migration_bytes_ += transfer_bytes;
+  const SimTime done = nodes_[static_cast<std::size_t>(node)]
+                           .migration_link.enqueue(sim_.now(), transfer_bytes);
+  sim_.schedule_at(done, [this, k, node] {
+    store::BlockState* blk = map_.find_mutable(k);
+    if (blk == nullptr) return;
+    for (store::Replica& r : blk->replicas) {
+      if (r.node == node) {
+        if (!r.has_data && r.fetch_in_flight) map_.mark_data(k, node);
+        return;
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------- readjustment --
+
+void System::note_set_shape(const Key& k, std::size_t set_size) {
+  if (static_cast<int>(set_size) != effective_replicas()) {
+    extended_.insert(k);
+  } else {
+    extended_.erase(k);
+  }
+}
+
+void System::reassign_block(const Key& k, SimTime fetch_delay) {
+  const std::vector<int> set = target_replica_set(k);
+  note_set_shape(k, set.size());
+  map_.reassign_replicas(k, set, sim_.now());
+  const store::BlockState* b = map_.find(k);
+  D2_ASSERT(b != nullptr);
+  for (const store::Replica& r : b->replicas) {
+    if (!r.has_data && !r.fetch_in_flight) {
+      schedule_fetch(k, r.node, node_up(r.node) ? fetch_delay : 0);
+    }
+  }
+}
+
+void System::readjust_arc(int around_node, SimTime fetch_delay) {
+  if (map_.block_count() == 0) return;
+  // Cover every key whose replica scan can reach `around_node`.
+  int pred = around_node;
+  const int steps = std::min<int>(static_cast<int>(ring_.size()) - 1,
+                                  scan_cap(effective_replicas()));
+  for (int i = 0; i < steps; ++i) pred = ring_.predecessor(pred);
+  const Key from = ring_.id_of(pred);
+  const Key to = ring_.id_of(around_node);
+  for (const Key& k : map_.keys_in_arc(from, to)) {
+    reassign_block(k, fetch_delay);
+  }
+  if (!scatter_index_.empty()) {
+    // Blocks with a scattered replica anchored in this arc are affected
+    // too (hybrid placement).
+    std::vector<Key> affected;
+    auto collect = [this, &affected](const Key& lo_excl, const Key& hi_incl) {
+      for (auto it = scatter_index_.upper_bound(lo_excl);
+           it != scatter_index_.end() && it->first <= hi_incl; ++it) {
+        affected.push_back(it->second);
+      }
+    };
+    if (from == to) {
+      for (const auto& [pos, key] : scatter_index_) affected.push_back(key);
+    } else if (from < to) {
+      collect(from, to);
+    } else {
+      collect(from, Key::max());
+      for (auto it = scatter_index_.begin();
+           it != scatter_index_.end() && it->first <= to; ++it) {
+        affected.push_back(it->second);
+      }
+    }
+    for (const Key& k : affected) {
+      if (map_.contains(k)) reassign_block(k, fetch_delay);
+    }
+  }
+}
+
+// ------------------------------------------------------- load balancing --
+
+void System::schedule_probe(int node) {
+  // Jittered interval so probes don't synchronize.
+  const auto jitter = static_cast<SimTime>(
+      static_cast<double>(config_.probe_interval) * (0.5 + rng_.next_double()));
+  sim_.schedule_after(jitter, [this, node] {
+    if (node_up(node)) probe_once(node);
+    schedule_probe(node);
+  });
+}
+
+void System::start_load_balancing() {
+  if (!config_.active_load_balance) return;
+  for (int i = 0; i < config_.node_count; ++i) schedule_probe(i);
+}
+
+bool System::probe_once(int prober) {
+  if (ring_.size() < 2) return false;
+  int other = prober;
+  while (other == prober) {
+    other = static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(config_.node_count)));
+  }
+  if (!node_up(other)) return false;
+
+  auto median_of = [this](int heavy) -> std::optional<Key> {
+    const auto [from, to] = ring_.owned_arc(heavy);
+    std::optional<Key> median = map_.median_primary_key(from, to);
+    if (median && ring_.id_taken(*median)) return std::nullopt;
+    return median;
+  };
+  std::optional<dht::MoveDecision> decision = balancer_.evaluate_probe(
+      prober, map_.primary_count(prober), other, map_.primary_count(other),
+      median_of);
+  if (!decision) return false;
+  if (!node_up(decision->light_node)) return false;
+  execute_move(*decision);
+  return true;
+}
+
+void System::execute_move(const dht::MoveDecision& decision) {
+  ++lb_moves_;
+  const int light = decision.light_node;
+  const int old_successor = ring_.successor(light);
+  ring_.move(light, decision.new_id);
+  const SimTime fetch_delay =
+      config_.use_pointers ? config_.pointer_stabilization : 0;
+  // Keys around the light node's old position (its range fell to the old
+  // successor) and around its new position (it took half of the heavy
+  // node's range).
+  readjust_arc(old_successor, fetch_delay);
+  readjust_arc(light, fetch_delay);
+}
+
+// -------------------------------------------------------------- failures --
+
+void System::attach_failure_trace(const sim::FailureTrace* trace,
+                                  SimTime offset) {
+  D2_REQUIRE(trace != nullptr);
+  D2_REQUIRE(trace->node_count() >= config_.node_count);
+  failure_trace_ = trace;
+  for (const sim::FailureTrace::Transition& t : trace->transitions()) {
+    if (t.node >= config_.node_count) continue;
+    const SimTime when = offset + t.time;
+    if (when < sim_.now()) continue;
+    if (t.up) {
+      sim_.schedule_at(when, [this, node = t.node] { on_node_up(node); });
+    } else {
+      sim_.schedule_at(when, [this, node = t.node] { on_node_down(node); });
+    }
+  }
+}
+
+void System::on_node_down(int node) {
+  nodes_[static_cast<std::size_t>(node)].up = false;
+  // Regenerate this node's blocks elsewhere only if it stays down past the
+  // grace period (avoids churning on reboots).
+  sim_.schedule_after(config_.regen_delay, [this, node] {
+    if (!nodes_[static_cast<std::size_t>(node)].up) {
+      readjust_arc(node, 0);
+    }
+  });
+}
+
+void System::on_node_up(int node) {
+  nodes_[static_cast<std::size_t>(node)].up = true;
+  // Shrink extended replica sets back to canonical and let this node catch
+  // up on writes it missed.
+  readjust_arc(node, 0);
+  // Blocks that were extended while members were down may sit arbitrarily
+  // far from this node's current ring position (load balancing moves ranks
+  // around); re-canonicalize them all — the set is small.
+  const std::vector<Key> extended(extended_.begin(), extended_.end());
+  for (const Key& k : extended) {
+    if (map_.contains(k)) {
+      reassign_block(k, 0);
+    } else {
+      extended_.erase(k);
+    }
+  }
+}
+
+// -------------------------------------------------------------- metrics --
+
+void System::reset_traffic_counters() {
+  user_write_bytes_ = 0;
+  user_removed_bytes_ = 0;
+  migration_bytes_ = 0;
+  lb_moves_ = 0;
+}
+
+double System::load_imbalance() const {
+  Stats s;
+  for (int i = 0; i < config_.node_count; ++i) {
+    s.add(static_cast<double>(map_.physical_bytes(i)));
+  }
+  if (s.mean() == 0) return 0.0;
+  return s.normalized_stddev();
+}
+
+double System::max_over_mean_load() const {
+  Stats s;
+  for (int i = 0; i < config_.node_count; ++i) {
+    s.add(static_cast<double>(map_.physical_bytes(i)));
+  }
+  if (s.mean() == 0) return 0.0;
+  return s.max() / s.mean();
+}
+
+}  // namespace d2::core

@@ -1,0 +1,164 @@
+// The D2 system simulator: a DHT of N nodes with replicated block
+// storage, Mercury-style active load balancing with block pointers, and
+// (optionally) a node-failure process with bandwidth-limited replica
+// regeneration.
+//
+// This is the paper's §8.1 "detailed event-driven simulator": it captures
+// every facet of D2 except DHT routing (which the performance experiments
+// layer on separately via dht::Router), models the 750 kbps per-node cap
+// on migration traffic, and maintains the invariant that each block is
+// stored on the r successors of its key — re-established after every
+// load-balancing ID change via replica adjustment, with new members
+// holding block pointers until the pointer stabilization time elapses.
+//
+// The same class simulates the traditional baselines: consistent hashing
+// is just "locality-free keys" (provided by the fs layer) plus load
+// balancing disabled.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/key.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "dht/load_balance.h"
+#include "dht/ring.h"
+#include "sim/bandwidth.h"
+#include "sim/failure.h"
+#include "sim/simulator.h"
+#include "store/block_map.h"
+
+namespace d2::core {
+
+class System {
+ public:
+  System(const SystemConfig& config, sim::Simulator& sim);
+
+  const SystemConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+  const dht::Ring& ring() const { return ring_; }
+  store::BlockMap& block_map() { return map_; }
+  const store::BlockMap& block_map() const { return map_; }
+
+  // ----- store interface (driven by fs::StoreOps) -----
+
+  /// Writes a block at the current simulated time. If the key exists this
+  /// is an in-place update (the mutable root block); otherwise the block
+  /// is placed on the r successors of its key. Down members receive their
+  /// copy later (recovery fetch).
+  void put(const Key& k, Bytes size);
+
+  /// Schedules removal after the configured delay (§3). Unknown keys are
+  /// ignored (the block may have been removed already).
+  void remove(const Key& k);
+
+  /// Extends a block's TTL (no-op when block_ttl is 0 or the key is
+  /// unknown). put() refreshes implicitly.
+  void refresh(const Key& k);
+
+  bool has(const Key& k) const { return map_.contains(k); }
+
+  /// True iff the block can be served right now: some responsible replica
+  /// is up with data, or a responsible node is up and can redirect to an
+  /// up holder (block pointer indirection).
+  bool block_available(const Key& k) const;
+
+  /// The node that would serve a get for `k` right now (first up replica
+  /// holding data), or nullopt if unavailable/unknown.
+  std::optional<int> serving_node(const Key& k) const;
+
+  /// Current responsible replica nodes (successor order).
+  std::vector<int> replica_nodes(const Key& k) const;
+
+  int owner_of(const Key& k) const { return ring_.owner(k); }
+
+  // ----- load balancing -----
+
+  /// Starts the per-node periodic probe process (call once, before
+  /// running the simulator).
+  void start_load_balancing();
+
+  /// Runs one probe by `prober` against a random other node immediately.
+  /// Returns true if it triggered a move. Exposed for tests.
+  bool probe_once(int prober);
+
+  // ----- failures -----
+
+  /// Attaches a failure trace whose t=0 maps to simulated time `offset`.
+  /// Schedules all up/down transitions. Call before running.
+  void attach_failure_trace(const sim::FailureTrace* trace, SimTime offset);
+
+  bool node_up(int node) const;
+
+  // ----- metrics -----
+
+  Bytes user_write_bytes() const { return user_write_bytes_; }
+  Bytes user_removed_bytes() const { return user_removed_bytes_; }
+  Bytes migration_bytes() const { return migration_bytes_; }
+  std::int64_t lb_moves() const { return lb_moves_; }
+  void reset_traffic_counters();
+
+  /// Normalized standard deviation of per-node physical storage (§10's
+  /// imbalance metric), and max/mean load.
+  double load_imbalance() const;
+  double max_over_mean_load() const;
+
+ private:
+  struct NodeState {
+    sim::BandwidthLink migration_link;
+    bool up = true;
+    explicit NodeState(BitRate rate) : migration_link(rate) {}
+  };
+
+  int effective_replicas() const;
+  bool erasure() const;
+  /// Up nodes currently holding a data copy/fragment of `b`.
+  int up_data_holders(const store::BlockState& b) const;
+  std::vector<int> target_replica_set(const Key& k) const;
+  /// Ring position of the i-th scattered replica of key `k`.
+  static Key scatter_position(const Key& k, int i);
+  void register_scatter(const Key& k);
+  void forget_scatter(const Key& k);
+  void schedule_probe(int node);
+  void execute_move(const dht::MoveDecision& decision);
+  /// Recomputes replica sets for all blocks in the cover arc around
+  /// `around_node` (its (r+2) predecessors through itself) and schedules
+  /// fetches for members lacking data. `fetch_delay` applies to newly
+  /// created pointer members.
+  void readjust_arc(int around_node, SimTime fetch_delay);
+  void reassign_block(const Key& k, SimTime fetch_delay);
+  void note_set_shape(const Key& k, std::size_t set_size);
+  void schedule_fetch(const Key& k, int node, SimTime delay);
+  void try_fetch(const Key& k, int node);
+  void on_node_down(int node);
+  void on_node_up(int node);
+  std::optional<int> fetch_source(const store::BlockState& b) const;
+
+  SystemConfig config_;
+  sim::Simulator& sim_;
+  Rng rng_;
+  dht::Ring ring_;
+  store::BlockMap map_;
+  std::unordered_map<Key, SimTime, KeyHash> expiry_;  // block TTLs
+  /// scatter position -> block key, for hybrid placement readjustment.
+  std::multimap<Key, Key> scatter_index_;
+  /// Blocks whose replica set is currently extended past the canonical
+  /// size (members down / regeneration). Re-canonicalized on recoveries,
+  /// regardless of how far load balancing has shifted ring ranks.
+  std::set<Key> extended_;
+  dht::LoadBalancer balancer_;
+  std::vector<NodeState> nodes_;
+  const sim::FailureTrace* failure_trace_ = nullptr;
+
+  Bytes user_write_bytes_ = 0;
+  Bytes user_removed_bytes_ = 0;
+  Bytes migration_bytes_ = 0;
+  std::int64_t lb_moves_ = 0;
+};
+
+}  // namespace d2::core

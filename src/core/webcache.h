@@ -1,0 +1,79 @@
+// Squirrel-style cooperative web cache over the DHT (paper §10).
+//
+// Clients request URLs; a miss fetches from the origin and inserts the
+// object into the DHT so the next client hits. With a traditional DHT the
+// object key is a hash of the URL; with D2 it is the URL encoded with the
+// Fig 4 scheme after reversing the domain tuples, so objects of one site
+// occupy a contiguous key range.
+//
+// Churn comes from two sources, as in the paper's §10 footnote: content
+// not refreshed within the eviction TTL (one day) is removed, and cached
+// content "replaced with a newer version fetched by a client" is
+// re-written — dynamic pages change every few minutes to hours, so hits
+// on them still produce DHT writes. Together these make daily writes
+// rival or exceed the resident data (Table 3 row 2) and stress the load
+// balancer (Fig 17).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/key.h"
+#include "core/system.h"
+#include "fs/volume.h"
+
+namespace d2::core {
+
+struct WebCacheConfig {
+  /// Cached content idle longer than this is evicted (paper: one day).
+  SimTime eviction_ttl = days(1);
+  /// Fraction of objects that are dynamic (periodically replaced with a
+  /// newer version). Deterministic per URL. 0 disables replacement.
+  double dynamic_fraction = 0.25;
+  /// Dynamic objects change with intervals in [min, max] (per-URL,
+  /// deterministic).
+  SimTime min_change_interval = minutes(15);
+  SimTime max_change_interval = hours(4);
+};
+
+class WebCache {
+ public:
+  WebCache(System& system, fs::KeyScheme scheme, WebCacheConfig config = {});
+
+  /// Processes a client request for `url` at the current simulated time.
+  /// Returns true on a *fresh* cache hit; a miss — or a hit on a stale
+  /// version of a dynamic object — (re)inserts the object.
+  bool request(const std::string& url, Bytes size);
+
+  /// Key under which `url` is cached (scheme-dependent).
+  Key key_for(const std::string& url) const;
+
+  /// Change interval for `url` (kSimTimeNever for static objects).
+  SimTime change_interval(const std::string& url) const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t version_replacements() const { return version_replacements_; }
+  std::size_t resident_objects() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SimTime last_access;
+    std::int64_t version_epoch;
+  };
+
+  void schedule_sweep();
+  void sweep();
+
+  System& system_;
+  fs::KeyScheme scheme_;
+  WebCacheConfig config_;
+  fs::VolumeId web_volume_id_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t version_replacements_ = 0;
+};
+
+}  // namespace d2::core

@@ -1,0 +1,30 @@
+#include "dht/consistent_hash.h"
+
+#include <string>
+
+#include "common/hash.h"
+
+namespace d2::dht {
+
+Key hashed_key(std::string_view name) {
+  // Expand SHA-1 (20 bytes) to 64 bytes via counter-mode rehashing.
+  std::array<std::uint8_t, Key::kBytes> bytes{};
+  std::size_t off = 0;
+  int counter = 0;
+  while (off < bytes.size()) {
+    Sha1 h;
+    h.update(name);
+    const char c = static_cast<char>('0' + counter);
+    h.update(&c, 1);
+    const Sha1Digest d = h.digest();
+    const std::size_t take = std::min(d.size(), bytes.size() - off);
+    std::copy(d.begin(), d.begin() + static_cast<long>(take), bytes.begin() + static_cast<long>(off));
+    off += take;
+    ++counter;
+  }
+  return Key::from_bytes(bytes);
+}
+
+Key random_node_id(Rng& rng) { return Key::random(rng); }
+
+}  // namespace d2::dht

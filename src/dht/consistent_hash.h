@@ -1,0 +1,22 @@
+// Consistent-hashing helpers for the traditional baselines.
+//
+// The traditional and traditional-file DHTs assign uniformly random keys:
+// each block (or file) key is a hash of its name, and node IDs are random
+// (paper §1, §7). Keys here are 64 bytes, produced by expanding SHA-1
+// digests so the full key space is covered uniformly.
+#pragma once
+
+#include <string_view>
+
+#include "common/key.h"
+#include "common/rng.h"
+
+namespace d2::dht {
+
+/// 64-byte key derived from hashing `name` (uniform over the key space).
+Key hashed_key(std::string_view name);
+
+/// Uniformly random node ID.
+Key random_node_id(Rng& rng);
+
+}  // namespace d2::dht

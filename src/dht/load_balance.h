@@ -1,0 +1,56 @@
+// Karger-Ruhl / Mercury active load-balancing policy (paper §6).
+//
+// Every probe interval, node B contacts a random node A. If A's (primary)
+// load exceeds t times B's load, B leaves the ring and rejoins as A's
+// predecessor, taking the lighter half of A's key range. With t >= 4 all
+// node loads converge to within a constant factor of the average in
+// O(log n) steps w.h.p. (Karger & Ruhl, SPAA'04); the paper uses t = 4.
+//
+// This class is pure policy: it decides *whether* a probe should trigger a
+// move and *where* the light node's new ID should be. Executing the move —
+// the ID change plus the replica adjustments / block pointers — is the
+// store layer's job, keeping the DHT component independent of storage.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/key.h"
+
+namespace d2::dht {
+
+struct LoadBalanceConfig {
+  /// Imbalance threshold: act when heavy >= t * light (t >= 2 for the
+  /// halving step to make sense; the paper uses 4).
+  double threshold = 4.0;
+  /// Don't split nodes with fewer primary blocks than this (splitting a
+  /// nearly empty node is pure churn).
+  std::int64_t min_split_load = 4;
+};
+
+struct MoveDecision {
+  int light_node;  // node that changes its ID
+  int heavy_node;  // node whose range is split
+  Key new_id;      // light node's new ID (heavy's range median)
+};
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(LoadBalanceConfig config = {});
+
+  /// Evaluates one probe between nodes `a` and `b` with primary loads
+  /// `load_a`, `load_b`. `median_key_of` must return the key splitting the
+  /// given node's primary blocks in half (the light node's new ID), or
+  /// nullopt if the node cannot be split. Either node may turn out to be
+  /// the heavy one. Returns nullopt when balanced.
+  std::optional<MoveDecision> evaluate_probe(
+      int a, std::int64_t load_a, int b, std::int64_t load_b,
+      const std::function<std::optional<Key>(int heavy)>& median_key_of) const;
+
+  const LoadBalanceConfig& config() const { return config_; }
+
+ private:
+  LoadBalanceConfig config_;
+};
+
+}  // namespace d2::dht

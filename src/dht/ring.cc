@@ -1,0 +1,119 @@
+#include "dht/ring.h"
+
+#include "common/assert.h"
+
+namespace d2::dht {
+
+void Ring::add(int node, const Key& id) {
+  D2_REQUIRE_MSG(!contains(node), "node already on ring");
+  D2_REQUIRE_MSG(!id_taken(id), "ID collision");
+  by_id_.emplace(id, node);
+  ids_.emplace(node, id);
+}
+
+void Ring::remove(int node) {
+  auto it = ids_.find(node);
+  D2_REQUIRE_MSG(it != ids_.end(), "node not on ring");
+  by_id_.erase(it->second);
+  ids_.erase(it);
+}
+
+void Ring::move(int node, const Key& new_id) {
+  remove(node);
+  add(node, new_id);
+}
+
+const Key& Ring::id_of(int node) const {
+  auto it = ids_.find(node);
+  D2_REQUIRE_MSG(it != ids_.end(), "node not on ring");
+  return it->second;
+}
+
+int Ring::owner(const Key& k) const {
+  D2_REQUIRE(!empty());
+  auto it = by_id_.lower_bound(k);  // smallest id >= k
+  if (it == by_id_.end()) it = by_id_.begin();
+  return it->second;
+}
+
+std::vector<int> Ring::replica_set(const Key& k, int r) const {
+  D2_REQUIRE(!empty());
+  D2_REQUIRE(r > 0);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(r));
+  auto it = by_id_.lower_bound(k);
+  if (it == by_id_.end()) it = by_id_.begin();
+  const std::size_t n = by_id_.size();
+  for (std::size_t i = 0; i < std::min<std::size_t>(static_cast<std::size_t>(r), n);
+       ++i) {
+    out.push_back(it->second);
+    ++it;
+    if (it == by_id_.end()) it = by_id_.begin();
+  }
+  return out;
+}
+
+std::map<Key, int>::const_iterator Ring::iter_of(int node) const {
+  auto idit = ids_.find(node);
+  D2_REQUIRE_MSG(idit != ids_.end(), "node not on ring");
+  auto it = by_id_.find(idit->second);
+  D2_ASSERT(it != by_id_.end());
+  return it;
+}
+
+int Ring::successor(int node) const {
+  auto it = iter_of(node);
+  ++it;
+  if (it == by_id_.end()) it = by_id_.begin();
+  return it->second;
+}
+
+int Ring::predecessor(int node) const {
+  auto it = iter_of(node);
+  if (it == by_id_.begin()) it = by_id_.end();
+  --it;
+  return it->second;
+}
+
+int Ring::nth_clockwise(int node, std::size_t steps) const {
+  auto it = iter_of(node);
+  steps %= by_id_.size();
+  for (std::size_t i = 0; i < steps; ++i) {
+    ++it;
+    if (it == by_id_.end()) it = by_id_.begin();
+  }
+  return it->second;
+}
+
+std::pair<Key, Key> Ring::owned_arc(int node) const {
+  const Key& id = id_of(node);
+  const Key& pred_id = id_of(predecessor(node));
+  return {pred_id, id};
+}
+
+bool Ring::owns(int node, const Key& k) const {
+  if (by_id_.size() == 1) return contains(node);
+  auto [from, to] = owned_arc(node);
+  return Key::in_arc(k, from, to);
+}
+
+std::vector<int> Ring::nodes_in_order() const {
+  std::vector<int> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, node] : by_id_) out.push_back(node);
+  return out;
+}
+
+std::size_t Ring::rank_distance(int a, int b) const {
+  auto it = iter_of(a);
+  std::size_t steps = 0;
+  while (it->second != b) {
+    ++it;
+    if (it == by_id_.end()) it = by_id_.begin();
+    ++steps;
+    D2_ASSERT_MSG(steps <= by_id_.size(), "node b not on ring");
+  }
+  return steps;
+}
+
+}  // namespace d2::dht

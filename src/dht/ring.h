@@ -1,0 +1,72 @@
+// DHT ring geometry: node IDs on the 2^512 circle and key ownership.
+//
+// The node responsible for key k is the *successor* of k — the node with
+// the smallest ID >= k, wrapping around (paper §1: "the node whose ID is
+// the immediate successor of its key"). A block is replicated on the r
+// immediate successors of its key (§3, D2-Store). Load balancing moves
+// node IDs (leave + rejoin), which this class supports directly.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/key.h"
+
+namespace d2::dht {
+
+class Ring {
+ public:
+  /// Adds a node with the given ID. IDs must be unique; the node index
+  /// must not already be present.
+  void add(int node, const Key& id);
+
+  /// Removes a node from the ring.
+  void remove(int node);
+
+  /// Atomically moves a node to a new ID (leave + rejoin).
+  void move(int node, const Key& new_id);
+
+  bool contains(int node) const { return ids_.count(node) > 0; }
+  bool id_taken(const Key& id) const { return by_id_.count(id) > 0; }
+
+  std::size_t size() const { return by_id_.size(); }
+  bool empty() const { return by_id_.empty(); }
+
+  const Key& id_of(int node) const;
+
+  /// The node responsible for `k` (successor of k). Requires non-empty.
+  int owner(const Key& k) const;
+
+  /// The r nodes succeeding `k` in clockwise order starting at the owner.
+  /// Returns fewer than r if the ring is smaller than r.
+  std::vector<int> replica_set(const Key& k, int r) const;
+
+  /// Ring neighbours of a node.
+  int successor(int node) const;
+  int predecessor(int node) const;
+
+  /// The node `steps` positions clockwise of `node` (0 = itself).
+  int nth_clockwise(int node, std::size_t steps) const;
+
+  /// The half-open key arc (pred_id, id] owned by `node`. With a single
+  /// node the arc is the whole ring.
+  std::pair<Key, Key> owned_arc(int node) const;
+
+  /// True iff `node` is responsible for key `k` as primary.
+  bool owns(int node, const Key& k) const;
+
+  /// All nodes in clockwise ID order.
+  std::vector<int> nodes_in_order() const;
+
+  /// Clockwise rank distance from node a to node b (0 if a == b).
+  std::size_t rank_distance(int a, int b) const;
+
+ private:
+  std::map<Key, int> by_id_;
+  std::unordered_map<int, Key> ids_;
+
+  std::map<Key, int>::const_iterator iter_of(int node) const;
+};
+
+}  // namespace d2::dht

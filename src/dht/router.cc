@@ -1,0 +1,86 @@
+#include "dht/router.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace d2::dht {
+
+Router::Router(const Ring& ring, Rng& rng, int links_per_node)
+    : ring_(ring), links_per_node_(links_per_node) {
+  build_tables(rng);
+}
+
+void Router::rebuild(Rng& rng) { build_tables(rng); }
+
+void Router::build_tables(Rng& rng) {
+  links_.clear();
+  const std::size_t n = ring_.size();
+  D2_REQUIRE(n > 0);
+  int k = links_per_node_;
+  if (k <= 0) {
+    k = std::max(1, static_cast<int>(std::ceil(std::log2(static_cast<double>(
+                        std::max<std::size_t>(2, n))))));
+  }
+  const double log_n = std::log(static_cast<double>(std::max<std::size_t>(2, n)));
+  for (int node : ring_.nodes_in_order()) {
+    std::vector<int> links;
+    links.push_back(ring_.successor(node));  // always keep the successor
+    for (int i = 0; i < k; ++i) {
+      // Harmonic rank offset in [1, n-1]: d = floor(e^{u * ln n}).
+      const double u = rng.next_double();
+      auto d = static_cast<std::size_t>(std::floor(std::exp(u * log_n)));
+      d = std::max<std::size_t>(1, std::min(d, n - 1));
+      links.push_back(ring_.nth_clockwise(node, d));
+    }
+    links_.emplace(node, std::move(links));
+  }
+}
+
+const std::vector<int>& Router::links_of(int node) const {
+  auto it = links_.find(node);
+  D2_REQUIRE_MSG(it != links_.end(), "node has no routing table");
+  return it->second;
+}
+
+Router::LookupResult Router::lookup(int src, const Key& k) const {
+  D2_REQUIRE(ring_.contains(src));
+  LookupResult res;
+  res.path.push_back(src);
+  int current = src;
+  // Greedy clockwise: forward to the link making the most clockwise
+  // progress without passing the key's owner arc. If no link strictly
+  // progresses, the successor is the owner.
+  const std::size_t n = ring_.size();
+  std::size_t safety = 0;
+  while (!ring_.owns(current, k)) {
+    const Key& cur_id = ring_.id_of(current);
+    int best = -1;
+    Key best_dist = Key::max();
+    bool have_best = false;
+    for (int link : links_of(current)) {
+      const Key& lid = ring_.id_of(link);
+      // Candidate must lie in the clockwise arc (cur_id, k): it must make
+      // progress but not pass the key (a node with id in [k, ...) would be
+      // the owner side; landing exactly on the owner is also fine).
+      if (!Key::in_arc(lid, cur_id, k)) continue;
+      const Key remaining = Key::distance(lid, k);
+      if (!have_best || remaining < best_dist) {
+        best = link;
+        best_dist = remaining;
+        have_best = true;
+      }
+    }
+    if (!have_best) best = ring_.successor(current);
+    current = best;
+    res.path.push_back(current);
+    ++res.hops;
+    ++safety;
+    D2_ASSERT_MSG(safety <= 2 * n + 4, "routing loop");
+  }
+  res.owner = current;
+  res.messages = res.hops == 0 ? 0 : res.hops + 1;  // + result return
+  return res;
+}
+
+}  // namespace d2::dht

@@ -1,0 +1,57 @@
+// Small-world DHT routing with measured hop counts.
+//
+// D2 uses the Mercury DHT, which keeps O(log n)-hop routes under an
+// arbitrary (non-uniform) key distribution by sampling long links by node
+// *rank* rather than key distance (§6). We implement that directly: each
+// node keeps its successor plus k = ceil(log2 n) long links whose rank
+// offsets are drawn from the harmonic distribution (Symphony/Mercury
+// style), and lookups route greedily clockwise. Hop counts in experiments
+// are measured from this structure, not assumed.
+//
+// Routing is recursive (as in Mercury, §7): each hop is one message, plus
+// one message to return the result to the requester.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/key.h"
+#include "common/rng.h"
+#include "dht/ring.h"
+
+namespace d2::dht {
+
+class Router {
+ public:
+  /// Builds routing tables for the current ring membership.
+  /// `links_per_node` <= 0 means use ceil(log2(n)).
+  Router(const Ring& ring, Rng& rng, int links_per_node = 0);
+
+  /// Re-samples all routing tables (e.g., after load balancing moved IDs).
+  void rebuild(Rng& rng);
+
+  struct LookupResult {
+    int owner = -1;   // node responsible for the key
+    int hops = 0;     // forwarding hops taken (0 if src is the owner)
+    int messages = 0; // hops + 1 reply message (0 if src is the owner)
+    std::vector<int> path;  // nodes visited, starting with src
+  };
+
+  /// Routes a lookup for `k` starting at `src`.
+  LookupResult lookup(int src, const Key& k) const;
+
+  /// Links of one node (for tests): clockwise neighbours by node index.
+  const std::vector<int>& links_of(int node) const;
+
+  int links_per_node() const { return links_per_node_; }
+
+ private:
+  void build_tables(Rng& rng);
+
+  const Ring& ring_;
+  int links_per_node_;
+  std::unordered_map<int, std::vector<int>> links_;
+};
+
+}  // namespace d2::dht

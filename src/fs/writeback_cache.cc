@@ -1,0 +1,86 @@
+#include "fs/writeback_cache.h"
+
+#include "common/assert.h"
+
+namespace d2::fs {
+
+WritebackCache::WritebackCache(SimTime ttl) : ttl_(ttl) { D2_REQUIRE(ttl > 0); }
+
+void WritebackCache::stage_put(const Key& key, Bytes size, SimTime now,
+                               std::optional<Key> remove_on_flush) {
+  D2_REQUIRE_MSG(dirty_.count(key) == 0, "put already staged; use touch_put");
+  dirty_.emplace(key, Pending{size, now, remove_on_flush});
+  heap_.push(HeapEntry{now + ttl_, key, true});
+}
+
+void WritebackCache::touch_put(const Key& key, Bytes size, SimTime now) {
+  auto it = dirty_.find(key);
+  D2_REQUIRE_MSG(it != dirty_.end(), "touch_put without staged put");
+  it->second.size = size;
+  it->second.since = now;
+  heap_.push(HeapEntry{now + ttl_, key, true});
+}
+
+std::optional<Key> WritebackCache::cancel_put(const Key& key) {
+  auto it = dirty_.find(key);
+  D2_REQUIRE_MSG(it != dirty_.end(), "cancel_put without staged put");
+  std::optional<Key> remove_old = it->second.remove_on_flush;
+  dirty_.erase(it);  // heap entry removed lazily
+  return remove_old;
+}
+
+bool WritebackCache::is_fresh(const Key& key, SimTime now) const {
+  if (dirty_.count(key) > 0) return true;  // dirty data is in memory
+  auto it = clean_.find(key);
+  return it != clean_.end() && now - it->second < ttl_;
+}
+
+void WritebackCache::mark_clean(const Key& key, SimTime now) {
+  clean_[key] = now;
+  heap_.push(HeapEntry{now + ttl_, key, false});
+}
+
+void WritebackCache::flush_entry(const Key& key, const Pending& p,
+                                 std::vector<StoreOp>& out) {
+  out.push_back(StoreOp{StoreOp::Kind::kPut, key, p.size});
+  if (p.remove_on_flush) {
+    out.push_back(StoreOp{StoreOp::Kind::kRemove, *p.remove_on_flush, 0});
+  }
+}
+
+void WritebackCache::collect_expired(SimTime now, std::vector<StoreOp>& out) {
+  while (!heap_.empty() && heap_.top().expires <= now) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    if (top.dirty_heap) {
+      auto it = dirty_.find(top.key);
+      if (it == dirty_.end()) continue;  // cancelled or already flushed
+      const SimTime real_expiry = it->second.since + ttl_;
+      if (real_expiry > now) continue;  // touched since; a newer heap entry exists
+      flush_entry(top.key, it->second, out);
+      // Flushed blocks stay readable from the moment they actually
+      // committed (staged time + TTL), not from this (possibly much
+      // later) lazy collection point.
+      const SimTime committed_at = real_expiry;
+      clean_[top.key] = committed_at;
+      heap_.push(HeapEntry{committed_at + ttl_, top.key, false});
+      dirty_.erase(it);
+    } else {
+      auto it = clean_.find(top.key);
+      if (it == clean_.end()) continue;
+      if (it->second + ttl_ > now) continue;  // refreshed since
+      clean_.erase(it);
+    }
+  }
+}
+
+void WritebackCache::flush_all(SimTime now, std::vector<StoreOp>& out) {
+  for (const auto& [key, pending] : dirty_) {
+    flush_entry(key, pending, out);
+    clean_[key] = now;
+    heap_.push(HeapEntry{now + ttl_, key, false});
+  }
+  dirty_.clear();
+}
+
+}  // namespace d2::fs

@@ -1,0 +1,100 @@
+// 30-second write-back / buffer cache (paper §3, D2-FS).
+//
+// Writes are buffered for 30 seconds before being pushed to the DHT, so
+// temporary files that are created and deleted quickly never touch the
+// store, and a burst of writes to the same block (or to the metadata
+// blocks on the path to the root) coalesces into one put. The same cache
+// doubles as a read buffer: a block fetched within the window is not
+// fetched again. Users may therefore see data up to 30 s stale, but never
+// partial writes.
+//
+// The cache tracks *pending puts* (dirty blocks, with the previous
+// version's key to remove once the new version commits) and *clean
+// entries* (recently-read blocks). Expiry uses a lazy min-heap so
+// operations stay O(log n).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/key.h"
+#include "common/units.h"
+
+namespace d2::fs {
+
+/// One operation the file system asks the store to perform.
+struct StoreOp {
+  enum class Kind { kPut, kGet, kRemove };
+  Kind kind;
+  Key key;
+  Bytes size = 0;
+
+  bool operator==(const StoreOp& o) const = default;
+};
+
+class WritebackCache {
+ public:
+  explicit WritebackCache(SimTime ttl = seconds(30));
+
+  /// Stages a put of `key`. `remove_on_flush` is the previous committed
+  /// version's key, removed when (and only when) the new version commits.
+  void stage_put(const Key& key, Bytes size, SimTime now,
+                 std::optional<Key> remove_on_flush);
+
+  /// True iff a put of `key` is staged (dirty, not yet flushed).
+  bool has_pending(const Key& key) const { return dirty_.count(key) > 0; }
+
+  /// Refreshes a staged put (another write to the same uncommitted
+  /// version); updates its size and resets its age.
+  void touch_put(const Key& key, Bytes size, SimTime now);
+
+  /// Cancels a staged put (the block was deleted before ever committing).
+  /// Returns the remove_on_flush key, which the *caller* must still emit
+  /// as a remove (the previous version is committed in the store).
+  std::optional<Key> cancel_put(const Key& key);
+
+  /// Buffer-cache read check: true if `key` was read or written within
+  /// the window (no store get needed).
+  bool is_fresh(const Key& key, SimTime now) const;
+
+  /// Records that `key` was just fetched (becomes fresh).
+  void mark_clean(const Key& key, SimTime now);
+
+  /// Flushes staged puts older than the TTL; appends the resulting
+  /// put/remove ops. Call with the current time before handling each FS
+  /// operation (the experiment drivers also call flush_all at trace end).
+  void collect_expired(SimTime now, std::vector<StoreOp>& out);
+
+  /// Flushes everything regardless of age.
+  void flush_all(SimTime now, std::vector<StoreOp>& out);
+
+  std::size_t pending_puts() const { return dirty_.size(); }
+
+  SimTime ttl() const { return ttl_; }
+
+ private:
+  struct Pending {
+    Bytes size;
+    SimTime since;
+    std::optional<Key> remove_on_flush;
+  };
+
+  void flush_entry(const Key& key, const Pending& p, std::vector<StoreOp>& out);
+
+  SimTime ttl_;
+  std::map<Key, Pending> dirty_;
+  std::unordered_map<Key, SimTime, KeyHash> clean_;
+
+  struct HeapEntry {
+    SimTime expires;
+    Key key;
+    bool dirty_heap;  // which structure this entry tracks
+    bool operator>(const HeapEntry& o) const { return expires > o.expires; }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+};
+
+}  // namespace d2::fs

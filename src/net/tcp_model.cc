@@ -1,0 +1,59 @@
+#include "net/tcp_model.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace d2::net {
+
+TcpModel::TcpModel(TcpConfig config) : config_(config) {
+  D2_REQUIRE(config_.mss > 0);
+  D2_REQUIRE(config_.initial_cwnd_pkts > 0);
+  D2_REQUIRE(config_.max_cwnd_pkts >= config_.initial_cwnd_pkts);
+}
+
+int TcpModel::transfer_rtts(int client, int server, SimTime now, Bytes bytes) {
+  D2_REQUIRE(bytes > 0);
+  ++transfers_;
+  const std::uint64_t key = conn_key(client, server);
+  auto [it, inserted] = conns_.try_emplace(
+      key, Conn{config_.initial_cwnd_pkts, now});
+  Conn& conn = it->second;
+  if (!inserted && now - conn.last_use > config_.rto) {
+    conn.cwnd_pkts = config_.initial_cwnd_pkts;  // idle reset
+  }
+  if (conn.cwnd_pkts == config_.initial_cwnd_pkts) ++cold_starts_;
+
+  std::int64_t packets = (bytes + config_.mss - 1) / config_.mss;
+  int rtts = 0;
+  int w = conn.cwnd_pkts;
+  while (packets > 0) {
+    packets -= w;
+    ++rtts;
+    w = std::min(w * 2, config_.max_cwnd_pkts);
+  }
+  conn.cwnd_pkts = w;
+  conn.last_use = now;
+  return rtts;
+}
+
+void TcpModel::touch(int client, int server, SimTime finish) {
+  auto it = conns_.find(conn_key(client, server));
+  if (it != conns_.end()) {
+    it->second.last_use = std::max(it->second.last_use, finish);
+  }
+}
+
+int TcpModel::current_cwnd(int client, int server, SimTime now) const {
+  auto it = conns_.find(conn_key(client, server));
+  if (it == conns_.end()) return config_.initial_cwnd_pkts;
+  if (now - it->second.last_use > config_.rto) return config_.initial_cwnd_pkts;
+  return it->second.cwnd_pkts;
+}
+
+void TcpModel::reset_counters() {
+  cold_starts_ = 0;
+  transfers_ = 0;
+}
+
+}  // namespace d2::net

@@ -1,0 +1,72 @@
+// Analytic per-flow TCP behaviour model.
+//
+// Section 9.3 of the paper attributes much of D2's parallel-case advantage
+// to TCP dynamics: a connection idle for more than one RTO collapses its
+// window and re-enters slow start, so in a traditional DHT — where
+// consecutive requests hit different nodes — "the average block download
+// will *always* require the TCP connection to enter slow start". This
+// model tracks a congestion window per (client, server) connection:
+//   - transfers clock out ceil(bytes/mss) packets, doubling the window
+//     each RTT from initial_cwnd (2 packets, as in the paper's Linux 2.4
+//     footnote: an 8 KB block needs at least 2 RTTs from a cold window);
+//   - a connection left idle longer than `rto` resets to initial_cwnd;
+//   - connections are assumed pre-established (the paper pre-opens TCP
+//     between all pairs), so there is no handshake RTT.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.h"
+
+namespace d2::net {
+
+struct TcpConfig {
+  Bytes mss = 1460;
+  int initial_cwnd_pkts = 2;
+  int max_cwnd_pkts = 64;
+  /// Idle time after which the window resets (RTO).
+  SimTime rto = seconds(1);
+};
+
+class TcpModel {
+ public:
+  explicit TcpModel(TcpConfig config = {});
+
+  /// Number of RTTs needed to clock `bytes` through the (client, server)
+  /// connection starting at `now`, growing the connection's window as a
+  /// side effect. Does NOT account for bandwidth limits; callers combine
+  /// this latency component with a BandwidthLink occupancy component.
+  int transfer_rtts(int client, int server, SimTime now, Bytes bytes);
+
+  /// Records that the flow finished at `finish` (sets idle-start).
+  void touch(int client, int server, SimTime finish);
+
+  /// Window a new transfer would see (for tests / introspection).
+  int current_cwnd(int client, int server, SimTime now) const;
+
+  /// Counts how many transfers started from a cold (slow-start) window.
+  std::uint64_t cold_starts() const { return cold_starts_; }
+  std::uint64_t transfers() const { return transfers_; }
+  void reset_counters();
+
+  const TcpConfig& config() const { return config_; }
+
+ private:
+  struct Conn {
+    int cwnd_pkts;
+    SimTime last_use;
+  };
+
+  static std::uint64_t conn_key(int client, int server) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(client)) << 32) |
+           static_cast<std::uint32_t>(server);
+  }
+
+  TcpConfig config_;
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace d2::net

@@ -1,0 +1,30 @@
+#include "sim/bandwidth.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace d2::sim {
+
+BandwidthLink::BandwidthLink(BitRate rate) : rate_(rate) {
+  D2_REQUIRE(rate > 0);
+}
+
+SimTime BandwidthLink::enqueue(SimTime now, Bytes bytes) {
+  D2_REQUIRE(bytes >= 0);
+  const SimTime start = std::max(now, busy_until_);
+  busy_until_ = start + transmission_time(bytes, rate_);
+  total_bytes_ += bytes;
+  return busy_until_;
+}
+
+SimTime BandwidthLink::peek_completion(SimTime now, Bytes bytes) const {
+  const SimTime start = std::max(now, busy_until_);
+  return start + transmission_time(bytes, rate_);
+}
+
+SimTime BandwidthLink::backlog(SimTime now) const {
+  return std::max<SimTime>(0, busy_until_ - now);
+}
+
+}  // namespace d2::sim

@@ -1,0 +1,43 @@
+// Bandwidth-limited FIFO link model.
+//
+// The availability/load-balance simulator models a 750 kbps per-node cap on
+// load-balancing (migration) traffic and 1500 kbps per-user write rate
+// (paper §8.1). A BandwidthLink serializes transfers: a new transfer starts
+// when the link drains, so completion time is max(now, busy_until) +
+// bytes/rate. Byte counters feed the Table 4 overhead accounting.
+#pragma once
+
+#include "common/units.h"
+
+namespace d2::sim {
+
+class BandwidthLink {
+ public:
+  explicit BandwidthLink(BitRate rate);
+
+  /// Enqueues a transfer of `bytes` starting no earlier than `now`;
+  /// returns its completion time.
+  SimTime enqueue(SimTime now, Bytes bytes);
+
+  /// Completion time if a transfer of `bytes` were enqueued at `now`
+  /// (no state change).
+  SimTime peek_completion(SimTime now, Bytes bytes) const;
+
+  /// Time at which the link becomes idle.
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Queueing delay a new transfer would currently experience.
+  SimTime backlog(SimTime now) const;
+
+  Bytes total_bytes() const { return total_bytes_; }
+  BitRate rate() const { return rate_; }
+
+  void reset_counters() { total_bytes_ = 0; }
+
+ private:
+  BitRate rate_;
+  SimTime busy_until_ = 0;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace d2::sim

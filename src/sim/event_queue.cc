@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include "common/assert.h"
+
+namespace d2::sim {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);  // heap entry removed lazily
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  D2_REQUIRE(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Event EventQueue::pop() {
+  drop_cancelled();
+  D2_REQUIRE(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  D2_ASSERT(it != callbacks_.end());
+  Event ev{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  return ev;
+}
+
+std::size_t EventQueue::pending() const { return callbacks_.size(); }
+
+}  // namespace d2::sim

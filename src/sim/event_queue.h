@@ -1,0 +1,61 @@
+// Priority queue of timestamped events with stable FIFO ordering for ties
+// and O(log n) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace d2::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at time `t`. Events at equal times fire in insertion
+  /// order. Returns an id usable with cancel().
+  EventId push(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op (returns false).
+  bool cancel(EventId id);
+
+  bool empty() const;
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest event. Requires !empty().
+  struct Event {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Event pop();
+
+  std::size_t pending() const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // insertion order for ties
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace d2::sim

@@ -1,0 +1,227 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/assert.h"
+
+namespace d2::sim {
+
+namespace {
+SimTime hours_to_sim(double h) {
+  return static_cast<SimTime>(h * 3600.0 * 1e6);
+}
+
+// Merge overlapping [start, end) intervals in place.
+void merge_intervals(std::vector<std::pair<SimTime, SimTime>>& iv) {
+  if (iv.empty()) return;
+  std::sort(iv.begin(), iv.end());
+  std::vector<std::pair<SimTime, SimTime>> out;
+  out.push_back(iv[0]);
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first <= out.back().second) {
+      out.back().second = std::max(out.back().second, iv[i].second);
+    } else {
+      out.push_back(iv[i]);
+    }
+  }
+  iv = std::move(out);
+}
+}  // namespace
+
+FailureTrace FailureTrace::generate(const FailureParams& params, Rng& rng) {
+  D2_REQUIRE(params.node_count > 0);
+  D2_REQUIRE(params.duration > 0);
+  FailureTrace trace;
+  trace.node_count_ = params.node_count;
+  trace.duration_ = params.duration;
+  trace.down_.resize(static_cast<std::size_t>(params.node_count));
+
+  // Independent per-node exponential up/down alternation.
+  for (int n = 0; n < params.node_count; ++n) {
+    SimTime t = 0;
+    // Random phase: start somewhere inside an up period.
+    t += static_cast<SimTime>(rng.exponential(params.mttf_hours) * 3600e6 *
+                              rng.next_double());
+    while (t < params.duration) {
+      const SimTime up = hours_to_sim(rng.exponential(params.mttf_hours));
+      t += up;
+      if (t >= params.duration) break;
+      const SimTime down = hours_to_sim(rng.exponential(params.mttr_hours));
+      trace.down_[static_cast<std::size_t>(n)].emplace_back(
+          t, std::min(t + down, params.duration));
+      t += down;
+    }
+  }
+
+  // Correlated mass-failure events (Poisson arrivals).
+  const double events_per_us = params.correlated_events_per_day / (24.0 * 3600e6);
+  if (events_per_us > 0) {
+    SimTime t = static_cast<SimTime>(rng.exponential(1.0 / events_per_us));
+    while (t < params.duration) {
+      const SimTime outage =
+          hours_to_sim(rng.exponential(params.correlated_outage_hours));
+      for (int n = 0; n < params.node_count; ++n) {
+        if (rng.bernoulli(params.correlated_fraction)) {
+          trace.down_[static_cast<std::size_t>(n)].emplace_back(
+              t, std::min(t + outage, params.duration));
+        }
+      }
+      t += static_cast<SimTime>(rng.exponential(1.0 / events_per_us));
+    }
+  }
+
+  trace.finalize();
+  return trace;
+}
+
+FailureTrace FailureTrace::all_up(int node_count, SimTime duration) {
+  D2_REQUIRE(node_count > 0);
+  FailureTrace trace;
+  trace.node_count_ = node_count;
+  trace.duration_ = duration;
+  trace.down_.resize(static_cast<std::size_t>(node_count));
+  return trace;
+}
+
+FailureTrace FailureTrace::from_intervals(
+    int node_count, SimTime duration, const std::vector<DownInterval>& downs) {
+  FailureTrace trace = all_up(node_count, duration);
+  for (const DownInterval& d : downs) {
+    D2_REQUIRE(d.node >= 0 && d.node < node_count);
+    D2_REQUIRE(d.start < d.end);
+    trace.down_[static_cast<std::size_t>(d.node)].emplace_back(
+        d.start, std::min(d.end, duration));
+  }
+  trace.finalize();
+  return trace;
+}
+
+FailureTrace FailureTrace::read(std::istream& is) {
+  std::string line;
+  int node_count = 0;
+  SimTime duration = 0;
+  bool have_header = false;
+  std::vector<DownInterval> downs;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') {
+      std::istringstream hs(line.substr(first + 1));
+      std::string tag, version;
+      if (hs >> tag >> version >> node_count >> duration &&
+          tag == "d2-failures") {
+        have_header = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    DownInterval d{};
+    D2_REQUIRE_MSG(static_cast<bool>(ls >> d.node >> d.start >> d.end),
+                   "malformed failure line " + std::to_string(line_no));
+    downs.push_back(d);
+  }
+  D2_REQUIRE_MSG(have_header, "missing '# d2-failures v1 <nodes> <duration>'");
+  return from_intervals(node_count, duration, downs);
+}
+
+void FailureTrace::write(std::ostream& os) const {
+  os << "# d2-failures v1 " << node_count_ << ' ' << duration_ << '\n';
+  for (int n = 0; n < node_count_; ++n) {
+    for (const auto& [start, end] : down_[static_cast<std::size_t>(n)]) {
+      os << n << ' ' << start << ' ' << end << '\n';
+    }
+  }
+}
+
+void FailureTrace::finalize() {
+  transitions_.clear();
+  for (int n = 0; n < node_count_; ++n) {
+    auto& iv = down_[static_cast<std::size_t>(n)];
+    merge_intervals(iv);
+    for (const auto& [start, end] : iv) {
+      transitions_.push_back(Transition{start, n, false});
+      // Nodes still down when the trace ends come back at the boundary,
+      // so consumers see a well-defined all-up state after the trace.
+      transitions_.push_back(Transition{std::min(end, duration_), n, true});
+    }
+  }
+  std::sort(transitions_.begin(), transitions_.end(),
+            [](const Transition& a, const Transition& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.node < b.node;
+            });
+}
+
+bool FailureTrace::is_up(int node, SimTime t) const {
+  D2_REQUIRE(node >= 0 && node < node_count_);
+  const auto& iv = down_[static_cast<std::size_t>(node)];
+  // First interval with start > t; the preceding one may cover t.
+  auto it = std::upper_bound(
+      iv.begin(), iv.end(), t,
+      [](SimTime v, const std::pair<SimTime, SimTime>& p) { return v < p.first; });
+  if (it == iv.begin()) return true;
+  --it;
+  return t >= it->second;
+}
+
+const std::vector<std::pair<SimTime, SimTime>>& FailureTrace::down_intervals(
+    int node) const {
+  D2_REQUIRE(node >= 0 && node < node_count_);
+  return down_[static_cast<std::size_t>(node)];
+}
+
+double FailureTrace::fraction_up(SimTime t) const {
+  int up = 0;
+  for (int n = 0; n < node_count_; ++n) {
+    if (is_up(n, t)) ++up;
+  }
+  return static_cast<double>(up) / static_cast<double>(node_count_);
+}
+
+double FailureTrace::group_failure_probability(int group_size, int samples,
+                                               Rng& rng) const {
+  D2_REQUIRE(group_size > 0 && group_size <= node_count_);
+  D2_REQUIRE(samples > 0);
+  int failures = 0;
+  for (int s = 0; s < samples; ++s) {
+    // Sample group_size distinct nodes.
+    std::vector<int> group;
+    while (static_cast<int>(group.size()) < group_size) {
+      int n = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(node_count_)));
+      if (std::find(group.begin(), group.end(), n) == group.end()) {
+        group.push_back(n);
+      }
+    }
+    // The group is "ever all down" iff at the start of some member's down
+    // interval, all other members are also down.
+    bool all_down_ever = false;
+    for (int member : group) {
+      for (const auto& [start, end] : down_intervals(member)) {
+        (void)end;
+        bool all_down = true;
+        for (int other : group) {
+          if (other == member) continue;
+          if (is_up(other, start)) {
+            all_down = false;
+            break;
+          }
+        }
+        if (all_down) {
+          all_down_ever = true;
+          break;
+        }
+      }
+      if (all_down_ever) break;
+    }
+    if (all_down_ever) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(samples);
+}
+
+}  // namespace d2::sim

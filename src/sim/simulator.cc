@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include "common/assert.h"
+
+namespace d2::sim {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  D2_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  D2_REQUIRE(delay >= 0);
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  D2_REQUIRE(t >= now_);
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Event ev = queue_.pop();
+  D2_ASSERT(ev.time >= now_);
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace d2::sim

@@ -1,0 +1,46 @@
+// Discrete-event simulator: virtual clock plus event scheduling.
+//
+// All d2 experiments (availability §8, performance §9, load balance §10)
+// run inside one Simulator. Nothing in the library reads wall-clock time;
+// the clock only advances by draining scheduled events.
+#pragma once
+
+#include <functional>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace d2::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= now).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` microseconds from now (delay >= 0).
+  EventId schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs all events with time <= t, then sets now to t.
+  void run_until(SimTime t);
+
+  /// Runs a single event if one is pending; returns false if queue empty.
+  bool step();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t events_pending() const { return queue_.pending(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace d2::sim

@@ -1,0 +1,262 @@
+#include "store/block_map.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace d2::store {
+
+bool BlockState::any_data() const {
+  for (const Replica& r : replicas) {
+    if (r.has_data) return true;
+  }
+  return !stale_holders.empty();
+}
+
+bool BlockState::node_has_data(int node) const {
+  for (const Replica& r : replicas) {
+    if (r.node == node) return r.has_data;
+  }
+  return std::find(stale_holders.begin(), stale_holders.end(), node) !=
+         stale_holders.end();
+}
+
+bool BlockState::is_replica(int node) const {
+  for (const Replica& r : replicas) {
+    if (r.node == node) return true;
+  }
+  return false;
+}
+
+BlockMap::BlockMap(int node_count)
+    : node_count_(node_count),
+      primary_count_(static_cast<std::size_t>(node_count), 0),
+      primary_bytes_(static_cast<std::size_t>(node_count), 0),
+      physical_bytes_(static_cast<std::size_t>(node_count), 0) {
+  D2_REQUIRE(node_count > 0);
+}
+
+void BlockMap::account_add_data(int node, Bytes size) {
+  physical_bytes_[static_cast<std::size_t>(node)] += size;
+}
+
+void BlockMap::account_remove_data(int node, Bytes size) {
+  physical_bytes_[static_cast<std::size_t>(node)] -= size;
+  D2_ASSERT(physical_bytes_[static_cast<std::size_t>(node)] >= 0);
+}
+
+void BlockMap::account_add_primary(int node, Bytes size) {
+  primary_count_[static_cast<std::size_t>(node)] += 1;
+  primary_bytes_[static_cast<std::size_t>(node)] += size;
+}
+
+void BlockMap::account_remove_primary(int node, Bytes size) {
+  primary_count_[static_cast<std::size_t>(node)] -= 1;
+  primary_bytes_[static_cast<std::size_t>(node)] -= size;
+  D2_ASSERT(primary_count_[static_cast<std::size_t>(node)] >= 0);
+}
+
+void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
+                      Bytes member_bytes) {
+  D2_REQUIRE(!nodes.empty());
+  D2_REQUIRE_MSG(blocks_.count(k) == 0, "duplicate block key");
+  BlockState b;
+  b.size = size;
+  b.member_bytes = member_bytes < 0 ? size : member_bytes;
+  b.replicas.reserve(nodes.size());
+  for (int n : nodes) {
+    D2_REQUIRE(n >= 0 && n < node_count_);
+    b.replicas.push_back(Replica{n, true, 0, false});
+    account_add_data(n, b.member_bytes);
+  }
+  account_add_primary(nodes.front(), size);
+  total_bytes_ += size;
+  blocks_.emplace(k, std::move(b));
+}
+
+void BlockMap::erase(const Key& k) {
+  auto it = blocks_.find(k);
+  D2_REQUIRE_MSG(it != blocks_.end(), "erasing unknown block");
+  BlockState& b = it->second;
+  for (const Replica& r : b.replicas) {
+    if (r.has_data) account_remove_data(r.node, b.member_bytes);
+  }
+  for (int n : b.stale_holders) account_remove_data(n, b.member_bytes);
+  account_remove_primary(b.replicas.front().node, b.size);
+  total_bytes_ -= b.size;
+  blocks_.erase(it);
+}
+
+const BlockState* BlockMap::find(const Key& k) const {
+  auto it = blocks_.find(k);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+BlockState* BlockMap::find_mutable(const Key& k) {
+  auto it = blocks_.find(k);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::int64_t BlockMap::primary_count(int node) const {
+  D2_REQUIRE(node >= 0 && node < node_count_);
+  return primary_count_[static_cast<std::size_t>(node)];
+}
+
+Bytes BlockMap::primary_bytes(int node) const {
+  D2_REQUIRE(node >= 0 && node < node_count_);
+  return primary_bytes_[static_cast<std::size_t>(node)];
+}
+
+Bytes BlockMap::physical_bytes(int node) const {
+  D2_REQUIRE(node >= 0 && node < node_count_);
+  return physical_bytes_[static_cast<std::size_t>(node)];
+}
+
+std::optional<Key> BlockMap::median_primary_key(const Key& from,
+                                                const Key& to) const {
+  std::vector<Key> keys = keys_in_arc(from, to);
+  if (keys.size() < 2) return std::nullopt;
+  // The light node's new ID is the key of the last block in the first
+  // half, so it takes ceil(half) blocks: keys (from, new_id].
+  const Key mid = keys[keys.size() / 2 - 1];
+  if (mid == to) return std::nullopt;  // would collide with the heavy node
+  return mid;
+}
+
+void BlockMap::for_each_in_arc(
+    const Key& from, const Key& to,
+    const std::function<void(const Key&, BlockState&)>& fn) {
+  if (blocks_.empty()) return;
+  if (from == to) {  // whole ring
+    for (auto& [k, b] : blocks_) fn(k, b);
+    return;
+  }
+  if (from < to) {
+    for (auto it = blocks_.upper_bound(from); it != blocks_.end() && it->first <= to;
+         ++it) {
+      fn(it->first, it->second);
+    }
+    return;
+  }
+  // Wrapped arc: (from, MAX] then [MIN, to].
+  for (auto it = blocks_.upper_bound(from); it != blocks_.end(); ++it) {
+    fn(it->first, it->second);
+  }
+  for (auto it = blocks_.begin(); it != blocks_.end() && it->first <= to; ++it) {
+    fn(it->first, it->second);
+  }
+}
+
+std::vector<Key> BlockMap::keys_in_arc(const Key& from, const Key& to) const {
+  std::vector<Key> out;
+  const_cast<BlockMap*>(this)->for_each_in_arc(
+      from, to, [&out](const Key& k, BlockState&) { out.push_back(k); });
+  return out;
+}
+
+void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
+                                 SimTime now) {
+  D2_REQUIRE(!nodes.empty());
+  auto it = blocks_.find(k);
+  D2_REQUIRE_MSG(it != blocks_.end(), "reassigning unknown block");
+  BlockState& b = it->second;
+
+  const int old_primary = b.replicas.front().node;
+  const int new_primary = nodes.front();
+
+  // Does any *new* member lack data? Old data copies may then be needed
+  // as fetch sources.
+  auto old_state = [&b](int node) -> const Replica* {
+    for (const Replica& r : b.replicas) {
+      if (r.node == node) return &r;
+    }
+    return nullptr;
+  };
+  bool new_set_missing_data = false;
+  for (int n : nodes) {
+    const Replica* r = old_state(n);
+    if (r == nullptr || !r->has_data) {
+      new_set_missing_data = true;
+      break;
+    }
+  }
+
+  std::vector<Replica> new_replicas;
+  new_replicas.reserve(nodes.size());
+  for (int n : nodes) {
+    if (const Replica* r = old_state(n)) {
+      new_replicas.push_back(*r);
+    } else if (std::find(b.stale_holders.begin(), b.stale_holders.end(), n) !=
+               b.stale_holders.end()) {
+      // Rejoining node already physically holds the block.
+      b.stale_holders.erase(
+          std::find(b.stale_holders.begin(), b.stale_holders.end(), n));
+      new_replicas.push_back(Replica{n, true, now, false});
+    } else {
+      new_replicas.push_back(Replica{n, false, now, false});
+    }
+  }
+
+  // Departing members: keep data as stale holder only while needed.
+  for (const Replica& r : b.replicas) {
+    if (std::find(nodes.begin(), nodes.end(), r.node) != nodes.end()) continue;
+    if (!r.has_data) continue;
+    if (new_set_missing_data) {
+      b.stale_holders.push_back(r.node);  // physical bytes stay accounted
+    } else {
+      account_remove_data(r.node, b.member_bytes);
+    }
+  }
+
+  b.replicas = std::move(new_replicas);
+
+  if (old_primary != new_primary) {
+    account_remove_primary(old_primary, b.size);
+    account_add_primary(new_primary, b.size);
+  }
+  prune_stale(k, b);
+}
+
+void BlockMap::mark_data(const Key& k, int node) {
+  auto it = blocks_.find(k);
+  D2_REQUIRE_MSG(it != blocks_.end(), "mark_data on unknown block");
+  BlockState& b = it->second;
+  for (Replica& r : b.replicas) {
+    if (r.node == node) {
+      D2_REQUIRE_MSG(!r.has_data, "replica already has data");
+      r.has_data = true;
+      r.fetch_in_flight = false;
+      account_add_data(node, b.member_bytes);
+      prune_stale(k, b);
+      return;
+    }
+  }
+  D2_REQUIRE_MSG(false, "mark_data on non-replica node");
+}
+
+void BlockMap::mark_missing(const Key& k, int node) {
+  auto it = blocks_.find(k);
+  D2_REQUIRE_MSG(it != blocks_.end(), "mark_missing on unknown block");
+  BlockState& b = it->second;
+  for (Replica& r : b.replicas) {
+    if (r.node == node) {
+      D2_REQUIRE_MSG(r.has_data, "replica already missing data");
+      r.has_data = false;
+      r.fetch_in_flight = false;
+      account_remove_data(node, b.member_bytes);
+      return;
+    }
+  }
+  D2_REQUIRE_MSG(false, "mark_missing on non-replica node");
+}
+
+void BlockMap::prune_stale(const Key&, BlockState& b) {
+  if (b.stale_holders.empty()) return;
+  for (const Replica& r : b.replicas) {
+    if (!r.has_data) return;  // still needed as fetch sources
+  }
+  for (int n : b.stale_holders) account_remove_data(n, b.member_bytes);
+  b.stale_holders.clear();
+}
+
+}  // namespace d2::store

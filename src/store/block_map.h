@@ -1,0 +1,127 @@
+// Authoritative map of every block in the DHT and where its replicas live.
+//
+// D2-Store keeps each block on the r immediate successors of its key (§3).
+// BlockMap tracks, per block, the current responsible replica set and
+// which members physically hold the data versus a *block pointer* (§6):
+// after a load-balancing ID change the new owner initially holds only a
+// pointer and fetches the bytes later (pointer stabilization), which is
+// how D2 avoids moving the same block repeatedly during rebalancing.
+//
+// The map also maintains the per-node accounting the experiments need:
+// primary replica count (the load-balancing metric), primary bytes, and
+// physical bytes (for the §10 imbalance figures), all updated
+// incrementally.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/key.h"
+#include "common/units.h"
+
+namespace d2::store {
+
+/// One member of a block's responsible replica set.
+struct Replica {
+  int node = -1;
+  bool has_data = false;       // physical copy present (false => pointer)
+  SimTime pointer_since = 0;   // when this member became responsible
+  bool fetch_in_flight = false;
+};
+
+struct BlockState {
+  Bytes size = 0;
+  /// Bytes each member physically stores: == size under whole-block
+  /// replication, == ceil(size / k) under (n, k) erasure coding.
+  Bytes member_bytes = 0;
+  /// Responsible replica set, in successor order (first = primary).
+  std::vector<Replica> replicas;
+  /// Nodes that still hold a stale physical copy (sheds pending pointer
+  /// resolution elsewhere). Not responsible for the block.
+  std::vector<int> stale_holders;
+
+  bool any_data() const;
+  bool node_has_data(int node) const;
+  bool is_replica(int node) const;
+};
+
+class BlockMap {
+ public:
+  explicit BlockMap(int node_count);
+
+  int node_count() const { return node_count_; }
+
+  /// Inserts a block whose replica set is `nodes` (all holding data
+  /// immediately — a fresh write pushes bytes to all replicas).
+  /// `member_bytes` is what each member stores (defaults to `size`, i.e.
+  /// whole-block replication; erasure coding passes the fragment size).
+  void insert(const Key& k, Bytes size, const std::vector<int>& nodes,
+              Bytes member_bytes = -1);
+
+  /// Removes a block entirely.
+  void erase(const Key& k);
+
+  bool contains(const Key& k) const { return blocks_.count(k) > 0; }
+  const BlockState* find(const Key& k) const;
+  BlockState* find_mutable(const Key& k);
+
+  std::size_t block_count() const { return blocks_.size(); }
+  Bytes total_bytes() const { return total_bytes_; }
+
+  /// Per-node accounting.
+  std::int64_t primary_count(int node) const;
+  Bytes primary_bytes(int node) const;
+  Bytes physical_bytes(int node) const;
+
+  /// Key that splits `node`'s primary arc (from, to] into halves by block
+  /// count: the median block's key. nullopt if the node owns < 2 blocks.
+  std::optional<Key> median_primary_key(const Key& from, const Key& to) const;
+
+  /// Visits blocks with keys in the clockwise arc (from, to]; handles wrap.
+  /// The callback must not insert or erase blocks.
+  void for_each_in_arc(const Key& from, const Key& to,
+                       const std::function<void(const Key&, BlockState&)>& fn);
+
+  /// Keys in the arc (from, to].
+  std::vector<Key> keys_in_arc(const Key& from, const Key& to) const;
+
+  /// --- replica-state mutators (keep the accounting consistent) ---
+
+  /// Replaces the responsible set of block `k` with `nodes`. Members kept
+  /// from the old set keep their data/pointer state; new members join as
+  /// pointers (pointer_since = now). Members removed drop out: their data
+  /// copy is deleted unless it is still needed as a fetch source (some
+  /// remaining replica lacks data), in which case it becomes a stale
+  /// holder. `primary_changed` reports old/new primary for accounting.
+  void reassign_replicas(const Key& k, const std::vector<int>& nodes,
+                         SimTime now);
+
+  /// Marks the replica at `node` as holding data (pointer resolved after a
+  /// fetch). Drops stale holders that are no longer needed.
+  void mark_data(const Key& k, int node);
+
+  /// Downgrades the replica at `node` to a pointer (the write could not
+  /// reach it — e.g. the node is down). Inverse of mark_data.
+  void mark_missing(const Key& k, int node);
+
+  /// All blocks, in key order (for iteration by experiments).
+  const std::map<Key, BlockState>& blocks() const { return blocks_; }
+
+ private:
+  void account_add_data(int node, Bytes size);
+  void account_remove_data(int node, Bytes size);
+  void account_add_primary(int node, Bytes size);
+  void account_remove_primary(int node, Bytes size);
+  void prune_stale(const Key& k, BlockState& b);
+
+  int node_count_;
+  std::map<Key, BlockState> blocks_;
+  Bytes total_bytes_ = 0;
+  std::vector<std::int64_t> primary_count_;
+  std::vector<Bytes> primary_bytes_;
+  std::vector<Bytes> physical_bytes_;
+};
+
+}  // namespace d2::store

@@ -1,0 +1,68 @@
+#include "store/lookup_cache.h"
+
+#include "common/assert.h"
+
+namespace d2::store {
+
+LookupCache::LookupCache(SimTime ttl) : ttl_(ttl) { D2_REQUIRE(ttl > 0); }
+
+void LookupCache::insert(SimTime now, int node, const Key& arc_from,
+                         const Key& arc_to) {
+  if (arc_from == arc_to) {
+    // Whole ring (single-node DHT).
+    insert_piece(now, node, Key::min(), Key::max());
+    return;
+  }
+  if (arc_from < arc_to) {
+    insert_piece(now, node, arc_from.next(), arc_to);
+    return;
+  }
+  // Wrapping arc (arc_from, MAX] + [MIN, arc_to].
+  if (!(arc_from == Key::max())) {
+    insert_piece(now, node, arc_from.next(), Key::max());
+  }
+  insert_piece(now, node, Key::min(), arc_to);
+}
+
+void LookupCache::insert_piece(SimTime now, int node, const Key& start,
+                               const Key& end) {
+  D2_ASSERT(start <= end);
+  // Evict everything overlapping [start, end]: entries with end >= start
+  // and start <= end.
+  auto it = entries_.lower_bound(start);
+  while (it != entries_.end() && it->second.start <= end) {
+    it = entries_.erase(it);
+  }
+  entries_.emplace(end, Entry{node, start, end, now + ttl_});
+}
+
+std::optional<int> LookupCache::find(SimTime now, const Key& k) {
+  auto it = entries_.lower_bound(k);  // first end >= k
+  if (it == entries_.end()) return std::nullopt;
+  const Entry& e = it->second;
+  if (!(e.start <= k)) return std::nullopt;
+  if (e.expires <= now) {
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  return e.node;
+}
+
+void LookupCache::invalidate(const Key& k) {
+  auto it = entries_.lower_bound(k);
+  if (it == entries_.end()) return;
+  if (it->second.start <= k) entries_.erase(it);
+}
+
+double LookupCache::miss_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+void LookupCache::reset_stats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace d2::store

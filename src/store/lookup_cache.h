@@ -1,0 +1,72 @@
+// Client-side DHT lookup cache (paper §5).
+//
+// Every lookup result carries the responsible node's key range; the cache
+// stores (key range -> node, expiry) entries so future requests for keys
+// in a cached range skip the DHT lookup entirely. Because D2's keys are
+// locality-preserving, a user's next key usually falls in a range they
+// already cached, which is where the up-to-95% lookup-traffic reduction
+// comes from. Entries expire after a TTL (1.25 h in the paper, from the
+// PlanetLab join/leave rate); stale entries are not a correctness problem
+// because the store falls back to a normal lookup when the cached node no
+// longer owns the key.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/key.h"
+#include "common/units.h"
+
+namespace d2::store {
+
+class LookupCache {
+ public:
+  explicit LookupCache(SimTime ttl = hours(1) + minutes(15));
+
+  /// Caches "node owns the ring arc (arc_from, arc_to]" (the owned_arc of
+  /// the node in the lookup result; arc_from == arc_to means the whole
+  /// ring). Overlapping older entries are evicted — ranges change as
+  /// nodes move and the newest observation wins.
+  void insert(SimTime now, int node, const Key& arc_from, const Key& arc_to);
+
+  /// Node cached for key `k`, if a live entry covers it.
+  std::optional<int> find(SimTime now, const Key& k);
+
+  /// Removes the entry covering `k` (after a failed hit on a stale entry).
+  void invalidate(const Key& k);
+
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Hit/miss accounting is driven by the caller, which knows whether a
+  /// cached node actually served the request (a stale hit is a miss).
+  void record_hit() { ++hits_; }
+  void record_miss() { ++misses_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const;
+  void reset_stats();
+
+  SimTime ttl() const { return ttl_; }
+
+ private:
+  // Entries are closed intervals [start, end] on key order (never
+  // wrapping; a wrapping ring arc is split into two entries), keyed by
+  // `end`, so map order == key order and coverage is two comparisons.
+  struct Entry {
+    int node;
+    Key start;  // inclusive
+    Key end;    // inclusive
+    SimTime expires;
+  };
+
+  void insert_piece(SimTime now, int node, const Key& start, const Key& end);
+
+  std::map<Key, Entry> entries_;
+  SimTime ttl_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace d2::store

@@ -1,0 +1,51 @@
+#include "store/retrieval_cache.h"
+
+#include "common/assert.h"
+
+namespace d2::store {
+
+RetrievalCache::RetrievalCache(Bytes capacity) : capacity_(capacity) {
+  D2_REQUIRE(capacity >= 0);
+}
+
+bool RetrievalCache::lookup(const Key& k) {
+  auto it = map_.find(k);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  ++hits_;
+  return true;
+}
+
+void RetrievalCache::insert(const Key& k, Bytes size) {
+  D2_REQUIRE(size >= 0);
+  if (size > capacity_) return;
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    used_ += size - it->second->size;
+    it->second->size = size;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{k, size});
+    map_.emplace(k, lru_.begin());
+    used_ += size;
+  }
+  while (used_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.size;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void RetrievalCache::erase(const Key& k) {
+  auto it = map_.find(k);
+  if (it == map_.end()) return;
+  used_ -= it->second->size;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace d2::store

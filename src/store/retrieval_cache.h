@@ -1,0 +1,58 @@
+// Per-node retrieval (read) cache.
+//
+// D2 balances *storage* load with Mercury; *request* load — some files
+// being read far more than others — is handled the way traditional DHTs
+// do it (paper §6, citing PAST): nodes keep an LRU cache of recently
+// retrieved blocks, so repeated reads of a hot block are absorbed near
+// the readers instead of hammering the block's replica group.
+//
+// This is a byte-capacity LRU keyed by block key. Entries are copies of
+// immutable blocks, so invalidation is only needed for removal (version
+// keys change on every write).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/key.h"
+#include "common/units.h"
+
+namespace d2::store {
+
+class RetrievalCache {
+ public:
+  explicit RetrievalCache(Bytes capacity);
+
+  /// True (and refreshes LRU position) if `k` is cached.
+  bool lookup(const Key& k);
+
+  /// Inserts a block copy, evicting LRU entries to fit. Blocks larger
+  /// than the capacity are not cached.
+  void insert(const Key& k, Bytes size);
+
+  /// Drops a block (e.g., it was removed from the system).
+  void erase(const Key& k);
+
+  Bytes used() const { return used_; }
+  Bytes capacity() const { return capacity_; }
+  std::size_t entries() const { return map_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    Key key;
+    Bytes size;
+  };
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace d2::store

@@ -1,0 +1,88 @@
+// Synthetic Harvard-like NFS workload (research + email), the substitute
+// for the paper's main evaluation trace (Table 1: 60M accesses, 83 GB
+// active data, 1 week; EECS workload from Ellard et al., FAST'03).
+//
+// What the D2 results actually depend on — and what this generator
+// reproduces by construction:
+//   * name-space locality: users work in sessions concentrated on a few
+//     working directories of their home subtree (plus a small shared
+//     volume), so consecutive accesses hit neighbouring paths;
+//   * task structure: accesses arrive in sub-second bursts separated by
+//     think times, giving the inter-arrival segmentation of §8 and the
+//     access groups of §9 realistic shapes;
+//   * heavy-tailed file sizes (lognormal; the paper notes a > 4
+//     orders-of-magnitude max/mean spread, which drives the
+//     traditional-file DHT's poor balance in Fig 16);
+//   * daily churn calibrated to Table 3 row 1: writes and removes each
+//     ~10-20% of resident data per day;
+//   * single-writer volumes: each user writes only their own home
+//     subtree (paper §3 usage assumptions), everyone can read "shared".
+//
+// Scale defaults are laptop-sized; raise target_active_bytes /
+// accesses_per_user_day to approach paper scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/workload.h"
+
+namespace d2::trace {
+
+struct HarvardParams {
+  int users = 83;
+  int days = 7;
+  /// Total initial (resident) data across all users + shared.
+  Bytes target_active_bytes = mB(512);
+  /// Mean file-access records per user per active day.
+  double accesses_per_user_day = 600;
+  /// Daily churn as a fraction of a user's resident data (Table 3).
+  double daily_create_fraction = 0.08;
+  double daily_overwrite_fraction = 0.07;
+  double daily_remove_fraction = 0.08;
+  /// Fraction of data (and of read traffic) in the shared volume.
+  double shared_fraction = 0.05;
+  /// Fraction of operations that are renames (paper: 0.05%).
+  double rename_fraction = 0.0005;
+  /// Lognormal file sizes: sigma controls the tail.
+  double file_size_sigma = 2.0;
+  Bytes mean_file_size = kB(40);
+  Bytes max_file_size = mB(64);
+  std::uint64_t seed = 42;
+};
+
+class HarvardGenerator {
+ public:
+  explicit HarvardGenerator(const HarvardParams& params);
+
+  const std::vector<FileSpec>& initial_files() const { return initial_files_; }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  const HarvardParams& params() const { return params_; }
+
+  WorkloadSummary summary() const { return summarize(records_, initial_files_); }
+
+  static std::string user_home(int user);
+
+ private:
+  struct GenFile {
+    std::string path;
+    Bytes size;
+    int dir_index;
+    bool alive = true;
+    bool shared = false;
+  };
+  struct UserState;
+
+  void build_shared_volume(Rng& rng);
+  void build_user_tree(UserState& u, Rng& rng);
+  void generate_user_activity(UserState& u, Rng& rng);
+  Bytes sample_file_size(Rng& rng) const;
+
+  HarvardParams params_;
+  std::vector<FileSpec> initial_files_;
+  std::vector<TraceRecord> records_;
+  std::vector<GenFile> shared_files_;
+};
+
+}  // namespace d2::trace

@@ -1,0 +1,84 @@
+#include "trace/hp_gen.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace d2::trace {
+
+std::string HpGenerator::block_name(std::int64_t block_number) {
+  std::string digits = std::to_string(block_number);
+  std::string out = "b";
+  for (std::size_t i = digits.size(); i < 12; ++i) out.push_back('0');
+  out += digits;
+  return out;
+}
+
+HpGenerator::HpGenerator(const HpParams& params) : params_(params) {
+  D2_REQUIRE(params.apps > 0 && params.days > 0 && params.disk_blocks > 0);
+  Rng rng(params.seed);
+
+  struct Extent {
+    std::int64_t start;
+    std::int64_t len;
+  };
+
+  // Lay extents on the disk with an allocation cursor plus occasional
+  // seeks, mimicking a local FS allocator that clusters related data.
+  std::vector<std::vector<Extent>> app_extents(
+      static_cast<std::size_t>(params.apps));
+  std::int64_t cursor = 0;
+  for (int a = 0; a < params.apps; ++a) {
+    for (int e = 0; e < params.extents_per_app; ++e) {
+      if (rng.bernoulli(0.1)) {
+        cursor = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(params.disk_blocks)));
+      }
+      const auto len = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(rng.exponential(params.mean_extent_blocks)));
+      if (cursor + len >= params.disk_blocks) cursor = 0;
+      app_extents[static_cast<std::size_t>(a)].push_back(Extent{cursor, len});
+      cursor += len + static_cast<std::int64_t>(rng.next_below(16));
+    }
+  }
+
+  for (int a = 0; a < params.apps; ++a) {
+    Rng app_rng = rng.fork();
+    const auto& extents = app_extents[static_cast<std::size_t>(a)];
+    for (int day = 0; day < params.days; ++day) {
+      SimTime t = days(day) + hours(1) +
+                  static_cast<SimTime>(app_rng.next_double() * hours(20));
+      auto remaining =
+          static_cast<std::int64_t>(params.accesses_per_app_day *
+                                    (0.5 + app_rng.next_double()));
+      while (remaining > 0) {
+        // Scan a run within a random owned extent.
+        const Extent& ext = extents[app_rng.next_below(extents.size())];
+        const auto run = std::min<std::int64_t>(
+            remaining,
+            1 + static_cast<std::int64_t>(app_rng.exponential(24.0)));
+        std::int64_t pos =
+            ext.start + (ext.len > 1
+                             ? static_cast<std::int64_t>(app_rng.next_below(
+                                   static_cast<std::uint64_t>(ext.len)))
+                             : 0);
+        for (std::int64_t i = 0; i < run; ++i) {
+          if (pos >= ext.start + ext.len) break;
+          records_.push_back(TraceRecord{t, a, TraceRecord::Op::kRead,
+                                         block_name(pos), "", 0, kBlockSize});
+          pos += 1;
+          t += 1000 + static_cast<SimTime>(app_rng.exponential(0.02) * 1e6);
+          --remaining;
+        }
+        t += static_cast<SimTime>(app_rng.exponential(5.0) * 1e6);
+      }
+    }
+  }
+
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& x, const TraceRecord& y) {
+                     return x.time < y.time;
+                   });
+}
+
+}  // namespace d2::trace

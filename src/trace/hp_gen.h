@@ -1,0 +1,47 @@
+// Synthetic HP-like block-level disk trace (Table 1: one week of accesses
+// to a multi-disk research server, identified by application pid).
+//
+// The paper uses HP only for the Fig 3 locality analysis: block "names"
+// are disk block numbers, and because local file systems cluster blocks
+// created together, numerically-close blocks tend to belong to the same
+// file or directory. The generator lays "extents" (contiguous block runs,
+// standing in for files) on a virtual disk, assigns each application a
+// working set of extents, and emits mostly-sequential scans over them.
+//
+// Block paths are zero-padded decimal numbers so that alphabetical order
+// equals numeric (disk) order, exactly the "ordered" scenario of §4.1.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/workload.h"
+
+namespace d2::trace {
+
+struct HpParams {
+  int apps = 40;                    // pids
+  int days = 7;
+  std::int64_t disk_blocks = 1 << 20;  // 8 GB of 8 KB blocks
+  int extents_per_app = 30;
+  double mean_extent_blocks = 64;   // ~512 KB extents
+  double accesses_per_app_day = 2000;
+  std::uint64_t seed = 7;
+};
+
+class HpGenerator {
+ public:
+  explicit HpGenerator(const HpParams& params);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  const HpParams& params() const { return params_; }
+  WorkloadSummary summary() const { return summarize(records_, {}); }
+
+  static std::string block_name(std::int64_t block_number);
+
+ private:
+  HpParams params_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace d2::trace

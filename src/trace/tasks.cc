@@ -1,0 +1,74 @@
+#include "trace/tasks.h"
+
+#include <map>
+
+#include "common/assert.h"
+
+namespace d2::trace {
+
+namespace {
+bool is_access(const TraceRecord& r) {
+  return r.op == TraceRecord::Op::kRead || r.op == TraceRecord::Op::kWrite ||
+         r.op == TraceRecord::Op::kCreate;
+}
+}  // namespace
+
+std::vector<Task> segment_tasks(const std::vector<TraceRecord>& records,
+                                SimTime inter, SimTime max_duration) {
+  D2_REQUIRE(inter > 0);
+  D2_REQUIRE(max_duration > 0);
+  std::vector<Task> tasks;
+  std::map<int, std::size_t> open;  // user -> index into tasks
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    if (!is_access(r)) continue;
+    auto it = open.find(r.user);
+    bool start_new = true;
+    if (it != open.end()) {
+      Task& t = tasks[it->second];
+      if (r.time - t.end < inter && r.time - t.start <= max_duration) {
+        t.record_indices.push_back(i);
+        t.end = r.time;
+        start_new = false;
+      }
+    }
+    if (start_new) {
+      Task t;
+      t.user = r.user;
+      t.start = r.time;
+      t.end = r.time;
+      t.record_indices.push_back(i);
+      tasks.push_back(std::move(t));
+      open[r.user] = tasks.size() - 1;
+    }
+  }
+  return tasks;
+}
+
+std::vector<AccessGroup> segment_access_groups(
+    const std::vector<TraceRecord>& records, SimTime think_time) {
+  D2_REQUIRE(think_time > 0);
+  std::vector<AccessGroup> groups;
+  std::map<int, std::pair<std::size_t, SimTime>> open;  // user -> (group, last)
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    if (!is_access(r)) continue;
+    auto it = open.find(r.user);
+    if (it != open.end() && r.time - it->second.second <= think_time) {
+      groups[it->second.first].record_indices.push_back(i);
+      it->second.second = r.time;
+      continue;
+    }
+    AccessGroup g;
+    g.user = r.user;
+    g.start = r.time;
+    g.record_indices.push_back(i);
+    groups.push_back(std::move(g));
+    open[r.user] = {groups.size() - 1, r.time};
+  }
+  return groups;
+}
+
+}  // namespace d2::trace

@@ -1,0 +1,45 @@
+// Task and access-group segmentation of traces.
+//
+// Tasks (§8.1): the Harvard trace carries no explicit task boundaries, so
+// the paper approximates a task as a maximal sequence of accesses by the
+// same user in which consecutive accesses are separated by less than an
+// inter-arrival threshold `inter`, with task duration capped at 5 minutes.
+//
+// Access groups (§9.1): any gap larger than 1 second is "think time"; the
+// accesses between two think times form an access group, the unit whose
+// completion time a user perceives. The seq/para extremes of §9 both
+// operate on these groups.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "trace/workload.h"
+
+namespace d2::trace {
+
+struct Task {
+  int user = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<std::size_t> record_indices;  // into the source trace
+};
+
+/// Segments `records` (time-sorted) into per-user tasks. Only read/write/
+/// create records participate (namespace-only ops don't constitute
+/// task work).
+std::vector<Task> segment_tasks(const std::vector<TraceRecord>& records,
+                                SimTime inter,
+                                SimTime max_duration = minutes(5));
+
+struct AccessGroup {
+  int user = 0;
+  SimTime start = 0;
+  std::vector<std::size_t> record_indices;
+};
+
+/// Segments `records` into per-user access groups using 1 s think time.
+std::vector<AccessGroup> segment_access_groups(
+    const std::vector<TraceRecord>& records, SimTime think_time = seconds(1));
+
+}  // namespace d2::trace

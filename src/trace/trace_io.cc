@@ -1,0 +1,122 @@
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace d2::trace {
+
+std::string op_name(TraceRecord::Op op) {
+  switch (op) {
+    case TraceRecord::Op::kRead:
+      return "read";
+    case TraceRecord::Op::kWrite:
+      return "write";
+    case TraceRecord::Op::kCreate:
+      return "create";
+    case TraceRecord::Op::kRemove:
+      return "remove";
+    case TraceRecord::Op::kRename:
+      return "rename";
+    case TraceRecord::Op::kMkdir:
+      return "mkdir";
+  }
+  return "?";
+}
+
+TraceRecord::Op parse_op(const std::string& name) {
+  if (name == "read") return TraceRecord::Op::kRead;
+  if (name == "write") return TraceRecord::Op::kWrite;
+  if (name == "create") return TraceRecord::Op::kCreate;
+  if (name == "remove") return TraceRecord::Op::kRemove;
+  if (name == "rename") return TraceRecord::Op::kRename;
+  if (name == "mkdir") return TraceRecord::Op::kMkdir;
+  D2_REQUIRE_MSG(false, "unknown trace op: " + name);
+  return TraceRecord::Op::kRead;
+}
+
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "# d2-trace v1\n";
+  for (const TraceRecord& r : records) {
+    os << r.time << ' ' << r.user << ' ' << op_name(r.op) << ' ' << r.path;
+    switch (r.op) {
+      case TraceRecord::Op::kRead:
+      case TraceRecord::Op::kWrite:
+      case TraceRecord::Op::kCreate:
+        os << ' ' << r.offset << ' ' << r.length;
+        break;
+      case TraceRecord::Op::kRename:
+        os << " -> " << r.path2;
+        break;
+      default:
+        break;
+    }
+    os << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records) {
+  std::ofstream os(path);
+  D2_REQUIRE_MSG(os.good(), "cannot open for writing: " + path);
+  write_trace(os, records);
+}
+
+std::vector<TraceRecord> read_trace(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    TraceRecord r;
+    std::string op;
+    if (!(ls >> r.time >> r.user >> op >> r.path)) {
+      D2_REQUIRE_MSG(false, "malformed trace line " + std::to_string(line_no) +
+                                ": " + line);
+    }
+    r.op = parse_op(op);
+    switch (r.op) {
+      case TraceRecord::Op::kRead:
+      case TraceRecord::Op::kWrite:
+      case TraceRecord::Op::kCreate: {
+        if (!(ls >> r.offset >> r.length)) {
+          // Offset/length optional: default to whole-file-unknown (0, 0).
+          r.offset = 0;
+          r.length = 0;
+        }
+        break;
+      }
+      case TraceRecord::Op::kRename: {
+        std::string arrow;
+        if (!(ls >> arrow >> r.path2) || arrow != "->") {
+          D2_REQUIRE_MSG(false, "malformed rename on line " +
+                                    std::to_string(line_no) + ": " + line);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    D2_REQUIRE_MSG(r.time >= 0,
+                   "negative timestamp on line " + std::to_string(line_no));
+    out.push_back(std::move(r));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::vector<TraceRecord> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  D2_REQUIRE_MSG(is.good(), "cannot open trace file: " + path);
+  return read_trace(is);
+}
+
+}  // namespace d2::trace

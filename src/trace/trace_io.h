@@ -1,0 +1,40 @@
+// Text serialization of traces, so real (or externally generated)
+// workloads can be replayed through the experiment engines.
+//
+// Format (one record per line, '#' comments and blank lines ignored):
+//
+//   # d2-trace v1
+//   <time_us> <user> <op> <path> [<offset> <length>] [-> <path2>]
+//
+// where <op> is one of: read write create remove rename mkdir.
+// Paths must not contain whitespace (escape with %20 if needed).
+//
+// Example:
+//   0        3 create home/u3/proj/a.cc 0 8192
+//   1500000  3 read   home/u3/proj/a.cc 0 8192
+//   2000000  3 rename home/u3/proj/a.cc -> home/u3/proj/b.cc
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace d2::trace {
+
+/// Writes records in the v1 text format.
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records);
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records);
+
+/// Parses the v1 text format. Throws d2::PreconditionError with the line
+/// number on malformed input. Records are returned sorted by time.
+std::vector<TraceRecord> read_trace(std::istream& is);
+std::vector<TraceRecord> read_trace_file(const std::string& path);
+
+/// Round-trip helpers for ops.
+std::string op_name(TraceRecord::Op op);
+TraceRecord::Op parse_op(const std::string& name);
+
+}  // namespace d2::trace

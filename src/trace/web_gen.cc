@@ -1,0 +1,120 @@
+#include "trace/web_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace d2::trace {
+
+WebGenerator::WebGenerator(const WebParams& params) : params_(params) {
+  D2_REQUIRE(params.clients > 0 && params.days > 0 && params.sites > 0);
+  Rng rng(params.seed);
+
+  sites_.resize(static_cast<std::size_t>(params.sites));
+  const double size_mu =
+      std::log(static_cast<double>(params.mean_object_size)) -
+      params.object_size_sigma * params.object_size_sigma / 2.0;
+  for (int s = 0; s < params.sites; ++s) {
+    Site& site = sites_[static_cast<std::size_t>(s)];
+    site.domain = "www.site" + std::to_string(s) + ".com";
+    const int ndirs = 1 + static_cast<int>(rng.next_below(8));
+    const int nobjects = std::max<int>(
+        3, static_cast<int>(rng.exponential(params.mean_objects_per_site)));
+    for (int o = 0; o < nobjects; ++o) {
+      const int d = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ndirs)));
+      std::string path = "/d" + std::to_string(d) + "/obj" + std::to_string(o) +
+                         (o % 5 == 0 ? ".html" : ".gif");
+      site.object_paths.push_back(std::move(path));
+      site.object_sizes.push_back(std::clamp<Bytes>(
+          static_cast<Bytes>(rng.lognormal(size_mu, params.object_size_sigma)),
+          256, params.max_object_size));
+    }
+  }
+
+  ZipfDistribution site_zipf(sites_.size(), params.site_zipf);
+
+  for (int c = 0; c < params.clients; ++c) {
+    Rng crng = rng.fork();
+    for (int day = 0; day < params.days; ++day) {
+      const bool flash = day == params.flash_crowd_day;
+      SimTime t = days(day) +
+                  static_cast<SimTime>(crng.next_double() * hours(24));
+      auto remaining = static_cast<std::int64_t>(
+          params.requests_per_client_day * (0.5 + crng.next_double()) *
+          (flash ? params.flash_multiplier : 1.0));
+      // During a flash crowd most requests chase fresh day-stamped news
+      // URLs; stories are Zipf-popular so some re-hit while the long tail
+      // is fetched once and evicted the next day.
+      ZipfDistribution story_zipf(4000, 0.7);
+      while (remaining > 0) {
+        if (flash && crng.bernoulli(params.flash_new_content_fraction)) {
+          // A news-reading burst: several stories in one sitting, so the
+          // flash content dominates the day's request mix.
+          const auto burst = static_cast<std::int64_t>(4 + crng.next_below(12));
+          for (std::int64_t b = 0; b < burst && remaining > 0; ++b) {
+            const std::size_t story = story_zipf.sample(crng);
+            std::string url = "www.newswire.com/day" + std::to_string(day) +
+                              "/story" + std::to_string(story) + ".html";
+            // Deterministic per-URL size so repeated fetches agree.
+            const Bytes size =
+                256 + static_cast<Bytes>(fnv1a64(url) %
+                                         static_cast<std::uint64_t>(kB(48)));
+            records_.push_back(TraceRecord{t, c, TraceRecord::Op::kRead,
+                                           std::move(url), "", 0, size});
+            --remaining;
+            t += static_cast<SimTime>(crng.exponential(8.0) * 1e6);
+          }
+          t += static_cast<SimTime>(crng.exponential(60.0) * 1e6);
+          continue;
+        }
+        // Browse one site for a while (URL name-space locality).
+        const std::size_t si = site_zipf.sample(crng);
+        const Site& site = sites_[si];
+        ZipfDistribution obj_zipf(site.object_paths.size(), 0.8);
+        const int pages = 1 + static_cast<int>(crng.next_below(12));
+        for (int p = 0; p < pages && remaining > 0; ++p) {
+          const std::size_t oi = obj_zipf.sample(crng);
+          records_.push_back(TraceRecord{
+              t, c, TraceRecord::Op::kRead, site.domain + site.object_paths[oi],
+              "", 0, site.object_sizes[oi]});
+          --remaining;
+          // Embedded objects: quick follow-ups from the same site.
+          const int embedded = static_cast<int>(crng.next_below(4));
+          for (int e = 0; e < embedded && remaining > 0; ++e) {
+            t += 50'000 + static_cast<SimTime>(crng.exponential(0.1) * 1e6);
+            const std::size_t ei = obj_zipf.sample(crng);
+            records_.push_back(TraceRecord{
+                t, c, TraceRecord::Op::kRead,
+                site.domain + site.object_paths[ei], "", 0,
+                site.object_sizes[ei]});
+            --remaining;
+          }
+          t += static_cast<SimTime>(crng.exponential(15.0) * 1e6);  // dwell
+        }
+        t += static_cast<SimTime>(crng.exponential(120.0) * 1e6);  // site switch
+      }
+    }
+  }
+
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& x, const TraceRecord& y) {
+                     return x.time < y.time;
+                   });
+}
+
+Bytes WebGenerator::object_size(const std::string& url) const {
+  for (const Site& site : sites_) {
+    if (url.rfind(site.domain, 0) == 0) {
+      const std::string rel = url.substr(site.domain.size());
+      for (std::size_t i = 0; i < site.object_paths.size(); ++i) {
+        if (site.object_paths[i] == rel) return site.object_sizes[i];
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace d2::trace

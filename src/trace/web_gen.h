@@ -1,0 +1,70 @@
+// Synthetic NLANR-like web trace (Table 1: one week of accesses seen by
+// IRCache web caches), used for the Fig 3 web locality analysis and as
+// the Squirrel-style Webcache workload of §10.
+//
+// Structure the results depend on:
+//   * URL name-space locality: a client browses one site for a while, so
+//     consecutive requests share a (reversed) domain prefix; pages pull in
+//     embedded objects from the same directory in sub-second bursts;
+//   * Zipf site and object popularity (classic web measurement results);
+//   * small, lognormal object sizes;
+//   * extreme effective churn when used as a cache: the DHT starts empty,
+//     misses insert, and content not refreshed within a day is evicted —
+//     giving the Table 3 row 2 profile where daily writes can exceed
+//     resident data by an order of magnitude.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/workload.h"
+
+namespace d2::trace {
+
+struct WebParams {
+  int clients = 120;
+  int days = 7;
+  int sites = 400;
+  double site_zipf = 0.85;
+  int mean_objects_per_site = 60;
+  Bytes mean_object_size = kB(12);
+  double object_size_sigma = 1.6;
+  Bytes max_object_size = mB(8);
+  double requests_per_client_day = 400;
+  /// Flash crowd: on this day (0-based; -1 disables) traffic multiplies
+  /// and most of it targets fresh, day-stamped URLs (breaking news). This
+  /// reproduces the Table 3 day-3 spike where daily writes into the cache
+  /// dwarf the resident data.
+  int flash_crowd_day = 2;
+  double flash_multiplier = 4.0;
+  double flash_new_content_fraction = 0.75;
+  std::uint64_t seed = 11;
+};
+
+class WebGenerator {
+ public:
+  explicit WebGenerator(const WebParams& params);
+
+  /// Records: op == kRead, path == full URL ("www.siteN.com/dir/obj"),
+  /// length == object size.
+  const std::vector<TraceRecord>& records() const { return records_; }
+  const WebParams& params() const { return params_; }
+  WorkloadSummary summary() const { return summarize(records_, {}); }
+
+  /// Size of the object at `url` (stable across the trace).
+  Bytes object_size(const std::string& url) const;
+
+ private:
+  struct Site {
+    std::string domain;
+    std::vector<std::string> object_paths;  // relative, e.g. "/d0/p3.html"
+    std::vector<Bytes> object_sizes;
+  };
+
+  WebParams params_;
+  std::vector<Site> sites_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace d2::trace

@@ -1,0 +1,42 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace d2::trace {
+
+WorkloadSummary summarize(const std::vector<TraceRecord>& records,
+                          const std::vector<FileSpec>& initial_files) {
+  WorkloadSummary s;
+  s.records = records.size();
+  std::unordered_set<int> users;
+  for (const TraceRecord& r : records) {
+    users.insert(r.user);
+    s.duration = std::max(s.duration, r.time);
+    switch (r.op) {
+      case TraceRecord::Op::kRead:
+        ++s.accesses;
+        s.bytes_read += r.length;
+        break;
+      case TraceRecord::Op::kWrite:
+      case TraceRecord::Op::kCreate:
+        ++s.accesses;
+        s.bytes_written += r.length;
+        break;
+      default:
+        break;
+    }
+  }
+  s.users = static_cast<int>(users.size());
+  s.initial_files = initial_files.size();
+  for (const FileSpec& f : initial_files) s.active_data += f.size;
+  return s;
+}
+
+bool is_sorted_by_time(const std::vector<TraceRecord>& records) {
+  return std::is_sorted(
+      records.begin(), records.end(),
+      [](const TraceRecord& a, const TraceRecord& b) { return a.time < b.time; });
+}
+
+}  // namespace d2::trace

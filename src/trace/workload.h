@@ -1,0 +1,53 @@
+// Trace records shared by all workload generators (Table 1 substitutes).
+//
+// A record is one timestamped file-system (or web) access by one user.
+// Generators return records sorted by time; experiment drivers replay
+// them through a fs::Volume (or the Webcache adapter) to obtain store
+// operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace d2::trace {
+
+struct TraceRecord {
+  enum class Op { kRead, kWrite, kCreate, kRemove, kRename, kMkdir };
+
+  SimTime time = 0;
+  int user = 0;
+  Op op = Op::kRead;
+  std::string path;
+  std::string path2;  // rename target
+  Bytes offset = 0;
+  Bytes length = 0;
+};
+
+/// A file present before the trace starts (the paper initializes each
+/// simulation by inserting all files that exist at the trace beginning).
+struct FileSpec {
+  std::string path;
+  Bytes size = 0;
+};
+
+struct WorkloadSummary {
+  SimTime duration = 0;
+  std::uint64_t accesses = 0;   // read + write records
+  std::uint64_t records = 0;    // all records
+  Bytes active_data = 0;        // bytes in the initial file set
+  std::uint64_t initial_files = 0;
+  int users = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+};
+
+WorkloadSummary summarize(const std::vector<TraceRecord>& records,
+                          const std::vector<FileSpec>& initial_files);
+
+/// Checks that records are sorted by time (generators guarantee this).
+bool is_sorted_by_time(const std::vector<TraceRecord>& records);
+
+}  // namespace d2::trace

@@ -1,0 +1,65 @@
+#include "dht/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace d2::dht {
+namespace {
+
+TEST(ConsistentHash, Deterministic) {
+  EXPECT_EQ(hashed_key("a/b/c"), hashed_key("a/b/c"));
+}
+
+TEST(ConsistentHash, DistinctNamesDistinctKeys) {
+  std::set<Key> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.insert(hashed_key("file" + std::to_string(i)));
+  }
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(ConsistentHash, KeysUniformOverRing) {
+  // Bucket ring positions of hashed keys into deciles; each should hold
+  // roughly 10%.
+  std::vector<int> buckets(10, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double pos = hashed_key("path/to/file" + std::to_string(i) + "/blk")
+                           .ring_position();
+    ++buckets[std::min(9, static_cast<int>(pos * 10))];
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b] / static_cast<double>(n), 0.1, 0.02) << "decile " << b;
+  }
+}
+
+TEST(ConsistentHash, SimilarNamesUncorrelated) {
+  // Adjacent block numbers of the same file must land far apart — that is
+  // precisely the fragmentation D2 removes.
+  const Key a = hashed_key("vol|/home/u1/f|b|0|1");
+  const Key b = hashed_key("vol|/home/u1/f|b|1|1");
+  const double gap = std::abs(a.ring_position() - b.ring_position());
+  EXPECT_GT(std::min(gap, 1.0 - gap), 1e-4);
+}
+
+TEST(ConsistentHash, FullKeyWidthUsed) {
+  // All 64 bytes should vary across names, not just the first 20.
+  const Key a = hashed_key("x");
+  const Key b = hashed_key("y");
+  bool tail_differs = false;
+  for (std::size_t i = 20; i < Key::kBytes; ++i) {
+    if (a.byte(i) != b.byte(i)) tail_differs = true;
+  }
+  EXPECT_TRUE(tail_differs);
+}
+
+TEST(ConsistentHash, RandomNodeIdsDistinct) {
+  Rng rng(9);
+  std::set<Key> ids;
+  for (int i = 0; i < 1000; ++i) ids.insert(random_node_id(rng));
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace d2::dht

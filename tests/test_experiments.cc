@@ -1,0 +1,209 @@
+// Small-scale end-to-end tests of the three experiment engines. These are
+// integration tests: they replay a miniature Harvard-like workload through
+// the full stack (FS -> store -> ring -> load balancer -> failures) and
+// check the headline *shapes* of the paper's results.
+#include <gtest/gtest.h>
+
+#include "core/availability.h"
+#include "core/balance.h"
+#include "core/performance.h"
+
+namespace d2::core {
+namespace {
+
+trace::HarvardParams tiny_workload(std::uint64_t seed = 5) {
+  trace::HarvardParams p;
+  p.users = 8;
+  p.days = 2;
+  p.target_active_bytes = mB(24);
+  p.accesses_per_user_day = 150;
+  p.seed = seed;
+  return p;
+}
+
+SystemConfig d2_config(int nodes = 24) {
+  SystemConfig c;
+  c.node_count = nodes;
+  c.replicas = 3;
+  c.scheme = fs::KeyScheme::kD2;
+  c.active_load_balance = true;
+  c.seed = 11;
+  return c;
+}
+
+SystemConfig traditional_config(int nodes = 24) {
+  SystemConfig c = d2_config(nodes);
+  c.scheme = fs::KeyScheme::kTraditionalBlock;
+  c.active_load_balance = false;
+  return c;
+}
+
+AvailabilityParams availability_params(const SystemConfig& sys) {
+  AvailabilityParams p;
+  p.system = sys;
+  p.workload = tiny_workload();
+  p.failure.node_count = sys.node_count;
+  p.failure.duration = days(3);
+  p.failure.mttf_hours = 40;   // aggressive failures so the tiny run sees some
+  p.failure.mttr_hours = 6;
+  p.failure.correlated_events_per_day = 1.5;
+  p.failure.correlated_fraction = 0.3;
+  p.warmup = hours(12);
+  return p;
+}
+
+TEST(AvailabilityExperiment, D2AccessesFewerNodesPerTask) {
+  AvailabilityParams pd2 = availability_params(d2_config());
+  pd2.enable_failures = false;
+  AvailabilityParams ptrad = availability_params(traditional_config());
+  ptrad.enable_failures = false;
+
+  const AvailabilityResult d2 = AvailabilityExperiment(pd2).run();
+  const AvailabilityResult trad = AvailabilityExperiment(ptrad).run();
+
+  ASSERT_GT(d2.tasks, 50u);
+  EXPECT_EQ(d2.tasks, trad.tasks);  // same workload segmentation
+  // Table 2's shape: D2 touches several times fewer nodes per task.
+  EXPECT_LT(d2.mean_nodes_per_task, trad.mean_nodes_per_task * 0.7);
+  // Blocks/files per task are workload properties, so nearly identical.
+  EXPECT_NEAR(d2.mean_blocks_per_task, trad.mean_blocks_per_task,
+              0.25 * trad.mean_blocks_per_task);
+  EXPECT_EQ(d2.unknown_key_gets, 0u);
+  EXPECT_EQ(trad.unknown_key_gets, 0u);
+}
+
+TEST(AvailabilityExperiment, D2FailsFewerTasksUnderFailures) {
+  const AvailabilityResult d2 =
+      AvailabilityExperiment(availability_params(d2_config())).run();
+  const AvailabilityResult trad =
+      AvailabilityExperiment(availability_params(traditional_config())).run();
+  // Fig 7's shape. With an aggressive failure model the traditional DHT
+  // must lose tasks; D2 loses at most as many.
+  EXPECT_LE(d2.task_unavailability(), trad.task_unavailability());
+  EXPECT_EQ(d2.unknown_key_gets, 0u);
+}
+
+TEST(AvailabilityExperiment, PerUserStatsCoverUsers) {
+  AvailabilityParams p = availability_params(d2_config());
+  p.enable_failures = false;
+  const AvailabilityResult r = AvailabilityExperiment(p).run();
+  EXPECT_EQ(r.per_user_unavailability.size(), 8u);
+  for (const auto& [user, unavail] : r.per_user_unavailability) {
+    EXPECT_GE(unavail, 0.0);
+    EXPECT_LE(unavail, 1.0);
+  }
+}
+
+PerformanceParams perf_params(const SystemConfig& sys, bool parallel) {
+  PerformanceParams p;
+  p.system = sys;
+  p.system.replicas = 3;
+  p.workload = tiny_workload(9);
+  p.warmup = hours(6);
+  p.window_count = 5;
+  p.parallel = parallel;
+  return p;
+}
+
+TEST(PerformanceExperiment, D2NeedsFewerLookups) {
+  const PerformanceResult d2 =
+      PerformanceExperiment(perf_params(d2_config(), false)).run();
+  const PerformanceResult trad =
+      PerformanceExperiment(perf_params(traditional_config(), false)).run();
+  ASSERT_FALSE(d2.groups.empty());
+  ASSERT_FALSE(trad.groups.empty());
+  // Fig 9/13's shape: far fewer lookups and a lower miss rate.
+  EXPECT_LT(d2.lookup_messages, trad.lookup_messages);
+  EXPECT_LT(d2.mean_cache_miss_rate, trad.mean_cache_miss_rate);
+}
+
+TEST(PerformanceExperiment, D2FasterSequentially) {
+  const PerformanceResult d2 =
+      PerformanceExperiment(perf_params(d2_config(), false)).run();
+  const PerformanceResult trad =
+      PerformanceExperiment(perf_params(traditional_config(), false)).run();
+  const SpeedupSummary s = compute_speedup(trad, d2);
+  ASSERT_GT(s.matched_groups, 8u);
+  // Fig 10's shape: sequential speedup > 1.
+  EXPECT_GT(s.overall, 1.0);
+}
+
+TEST(PerformanceExperiment, MatchedLatenciesAlign) {
+  const PerformanceResult a =
+      PerformanceExperiment(perf_params(d2_config(), false)).run();
+  const PerformanceResult b =
+      PerformanceExperiment(perf_params(traditional_config(), false)).run();
+  const auto pairs = matched_latencies(b, a);
+  EXPECT_FALSE(pairs.empty());
+  for (const auto& [base, treat] : pairs) {
+    EXPECT_GT(base, 0);
+    EXPECT_GT(treat, 0);
+  }
+}
+
+TEST(PerformanceExperiment, SpeedupOfSelfIsOne) {
+  const PerformanceResult r =
+      PerformanceExperiment(perf_params(d2_config(), false)).run();
+  const SpeedupSummary s = compute_speedup(r, r);
+  EXPECT_NEAR(s.overall, 1.0, 1e-9);
+}
+
+BalanceParams balance_params(const SystemConfig& sys) {
+  BalanceParams p;
+  p.system = sys;
+  p.harvard = tiny_workload(13);
+  p.warmup = hours(12);
+  return p;
+}
+
+TEST(BalanceExperiment, D2KeepsImbalanceBounded) {
+  const BalanceResult d2 = BalanceExperiment(balance_params(d2_config())).run();
+  ASSERT_FALSE(d2.imbalance.empty());
+  ASSERT_FALSE(d2.days.empty());
+  // D2's balanced steady state: max load within a small factor of mean.
+  EXPECT_LT(d2.mean_max_over_mean(), 5.0);
+  EXPECT_GT(d2.lb_moves, 0);
+}
+
+TEST(BalanceExperiment, D2WithoutBalancingIsSkewed) {
+  SystemConfig c = d2_config();
+  c.active_load_balance = false;
+  const BalanceResult no_lb = BalanceExperiment(balance_params(c)).run();
+  const BalanceResult lb = BalanceExperiment(balance_params(d2_config())).run();
+  // Locality-preserving keys without Mercury are badly imbalanced.
+  EXPECT_GT(no_lb.mean_imbalance(), lb.mean_imbalance() * 1.5);
+}
+
+TEST(BalanceExperiment, DayAccountingConsistent) {
+  const BalanceResult r = BalanceExperiment(balance_params(d2_config())).run();
+  for (const DayStats& d : r.days) {
+    EXPECT_GE(d.written, 0);
+    EXPECT_GE(d.removed, 0);
+    EXPECT_GE(d.migrated, 0);
+    EXPECT_GT(d.total_at_start, 0);
+  }
+  // Table 3's shape: daily churn is a modest fraction of resident data.
+  const DayStats& d1 = r.days[1];
+  EXPECT_LT(static_cast<double>(d1.written) / d1.total_at_start, 1.0);
+}
+
+TEST(BalanceExperiment, WebcacheRunsFromEmpty) {
+  BalanceParams p;
+  p.system = d2_config(16);
+  p.workload = BalanceWorkload::kWebcache;
+  p.web.clients = 15;
+  p.web.days = 2;
+  p.web.sites = 60;
+  p.web.requests_per_client_day = 120;
+  const BalanceResult r = BalanceExperiment(p).run();
+  ASSERT_GE(r.days.size(), 2u);
+  EXPECT_EQ(r.days[0].total_at_start, 0);  // starts empty
+  EXPECT_GT(r.days[0].written, 0);
+  // Eviction removes data (Table 3's huge webcache churn).
+  Bytes removed = 0;
+  for (const DayStats& d : r.days) removed += d.removed;
+  EXPECT_GT(removed, 0);
+}
+
+}  // namespace
+}  // namespace d2::core

@@ -1,0 +1,199 @@
+#include "sim/failure.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace d2::sim {
+namespace {
+
+FailureParams small_params() {
+  FailureParams p;
+  p.node_count = 50;
+  p.duration = days(7);
+  return p;
+}
+
+TEST(FailureTrace, AllUpHasNoTransitions) {
+  FailureTrace t = FailureTrace::all_up(10, days(1));
+  EXPECT_TRUE(t.transitions().empty());
+  for (int n = 0; n < 10; ++n) {
+    EXPECT_TRUE(t.is_up(n, 0));
+    EXPECT_TRUE(t.is_up(n, hours(12)));
+  }
+}
+
+TEST(FailureTrace, IsUpMatchesIntervals) {
+  Rng rng(1);
+  FailureTrace t = FailureTrace::generate(small_params(), rng);
+  for (int n = 0; n < t.node_count(); ++n) {
+    for (const auto& [start, end] : t.down_intervals(n)) {
+      EXPECT_FALSE(t.is_up(n, start));
+      EXPECT_FALSE(t.is_up(n, (start + end) / 2));
+      if (end < t.duration()) EXPECT_TRUE(t.is_up(n, end));
+      EXPECT_TRUE(t.is_up(n, start - 1));
+    }
+  }
+}
+
+TEST(FailureTrace, IntervalsSortedAndDisjoint) {
+  Rng rng(2);
+  FailureTrace t = FailureTrace::generate(small_params(), rng);
+  for (int n = 0; n < t.node_count(); ++n) {
+    const auto& iv = t.down_intervals(n);
+    for (std::size_t i = 0; i + 1 < iv.size(); ++i) {
+      EXPECT_LT(iv[i].second, iv[i + 1].first);
+    }
+    for (const auto& [start, end] : iv) {
+      EXPECT_LT(start, end);
+      EXPECT_LE(end, t.duration());
+    }
+  }
+}
+
+TEST(FailureTrace, TransitionsSortedAndPaired) {
+  Rng rng(3);
+  FailureTrace t = FailureTrace::generate(small_params(), rng);
+  SimTime last = -1;
+  for (const auto& tr : t.transitions()) {
+    EXPECT_GE(tr.time, last);
+    last = tr.time;
+  }
+  // Every down interval contributes a down transition.
+  std::size_t downs = 0;
+  for (const auto& tr : t.transitions()) {
+    if (!tr.up) ++downs;
+  }
+  std::size_t expected = 0;
+  for (int n = 0; n < t.node_count(); ++n) expected += t.down_intervals(n).size();
+  EXPECT_EQ(downs, expected);
+}
+
+TEST(FailureTrace, NodesFailSometimes) {
+  Rng rng(4);
+  FailureTrace t = FailureTrace::generate(small_params(), rng);
+  int nodes_with_failures = 0;
+  for (int n = 0; n < t.node_count(); ++n) {
+    if (!t.down_intervals(n).empty()) ++nodes_with_failures;
+  }
+  // With MTTF 120h over a week plus correlated events, most nodes see at
+  // least one outage.
+  EXPECT_GT(nodes_with_failures, t.node_count() / 3);
+}
+
+TEST(FailureTrace, CorrelatedEventsCreateSimultaneousOutages) {
+  FailureParams p = small_params();
+  p.mttf_hours = 1e9;  // disable independent failures
+  p.correlated_events_per_day = 2.0;
+  p.correlated_fraction = 0.5;
+  Rng rng(5);
+  FailureTrace t = FailureTrace::generate(p, rng);
+  // Find a down transition and count other nodes down at the same time.
+  int max_simultaneous = 0;
+  for (const auto& tr : t.transitions()) {
+    if (tr.up) continue;
+    int down = 0;
+    for (int n = 0; n < t.node_count(); ++n) {
+      if (!t.is_up(n, tr.time)) ++down;
+    }
+    max_simultaneous = std::max(max_simultaneous, down);
+  }
+  EXPECT_GT(max_simultaneous, t.node_count() / 4);
+}
+
+TEST(FailureTrace, GroupFailureProbabilityCalibration) {
+  // The §8.2 calibration: with the default parameters, the probability a
+  // random 3-node replica group is ever fully down in the week is ~0.02.
+  FailureParams p;  // paper-scale defaults (247 nodes)
+  Rng rng(6);
+  FailureTrace t = FailureTrace::generate(p, rng);
+  Rng sample_rng(7);
+  const double prob = t.group_failure_probability(3, 2000, sample_rng);
+  EXPECT_GT(prob, 0.002);
+  EXPECT_LT(prob, 0.1);
+}
+
+TEST(FailureTrace, FractionUpReasonable) {
+  Rng rng(8);
+  FailureTrace t = FailureTrace::generate(small_params(), rng);
+  // On average most nodes are up (MTTF >> MTTR).
+  double sum = 0;
+  int samples = 0;
+  for (SimTime ts = 0; ts < t.duration(); ts += hours(6)) {
+    sum += t.fraction_up(ts);
+    ++samples;
+  }
+  EXPECT_GT(sum / samples, 0.8);
+}
+
+
+TEST(FailureTraceIo, RoundTrips) {
+  Rng rng(9);
+  FailureParams p = small_params();
+  const FailureTrace original = FailureTrace::generate(p, rng);
+  std::ostringstream os;
+  original.write(os);
+  std::istringstream is(os.str());
+  const FailureTrace parsed = FailureTrace::read(is);
+  EXPECT_EQ(parsed.node_count(), original.node_count());
+  EXPECT_EQ(parsed.duration(), original.duration());
+  for (int n = 0; n < original.node_count(); ++n) {
+    EXPECT_EQ(parsed.down_intervals(n), original.down_intervals(n)) << n;
+  }
+  EXPECT_EQ(parsed.transitions().size(), original.transitions().size());
+}
+
+TEST(FailureTraceIo, ReadRequiresHeader) {
+  std::istringstream is("0 100 200\n");
+  EXPECT_THROW(FailureTrace::read(is), PreconditionError);
+}
+
+TEST(FailureTraceIo, ReadHandCraftedTrace) {
+  std::istringstream is(
+      "# d2-failures v1 3 1000000\n"
+      "0 100 200\n"
+      "2 500 1000000\n");
+  const FailureTrace t = FailureTrace::read(is);
+  EXPECT_EQ(t.node_count(), 3);
+  EXPECT_FALSE(t.is_up(0, 150));
+  EXPECT_TRUE(t.is_up(0, 250));
+  EXPECT_TRUE(t.is_up(1, 150));
+  EXPECT_FALSE(t.is_up(2, 999999));
+}
+
+TEST(FailureTrace, NodesRecoverAtTraceEnd) {
+  // Intervals clamped at the trace end still emit an up transition there,
+  // so consumers see a well-defined all-up state afterwards.
+  const auto t = FailureTrace::from_intervals(2, seconds(100),
+                                              {{0, seconds(50), seconds(200)}});
+  bool has_final_up = false;
+  for (const auto& tr : t.transitions()) {
+    if (tr.up && tr.time == seconds(100) && tr.node == 0) has_final_up = true;
+  }
+  EXPECT_TRUE(has_final_up);
+}
+
+class FailureSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureSeedSweep, GenerationInvariantsHold) {
+  FailureParams p = small_params();
+  Rng rng(GetParam());
+  FailureTrace t = FailureTrace::generate(p, rng);
+  EXPECT_EQ(t.node_count(), p.node_count);
+  EXPECT_EQ(t.duration(), p.duration);
+  for (int n = 0; n < t.node_count(); ++n) {
+    for (const auto& [start, end] : t.down_intervals(n)) {
+      EXPECT_GE(start, 0);
+      EXPECT_LE(end, p.duration);
+      EXPECT_LT(start, end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureSeedSweep,
+                         ::testing::Values(1, 2, 3, 10, 20, 30));
+
+}  // namespace
+}  // namespace d2::sim

@@ -1,0 +1,87 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace d2 {
+namespace {
+
+// Known SHA-1 test vectors (FIPS 180-1 / RFC 3174).
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(to_hex(Sha1::hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(to_hex(Sha1::hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, LongerVector) {
+  EXPECT_EQ(to_hex(Sha1::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.digest()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Sha1 h;
+  h.update("hello ");
+  h.update("world");
+  EXPECT_EQ(h.digest(), Sha1::hash("hello world"));
+}
+
+TEST(Sha1, BlockBoundaryLengths) {
+  // Exercise padding around the 55/56/63/64-byte boundaries.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    std::string s(len, 'x');
+    Sha1 a;
+    a.update(s);
+    Sha1 b;
+    for (char c : s) b.update(&c, 1);
+    EXPECT_EQ(a.digest(), b.digest()) << "len=" << len;
+  }
+}
+
+TEST(Sha1, ReuseAfterDigestThrows) {
+  Sha1 h;
+  h.update("x");
+  h.digest();
+  EXPECT_THROW(h.update("y"), PreconditionError);
+  EXPECT_THROW(h.digest(), PreconditionError);
+}
+
+TEST(Fnv1a, KnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, DistinguishesNearbyStrings) {
+  EXPECT_NE(fnv1a64("path/a"), fnv1a64("path/b"));
+  EXPECT_NE(fnv1a64("x"), fnv1a64("x\0", 2));
+}
+
+TEST(Hash16, CoversRange) {
+  // Over many inputs, hash16 should hit both low and high halves.
+  bool low = false, high = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint16_t h = hash16("name" + std::to_string(i));
+    if (h < 0x8000) low = true;
+    if (h >= 0x8000) high = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Hash16, Deterministic) {
+  EXPECT_EQ(hash16("www"), hash16("www"));
+}
+
+}  // namespace
+}  // namespace d2

@@ -1,0 +1,187 @@
+#include "common/key.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace d2 {
+namespace {
+
+TEST(Key, DefaultIsZero) {
+  Key k;
+  EXPECT_EQ(k, Key::min());
+  EXPECT_EQ(k.low64(), 0u);
+}
+
+TEST(Key, FromUint64RoundTrips) {
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{255}, std::uint64_t{65536}, UINT64_MAX}) {
+    EXPECT_EQ(Key::from_uint64(v).low64(), v);
+  }
+}
+
+TEST(Key, ComparisonMatchesInteger) {
+  EXPECT_LT(Key::from_uint64(1), Key::from_uint64(2));
+  EXPECT_LT(Key::from_uint64(255), Key::from_uint64(256));
+  EXPECT_GT(Key::max(), Key::from_uint64(UINT64_MAX));
+  EXPECT_EQ(Key::from_uint64(42), Key::from_uint64(42));
+}
+
+TEST(Key, AdditionSmallValues) {
+  EXPECT_EQ(Key::from_uint64(3) + Key::from_uint64(4), Key::from_uint64(7));
+}
+
+TEST(Key, AdditionCarriesAcrossBytes) {
+  EXPECT_EQ(Key::from_uint64(255) + Key::from_uint64(1), Key::from_uint64(256));
+  // Carry across the 8-byte boundary of low64.
+  Key sum = Key::from_uint64(UINT64_MAX) + Key::from_uint64(1);
+  EXPECT_EQ(sum.low64(), 0u);
+  EXPECT_EQ(sum.byte(Key::kBytes - 9), 1);
+}
+
+TEST(Key, SubtractionInverts) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Key a = Key::random(rng);
+    Key b = Key::random(rng);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(Key, SubtractionWrapsModulo) {
+  // 0 - 1 == MAX.
+  EXPECT_EQ(Key::min() - Key::from_uint64(1), Key::max());
+}
+
+TEST(Key, MaxPlusOneWrapsToZero) {
+  EXPECT_EQ(Key::max() + Key::from_uint64(1), Key::min());
+  EXPECT_EQ(Key::max().next(), Key::min());
+}
+
+TEST(Key, HalfShiftsRight) {
+  EXPECT_EQ(Key::from_uint64(8).half(), Key::from_uint64(4));
+  EXPECT_EQ(Key::from_uint64(9).half(), Key::from_uint64(4));
+  // Shifting max gives 0x7f top byte.
+  EXPECT_EQ(Key::max().half().byte(0), 0x7f);
+}
+
+TEST(Key, DistanceIsClockwise) {
+  Key a = Key::from_uint64(10);
+  Key b = Key::from_uint64(30);
+  EXPECT_EQ(Key::distance(a, b), Key::from_uint64(20));
+  // Wrapping distance: from 30 to 10 goes nearly all the way around.
+  Key wrap = Key::distance(b, a);
+  EXPECT_EQ(wrap + Key::from_uint64(20), Key::min());
+}
+
+TEST(Key, MidpointBetween) {
+  Key mid = Key::midpoint(Key::from_uint64(10), Key::from_uint64(20));
+  EXPECT_EQ(mid, Key::from_uint64(15));
+}
+
+TEST(Key, MidpointOfWrappingArc) {
+  // Arc from MAX-9 to 10 has length 20, midpoint at (MAX-9)+10 = 0.
+  Key from = Key::max() - Key::from_uint64(9);
+  Key mid = Key::midpoint(from, Key::from_uint64(10));
+  EXPECT_EQ(mid, Key::min());
+}
+
+TEST(Key, InArcBasic) {
+  Key a = Key::from_uint64(10);
+  Key b = Key::from_uint64(20);
+  EXPECT_FALSE(Key::in_arc(Key::from_uint64(10), a, b));  // exclusive start
+  EXPECT_TRUE(Key::in_arc(Key::from_uint64(11), a, b));
+  EXPECT_TRUE(Key::in_arc(Key::from_uint64(20), a, b));  // inclusive end
+  EXPECT_FALSE(Key::in_arc(Key::from_uint64(21), a, b));
+}
+
+TEST(Key, InArcWrapping) {
+  Key a = Key::from_uint64(100);
+  Key b = Key::from_uint64(5);
+  EXPECT_TRUE(Key::in_arc(Key::from_uint64(101), a, b));
+  EXPECT_TRUE(Key::in_arc(Key::max(), a, b));
+  EXPECT_TRUE(Key::in_arc(Key::min(), a, b));
+  EXPECT_TRUE(Key::in_arc(Key::from_uint64(5), a, b));
+  EXPECT_FALSE(Key::in_arc(Key::from_uint64(6), a, b));
+  EXPECT_FALSE(Key::in_arc(Key::from_uint64(100), a, b));
+}
+
+TEST(Key, InArcFullRing) {
+  Key a = Key::from_uint64(10);
+  EXPECT_TRUE(Key::in_arc(Key::from_uint64(999), a, a));
+  EXPECT_TRUE(Key::in_arc(Key::min(), a, a));
+}
+
+TEST(Key, RandomKeysDistinct) {
+  Rng rng(1);
+  Key a = Key::random(rng);
+  Key b = Key::random(rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(Key, HexFormat) {
+  EXPECT_EQ(Key::min().hex(), std::string(128, '0'));
+  EXPECT_EQ(Key::max().short_hex(), "ffffffff");
+  EXPECT_EQ(Key::from_uint64(0xab).hex().substr(126), "ab");
+}
+
+TEST(Key, RingPositionSpansUnitInterval) {
+  EXPECT_DOUBLE_EQ(Key::min().ring_position(), 0.0);
+  EXPECT_GT(Key::max().ring_position(), 0.9999);
+  Rng rng(3);
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += Key::random(rng).ring_position();
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST(Key, HashDistinguishes) {
+  KeyHash h;
+  EXPECT_NE(h(Key::from_uint64(1)), h(Key::from_uint64(2)));
+}
+
+// Property sweep: midpoint lies inside the arc and splits it into halves
+// whose sizes differ by at most one.
+class KeyMidpointProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KeyMidpointProperty, MidpointInsideArc) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Key a = Key::random(rng);
+    Key b = Key::random(rng);
+    if (a == b) continue;
+    Key mid = Key::midpoint(a, b);
+    EXPECT_TRUE(Key::in_arc(mid, a, b) || mid == a)
+        << "a=" << a.hex() << " b=" << b.hex();
+    // dist(a, mid) + dist(mid, b) == dist(a, b)
+    Key d1 = Key::distance(a, mid);
+    Key d2 = Key::distance(mid, b);
+    EXPECT_EQ(d1 + d2, Key::distance(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyMidpointProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+// Property sweep: in_arc is consistent with distance ordering.
+class KeyArcProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KeyArcProperty, InArcMatchesDistance) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Key from = Key::random(rng);
+    Key to = Key::random(rng);
+    Key k = Key::random(rng);
+    if (from == to) continue;
+    // k in (from, to] iff 0 < dist(from, k) <= dist(from, to).
+    const bool expected = Key::distance(from, k) <= Key::distance(from, to) &&
+                          !(k == from);
+    EXPECT_EQ(Key::in_arc(k, from, to), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyArcProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace d2

@@ -1,0 +1,199 @@
+#include "fs/key_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace d2::fs {
+namespace {
+
+const VolumeId kVol = make_volume_id("test-volume");
+
+EncodedPath path_of(std::initializer_list<std::uint16_t> slots) {
+  EncodedPath p;
+  for (std::uint16_t s : slots) p = extend_path(p, s, "x");
+  return p;
+}
+
+TEST(KeyEncoding, VolumePrefixDominatesOrdering) {
+  const VolumeId a = make_volume_id("aaa");
+  const VolumeId b = make_volume_id("bbb");
+  const Key ka = encode_block_key(a, path_of({1}), BlockType::kData, 0, 0);
+  const Key kb = encode_block_key(b, path_of({1}), BlockType::kData, 0, 0);
+  // All keys of one volume are contiguous: compare 20-byte prefixes.
+  EXPECT_NE(ka.bytes()[0] == kb.bytes()[0] && ka.bytes()[1] == kb.bytes()[1] &&
+                ka.bytes()[19] == kb.bytes()[19],
+            true)
+      << "different volumes should differ in their prefix";
+}
+
+TEST(KeyEncoding, FilesInSameDirectoryAreAdjacent) {
+  // dir has slot path {3}; files get slots 1 and 2 within it.
+  const Key f1 = encode_block_key(kVol, path_of({3, 1}), BlockType::kData, 0, 0);
+  const Key f2 = encode_block_key(kVol, path_of({3, 2}), BlockType::kData, 0, 0);
+  const Key other_dir =
+      encode_block_key(kVol, path_of({4, 1}), BlockType::kData, 0, 0);
+  EXPECT_LT(f1, f2);
+  EXPECT_LT(f2, other_dir);
+}
+
+TEST(KeyEncoding, DirectoryBlockPrecedesItsChildren) {
+  const Key dir = encode_block_key(kVol, path_of({3}), BlockType::kDirectory, 0, 1);
+  const Key child = encode_block_key(kVol, path_of({3, 1}), BlockType::kInode, 0, 1);
+  EXPECT_LT(dir, child);
+}
+
+TEST(KeyEncoding, InodePrecedesDataBlocks) {
+  const EncodedPath p = path_of({3, 1});
+  const Key inode = encode_block_key(kVol, p, BlockType::kInode, 0, 1);
+  const Key data0 = encode_block_key(kVol, p, BlockType::kData, 0, 1);
+  const Key data1 = encode_block_key(kVol, p, BlockType::kData, 1, 1);
+  EXPECT_LT(inode, data0);
+  EXPECT_LT(data0, data1);
+}
+
+TEST(KeyEncoding, DataBlocksOfAFileAreContiguous) {
+  const EncodedPath p = path_of({3, 1});
+  Key prev = encode_block_key(kVol, p, BlockType::kData, 0, 0);
+  for (std::uint64_t i = 1; i < 100; ++i) {
+    const Key cur = encode_block_key(kVol, p, BlockType::kData, i, 0);
+    EXPECT_LT(prev, cur);
+    prev = cur;
+  }
+  // And nothing from a sibling file interleaves.
+  const Key sibling = encode_block_key(kVol, path_of({3, 2}), BlockType::kData, 0, 0);
+  EXPECT_LT(prev, sibling);
+}
+
+TEST(KeyEncoding, VersionsOfABlockAreAdjacent) {
+  const EncodedPath p = path_of({3, 1});
+  const Key v1 = encode_block_key(kVol, p, BlockType::kData, 5, 1);
+  const Key v2 = encode_block_key(kVol, p, BlockType::kData, 5, 2);
+  const Key next_block = encode_block_key(kVol, p, BlockType::kData, 6, 0);
+  EXPECT_LT(v1, v2);
+  EXPECT_LT(v2, next_block);
+}
+
+TEST(KeyEncoding, DecodeRoundTrips) {
+  const EncodedPath p = path_of({3, 1, 7});
+  const Key k = encode_block_key(kVol, p, BlockType::kData, 42, 9);
+  const DecodedKey d = decode_block_key(k);
+  EXPECT_EQ(d.path.slots, p.slots);
+  EXPECT_EQ(d.type, BlockType::kData);
+  EXPECT_EQ(d.block_number, 42u);
+  EXPECT_EQ(d.version, 9u);
+  EXPECT_TRUE(std::equal(d.volume.begin(), d.volume.end(), kVol.begin()));
+}
+
+TEST(KeyEncoding, DeepPathsOverflowToRemainderHash) {
+  EncodedPath p;
+  for (int i = 0; i < EncodedPath::kMaxLevels; ++i) {
+    p = extend_path(p, static_cast<std::uint16_t>(i + 1), "d");
+  }
+  EXPECT_EQ(p.remainder_hash, 0u);
+  const EncodedPath deeper = extend_path(p, 1, "over");
+  EXPECT_NE(deeper.remainder_hash, 0u);
+  EXPECT_EQ(deeper.slots, p.slots);  // slots unchanged past level 12
+  // Distinct deep components produce distinct hashes.
+  const EncodedPath other = extend_path(p, 1, "other");
+  EXPECT_NE(deeper.remainder_hash, other.remainder_hash);
+  // Chained: the 14th level still differs.
+  EXPECT_NE(extend_path(deeper, 1, "a").remainder_hash,
+            extend_path(deeper, 1, "b").remainder_hash);
+}
+
+TEST(KeyEncoding, SlotZeroReservedThrows) {
+  EncodedPath p;
+  EXPECT_THROW(extend_path(p, 0, "x"), PreconditionError);
+}
+
+TEST(KeyEncoding, BlockNumberTooLargeThrows) {
+  EXPECT_THROW(
+      encode_block_key(kVol, path_of({1}), BlockType::kData, 1ull << 56, 0),
+      PreconditionError);
+}
+
+TEST(KeyEncoding, SplitPathHandlesSlashes) {
+  EXPECT_EQ(split_path("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_path("a//b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_path("").empty());
+  EXPECT_TRUE(split_path("///").empty());
+}
+
+TEST(KeyEncoding, ReverseDomainUrl) {
+  EXPECT_EQ(reverse_domain_url("www.yahoo.com/index.html"),
+            "com.yahoo.www/index.html");
+  EXPECT_EQ(reverse_domain_url("http://www.yahoo.com/a/b.html"),
+            "com.yahoo.www/a/b.html");
+  EXPECT_EQ(reverse_domain_url("example.org"), "org.example");
+  EXPECT_EQ(reverse_domain_url("single/x"), "single/x");
+}
+
+TEST(KeyEncoding, UrlEncodingGroupsSites) {
+  // Objects of the same site share their first slot; different sites
+  // (almost surely) don't.
+  const EncodedPath a1 = encode_url_path(reverse_domain_url("www.siteA.com/x.html"));
+  const EncodedPath a2 = encode_url_path(reverse_domain_url("www.siteA.com/y.html"));
+  const EncodedPath b = encode_url_path(reverse_domain_url("www.siteB.com/x.html"));
+  // The reversed domain is one component: same site -> same first slot,
+  // different sites -> different first slot.
+  EXPECT_EQ(a1.slots[0], a2.slots[0]);
+  EXPECT_NE(a1.slots[1], a2.slots[1]);  // x.html vs y.html
+  EXPECT_NE(a1.slots[0], b.slots[0]);
+  EXPECT_EQ(a1.slots[1], b.slots[1]);  // same object name hash
+}
+
+TEST(KeyEncoding, UrlKeysOfOneSiteContiguous) {
+  const VolumeId web = make_volume_id("webcache");
+  auto url_key = [&web](const std::string& url) {
+    return encode_block_key(web, encode_url_path(reverse_domain_url(url)),
+                            BlockType::kData, 0, 0);
+  };
+  const Key a1 = url_key("www.siteA.com/d/x.html");
+  const Key a2 = url_key("www.siteA.com/d/y.html");
+  const Key b = url_key("www.siteB.com/d/x.html");
+  // a1 and a2 differ only in the last path slot; b differs at slot 0+1.
+  const Key lo = std::min(a1, a2);
+  const Key hi = std::max(a1, a2);
+  EXPECT_TRUE(b < lo || b > hi);
+}
+
+// Property: the fundamental locality theorem of the encoding — for any
+// directory, ALL keys beneath it form one contiguous key range (no foreign
+// key interleaves).
+class EncodingLocalityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncodingLocalityProperty, SubtreeKeysContiguous) {
+  Rng rng(GetParam());
+  // Build random paths: some under prefix {5, 9}, some elsewhere.
+  const EncodedPath subtree = path_of({5, 9});
+  std::vector<Key> inside, outside;
+  for (int i = 0; i < 200; ++i) {
+    const bool in = rng.bernoulli(0.5);
+    EncodedPath p = in ? subtree : path_of({static_cast<std::uint16_t>(
+                                       rng.bernoulli(0.5) ? 4 : 6)});
+    const int extra = static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < extra; ++e) {
+      p = extend_path(p, static_cast<std::uint16_t>(1 + rng.next_below(100)), "c");
+    }
+    const Key k = encode_block_key(
+        kVol, p, rng.bernoulli(0.5) ? BlockType::kData : BlockType::kInode,
+        rng.next_below(1000), static_cast<std::uint32_t>(rng.next_below(10)));
+    (in ? inside : outside).push_back(k);
+  }
+  if (inside.empty() || outside.empty()) return;
+  const Key lo = *std::min_element(inside.begin(), inside.end());
+  const Key hi = *std::max_element(inside.begin(), inside.end());
+  for (const Key& k : outside) {
+    EXPECT_TRUE(k < lo || k > hi) << "foreign key inside subtree range";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingLocalityProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace d2::fs

@@ -1,0 +1,94 @@
+#include "dht/load_balance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace d2::dht {
+namespace {
+
+std::function<std::optional<Key>(int)> median_at(std::uint64_t v) {
+  return [v](int) { return Key::from_uint64(v); };
+}
+
+TEST(LoadBalancer, NoActionWhenBalanced) {
+  LoadBalancer lb;
+  EXPECT_FALSE(lb.evaluate_probe(0, 100, 1, 100, median_at(5)).has_value());
+  EXPECT_FALSE(lb.evaluate_probe(0, 100, 1, 30, median_at(5)).has_value());
+  // Exactly at threshold: 4x is not > 4x.
+  EXPECT_FALSE(lb.evaluate_probe(0, 400, 1, 100, median_at(5)).has_value());
+}
+
+TEST(LoadBalancer, ActsAboveThreshold) {
+  LoadBalancer lb;
+  auto d = lb.evaluate_probe(0, 401, 1, 100, median_at(5));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->heavy_node, 0);
+  EXPECT_EQ(d->light_node, 1);
+  EXPECT_EQ(d->new_id, Key::from_uint64(5));
+}
+
+TEST(LoadBalancer, SymmetricProbe) {
+  // Either side of the probe may be the heavy one.
+  LoadBalancer lb;
+  auto d = lb.evaluate_probe(0, 100, 1, 401, median_at(5));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->heavy_node, 1);
+  EXPECT_EQ(d->light_node, 0);
+}
+
+TEST(LoadBalancer, ZeroLightLoadAlwaysImbalanced) {
+  LoadBalancer lb;
+  auto d = lb.evaluate_probe(0, 10, 1, 0, median_at(5));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->light_node, 1);
+}
+
+TEST(LoadBalancer, SkipsTinyHeavyNode) {
+  LoadBalancer lb(LoadBalanceConfig{4.0, 8});
+  EXPECT_FALSE(lb.evaluate_probe(0, 7, 1, 0, median_at(5)).has_value());
+  EXPECT_TRUE(lb.evaluate_probe(0, 8, 1, 0, median_at(5)).has_value());
+}
+
+TEST(LoadBalancer, SelfProbeIgnored) {
+  LoadBalancer lb;
+  EXPECT_FALSE(lb.evaluate_probe(3, 1000, 3, 0, median_at(5)).has_value());
+}
+
+TEST(LoadBalancer, NoMedianNoMove) {
+  LoadBalancer lb;
+  auto no_median = [](int) -> std::optional<Key> { return std::nullopt; };
+  EXPECT_FALSE(lb.evaluate_probe(0, 1000, 1, 1, no_median).has_value());
+}
+
+TEST(LoadBalancer, MedianQueriedForHeavyNode) {
+  LoadBalancer lb;
+  int queried = -1;
+  auto spy = [&queried](int heavy) -> std::optional<Key> {
+    queried = heavy;
+    return Key::from_uint64(9);
+  };
+  lb.evaluate_probe(7, 5, 2, 500, spy);
+  EXPECT_EQ(queried, 2);
+}
+
+TEST(LoadBalancer, ThresholdBelowTwoThrows) {
+  EXPECT_THROW(LoadBalancer(LoadBalanceConfig{1.5, 4}), PreconditionError);
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, TriggersExactlyAboveT) {
+  const double t = GetParam();
+  LoadBalancer lb(LoadBalanceConfig{t, 2});
+  const std::int64_t light = 100;
+  const auto heavy_at = static_cast<std::int64_t>(t * 100);
+  EXPECT_FALSE(lb.evaluate_probe(0, heavy_at, 1, light, median_at(1)).has_value());
+  EXPECT_TRUE(lb.evaluate_probe(0, heavy_at + 1, 1, light, median_at(1)).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(2.0, 3.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace d2::dht

@@ -1,0 +1,109 @@
+#include "core/locality_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace d2::core {
+namespace {
+
+// Small workloads so the analysis runs in milliseconds.
+trace::HarvardParams harvard_params() {
+  trace::HarvardParams p;
+  p.users = 8;
+  p.days = 2;
+  p.target_active_bytes = mB(48);
+  p.accesses_per_user_day = 300;
+  p.seed = 21;
+  return p;
+}
+
+LocalityParams small_nodes() {
+  LocalityParams p;
+  p.node_capacity = mB(2);  // scaled-down 250MB so we get many nodes
+  return p;
+}
+
+TEST(LocalityAnalysis, HarvardOrderedBeatsTraditional) {
+  trace::HarvardGenerator gen(harvard_params());
+  const auto accesses = LocalityAnalysis::from_harvard(gen);
+  ASSERT_FALSE(accesses.empty());
+  const LocalityResult r = LocalityAnalysis::analyze(accesses, small_nodes());
+  // Fig 3's shape: ordered well below traditional; lower bound below both.
+  EXPECT_LT(r.ordered_nodes_per_user_hour, r.traditional_nodes_per_user_hour * 0.5);
+  EXPECT_LE(r.lower_bound_nodes_per_user_hour, r.ordered_nodes_per_user_hour + 1e-9);
+  EXPECT_GE(r.lower_bound_nodes_per_user_hour, 1.0);
+}
+
+TEST(LocalityAnalysis, HpOrderedBeatsTraditional) {
+  trace::HpParams p;
+  p.apps = 10;
+  p.days = 2;
+  p.accesses_per_app_day = 1500;
+  trace::HpGenerator gen(p);
+  const auto accesses = LocalityAnalysis::from_hp(gen);
+  const LocalityResult r = LocalityAnalysis::analyze(accesses, small_nodes());
+  EXPECT_LT(r.ordered_nodes_per_user_hour, r.traditional_nodes_per_user_hour);
+}
+
+TEST(LocalityAnalysis, WebOrderedBeatsTraditional) {
+  trace::WebParams p;
+  p.clients = 15;
+  p.days = 2;
+  p.sites = 80;
+  p.requests_per_client_day = 250;
+  trace::WebGenerator gen(p);
+  const auto accesses = LocalityAnalysis::from_web(gen);
+  const LocalityResult r = LocalityAnalysis::analyze(accesses, small_nodes());
+  EXPECT_LT(r.ordered_nodes_per_user_hour, r.traditional_nodes_per_user_hour);
+}
+
+TEST(LocalityAnalysis, NormalizationConsistent) {
+  trace::HarvardGenerator gen(harvard_params());
+  const auto accesses = LocalityAnalysis::from_harvard(gen);
+  const LocalityResult r = LocalityAnalysis::analyze(accesses, small_nodes());
+  EXPECT_NEAR(r.ordered_normalized(),
+              r.ordered_nodes_per_user_hour / r.traditional_nodes_per_user_hour,
+              1e-12);
+  EXPECT_LE(r.lower_bound_normalized(), r.ordered_normalized() + 1e-12);
+}
+
+TEST(LocalityAnalysis, LowerBoundIsFloorOfBlockCount) {
+  // Two users, few blocks, tiny nodes: hand-checkable.
+  std::vector<BlockAccess> accesses;
+  for (int b = 0; b < 10; ++b) {
+    accesses.push_back({seconds(b), 0, "u0/file" + std::to_string(b)});
+  }
+  LocalityParams p;
+  p.block_size = kB(8);
+  p.node_capacity = kB(8) * 4;  // 4 blocks per node
+  const LocalityResult r = LocalityAnalysis::analyze(accesses, p);
+  // 10 blocks, 4 per node -> lower bound ceil(10/4) = 3 nodes.
+  EXPECT_DOUBLE_EQ(r.lower_bound_nodes_per_user_hour, 3.0);
+  EXPECT_EQ(r.distinct_blocks, 10u);
+  EXPECT_EQ(r.nodes, 3);
+}
+
+TEST(LocalityAnalysis, OrderedPerfectForSortedAccess) {
+  // A user touching an alphabetical run of blocks gets the lower bound
+  // under the ordered placement.
+  std::vector<BlockAccess> accesses;
+  for (int b = 0; b < 8; ++b) {
+    accesses.push_back(
+        {seconds(b), 0, "dir/f" + std::to_string(b)});  // f0..f7 sorted
+  }
+  LocalityParams p;
+  p.block_size = kB(8);
+  p.node_capacity = kB(8) * 4;
+  const LocalityResult r = LocalityAnalysis::analyze(accesses, p);
+  EXPECT_DOUBLE_EQ(r.ordered_nodes_per_user_hour, 2.0);
+  EXPECT_DOUBLE_EQ(r.lower_bound_nodes_per_user_hour, 2.0);
+}
+
+TEST(LocalityAnalysis, FromHarvardExpandsBlocks) {
+  trace::HarvardGenerator gen(harvard_params());
+  const auto accesses = LocalityAnalysis::from_harvard(gen);
+  // More block accesses than records (multi-block reads expand).
+  EXPECT_GT(accesses.size(), gen.records().size());
+}
+
+}  // namespace
+}  // namespace d2::core

@@ -1,0 +1,112 @@
+#include "store/lookup_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace d2::store {
+namespace {
+
+Key K(std::uint64_t v) { return Key::from_uint64(v); }
+
+TEST(LookupCache, FindsKeysInCachedArc) {
+  LookupCache c;
+  c.insert(0, /*node=*/7, K(100), K(200));
+  EXPECT_EQ(c.find(1, K(150)), 7);
+  EXPECT_EQ(c.find(1, K(200)), 7);   // inclusive end
+  EXPECT_EQ(c.find(1, K(100)), std::nullopt);  // exclusive start
+  EXPECT_EQ(c.find(1, K(250)), std::nullopt);
+}
+
+TEST(LookupCache, EntriesExpireAfterTtl) {
+  LookupCache c(seconds(10));
+  c.insert(0, 7, K(100), K(200));
+  EXPECT_TRUE(c.find(seconds(9), K(150)).has_value());
+  EXPECT_FALSE(c.find(seconds(10), K(150)).has_value());
+  EXPECT_EQ(c.size(), 0u);  // expired entry evicted on access
+}
+
+TEST(LookupCache, NewerEntryEvictsOverlap) {
+  LookupCache c;
+  c.insert(0, 7, K(100), K(200));
+  // A node moved; the range got split.
+  c.insert(1, 9, K(100), K(150));
+  EXPECT_EQ(c.find(2, K(120)), 9);
+  // The old overlapping entry was evicted wholesale.
+  EXPECT_EQ(c.find(2, K(180)), std::nullopt);
+}
+
+TEST(LookupCache, DisjointEntriesCoexist) {
+  LookupCache c;
+  c.insert(0, 1, K(100), K(200));
+  c.insert(0, 2, K(200), K(300));
+  c.insert(0, 3, K(300), K(400));
+  EXPECT_EQ(c.find(1, K(150)), 1);
+  EXPECT_EQ(c.find(1, K(250)), 2);
+  EXPECT_EQ(c.find(1, K(350)), 3);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(LookupCache, WrappingArcSplitsAtTop) {
+  LookupCache c;
+  // Node owns (MAX-100, 50] — wraps through zero.
+  c.insert(0, 4, Key::max() - K(100), K(50));
+  EXPECT_EQ(c.find(1, Key::max()), 4);
+  EXPECT_EQ(c.find(1, Key::max() - K(50)), 4);
+  EXPECT_EQ(c.find(1, K(0)), 4);
+  EXPECT_EQ(c.find(1, K(50)), 4);
+  EXPECT_EQ(c.find(1, K(51)), std::nullopt);
+}
+
+TEST(LookupCache, WholeRingArc) {
+  LookupCache c;
+  c.insert(0, 5, K(42), K(42));  // single-node ring
+  EXPECT_EQ(c.find(1, K(0)), 5);
+  EXPECT_EQ(c.find(1, Key::max()), 5);
+  EXPECT_EQ(c.find(1, K(42)), 5);
+}
+
+TEST(LookupCache, InvalidateRemovesCoveringEntry) {
+  LookupCache c;
+  c.insert(0, 7, K(100), K(200));
+  c.invalidate(K(150));
+  EXPECT_EQ(c.find(1, K(150)), std::nullopt);
+}
+
+TEST(LookupCache, InvalidateMissIsNoop) {
+  LookupCache c;
+  c.insert(0, 7, K(100), K(200));
+  c.invalidate(K(300));
+  EXPECT_EQ(c.find(1, K(150)), 7);
+}
+
+TEST(LookupCache, StatsTrackHitsAndMisses) {
+  LookupCache c;
+  c.record_hit();
+  c.record_hit();
+  c.record_miss();
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_NEAR(c.miss_rate(), 1.0 / 3.0, 1e-12);
+  c.reset_stats();
+  EXPECT_EQ(c.miss_rate(), 0.0);
+}
+
+TEST(LookupCache, RefreshedEntryGetsNewTtl) {
+  LookupCache c(seconds(10));
+  c.insert(0, 7, K(100), K(200));
+  c.insert(seconds(8), 7, K(100), K(200));  // re-learned
+  EXPECT_TRUE(c.find(seconds(15), K(150)).has_value());
+}
+
+TEST(LookupCache, ManyArcsRingOrder) {
+  // Simulate caching a full ring of 100 node arcs and querying each.
+  LookupCache c;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    c.insert(0, static_cast<int>(i), K(i * 10), K((i + 1) * 10));
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.find(1, K(i * 10 + 5)), static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace d2::store

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "net/latency.h"
+#include "net/tcp_model.h"
+
+namespace d2::net {
+namespace {
+
+TEST(LatencyModel, SymmetricAndPositive) {
+  Rng rng(1);
+  LatencyModel m(50, rng);
+  for (int a = 0; a < 50; ++a) {
+    for (int b = 0; b < 50; ++b) {
+      EXPECT_EQ(m.rtt(a, b), m.rtt(b, a));
+      EXPECT_GT(m.rtt(a, b), 0);
+    }
+  }
+}
+
+TEST(LatencyModel, LoopbackIsSmall) {
+  Rng rng(2);
+  LatencyModel m(10, rng);
+  EXPECT_EQ(m.rtt(3, 3), milliseconds(1));
+}
+
+TEST(LatencyModel, MeanNearTarget) {
+  Rng rng(3);
+  LatencyModel m(200, rng, 90.0);
+  Rng sample(4);
+  const double mean = m.measured_mean_rtt_ms(sample);
+  EXPECT_GT(mean, 50.0);
+  EXPECT_LT(mean, 160.0);
+}
+
+TEST(LatencyModel, HasHighLatencyTail) {
+  // The paper notes inter-node latencies varying by several 100 ms.
+  Rng rng(5);
+  LatencyModel m(300, rng, 90.0);
+  SimTime max_rtt = 0;
+  SimTime min_rtt = kSimTimeNever;
+  Rng sample(6);
+  for (int i = 0; i < 5000; ++i) {
+    const int a = static_cast<int>(sample.next_below(300));
+    const int b = static_cast<int>(sample.next_below(300));
+    if (a != b) {
+      max_rtt = std::max(max_rtt, m.rtt(a, b));
+      min_rtt = std::min(min_rtt, m.rtt(a, b));
+    }
+  }
+  EXPECT_GT(max_rtt - min_rtt, milliseconds(200));
+}
+
+TEST(TcpModel, ColdWindowNeedsTwoRttsFor8KB) {
+  // Paper footnote: with a 2-packet initial window, an 8 KB block takes at
+  // least 2 RTTs.
+  TcpModel tcp;
+  EXPECT_EQ(tcp.transfer_rtts(0, 1, 0, kB(8)), 2);
+}
+
+TEST(TcpModel, WindowGrowsAcrossTransfers) {
+  TcpModel tcp;
+  const int first = tcp.transfer_rtts(0, 1, 0, kB(64));
+  tcp.touch(0, 1, milliseconds(100));
+  const int second = tcp.transfer_rtts(0, 1, milliseconds(200), kB(64));
+  EXPECT_LT(second, first);
+}
+
+TEST(TcpModel, IdleResetsToSlowStart) {
+  TcpModel tcp;  // rto = 1 s
+  tcp.transfer_rtts(0, 1, 0, kB(64));
+  tcp.touch(0, 1, milliseconds(100));
+  EXPECT_GT(tcp.current_cwnd(0, 1, milliseconds(200)), tcp.config().initial_cwnd_pkts);
+  // After > RTO idle, the window collapses.
+  EXPECT_EQ(tcp.current_cwnd(0, 1, seconds(5)), tcp.config().initial_cwnd_pkts);
+  EXPECT_EQ(tcp.transfer_rtts(0, 1, seconds(5), kB(8)), 2);
+}
+
+TEST(TcpModel, ConnectionsAreIndependent) {
+  TcpModel tcp;
+  tcp.transfer_rtts(0, 1, 0, kB(64));  // warm 0->1
+  // 0->2 is still cold.
+  EXPECT_EQ(tcp.transfer_rtts(0, 2, milliseconds(10), kB(8)), 2);
+  // and direction matters: 1->0 is distinct from 0->1.
+  EXPECT_EQ(tcp.current_cwnd(1, 0, milliseconds(10)),
+            tcp.config().initial_cwnd_pkts);
+}
+
+TEST(TcpModel, ColdStartCounter) {
+  TcpModel tcp;
+  tcp.transfer_rtts(0, 1, 0, kB(8));                    // cold
+  tcp.touch(0, 1, milliseconds(50));
+  tcp.transfer_rtts(0, 1, milliseconds(100), kB(8));    // warm
+  tcp.transfer_rtts(0, 1, seconds(10), kB(8));          // idle reset: cold
+  EXPECT_EQ(tcp.transfers(), 3u);
+  EXPECT_EQ(tcp.cold_starts(), 2u);
+}
+
+TEST(TcpModel, RttCountMatchesDoubling) {
+  TcpModel tcp;
+  // 2+4+8+16 = 30 packets in 4 RTTs; 30*1460 = 43800 bytes.
+  EXPECT_EQ(tcp.transfer_rtts(0, 1, 0, 43800), 4);
+  // One byte more needs a fifth RTT.
+  TcpModel tcp2;
+  EXPECT_EQ(tcp2.transfer_rtts(0, 1, 0, 43801), 5);
+}
+
+TEST(TcpModel, MaxWindowCapsGrowth) {
+  TcpConfig cfg;
+  cfg.max_cwnd_pkts = 4;
+  TcpModel tcp(cfg);
+  // 2+4+4+4 = 14 packets in 4 RTTs.
+  EXPECT_EQ(tcp.transfer_rtts(0, 1, 0, 14 * 1460), 4);
+}
+
+TEST(TcpModel, SingleSmallPacketOneRtt) {
+  TcpModel tcp;
+  EXPECT_EQ(tcp.transfer_rtts(0, 1, 0, 100), 1);
+}
+
+class TcpSizeSweep : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(TcpSizeSweep, RttsMonotonicInSize) {
+  TcpModel a, b;
+  const int r1 = a.transfer_rtts(0, 1, 0, GetParam());
+  const int r2 = b.transfer_rtts(0, 1, 0, GetParam() * 2);
+  EXPECT_GE(r2, r1);
+  EXPECT_GE(r1, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpSizeSweep,
+                         ::testing::Values(512, kB(4), kB(8), kB(32), kB(128),
+                                           mB(1)));
+
+}  // namespace
+}  // namespace d2::net

@@ -1,0 +1,147 @@
+// Unit-level tests of the performance experiment engine (§9): determinism,
+// window selection, metric consistency, and option behaviour.
+#include "core/performance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace d2::core {
+namespace {
+
+PerformanceParams small_params(fs::KeyScheme scheme) {
+  PerformanceParams p;
+  p.system.node_count = 20;
+  p.system.replicas = 3;
+  p.system.scheme = scheme;
+  p.system.active_load_balance = scheme == fs::KeyScheme::kD2;
+  p.system.seed = 3;
+  p.workload.users = 6;
+  p.workload.days = 2;
+  p.workload.target_active_bytes = mB(16);
+  p.workload.accesses_per_user_day = 120;
+  p.workload.seed = 17;
+  p.warmup = hours(6);
+  p.window_count = 3;
+  return p;
+}
+
+TEST(PerformanceExperiment, DeterministicForSameParams) {
+  const PerformanceResult a =
+      PerformanceExperiment(small_params(fs::KeyScheme::kD2)).run();
+  const PerformanceResult b =
+      PerformanceExperiment(small_params(fs::KeyScheme::kD2)).run();
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].group_id, b.groups[i].group_id);
+    EXPECT_EQ(a.groups[i].latency, b.groups[i].latency);
+  }
+  EXPECT_EQ(a.lookup_messages, b.lookup_messages);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+}
+
+TEST(PerformanceExperiment, GroupIdsMatchAcrossSchemes) {
+  const PerformanceResult d2r =
+      PerformanceExperiment(small_params(fs::KeyScheme::kD2)).run();
+  const PerformanceResult trad =
+      PerformanceExperiment(small_params(fs::KeyScheme::kTraditionalBlock)).run();
+  std::set<std::uint64_t> d2_ids, trad_ids;
+  for (const auto& g : d2r.groups) d2_ids.insert(g.group_id);
+  for (const auto& g : trad.groups) trad_ids.insert(g.group_id);
+  // The same windows and workload: the vast majority of group ids match
+  // (client-cache timing may shift one or two edge groups).
+  std::size_t common = 0;
+  for (const auto id : d2_ids) common += trad_ids.count(id);
+  EXPECT_GT(common, d2_ids.size() * 8 / 10);
+}
+
+TEST(PerformanceExperiment, MetricsInternallyConsistent) {
+  const PerformanceResult r =
+      PerformanceExperiment(small_params(fs::KeyScheme::kD2)).run();
+  EXPECT_EQ(r.cache_misses, r.lookups);  // every miss triggers one lookup
+  EXPECT_GE(r.lookup_messages, r.lookups);  // each lookup >= 1 message
+  EXPECT_NEAR(r.lookup_messages_per_node,
+              static_cast<double>(r.lookup_messages) / 20, 1e-9);
+  EXPECT_GE(r.mean_cache_miss_rate, 0.0);
+  EXPECT_LE(r.mean_cache_miss_rate, 1.0);
+  EXPECT_LE(r.tcp_cold_starts, r.tcp_transfers);
+  for (const GroupResult& g : r.groups) {
+    EXPECT_GT(g.latency, 0);
+    EXPECT_GT(g.block_gets, 0);
+  }
+}
+
+TEST(PerformanceExperiment, ParallelNotSlowerThanSequential) {
+  PerformanceParams seq = small_params(fs::KeyScheme::kD2);
+  PerformanceParams par = small_params(fs::KeyScheme::kD2);
+  par.parallel = true;
+  const PerformanceResult rs = PerformanceExperiment(seq).run();
+  const PerformanceResult rp = PerformanceExperiment(par).run();
+  // Per matched group, para <= seq (same work, more concurrency; the
+  // network model has no congestion collapse at this scale).
+  const SpeedupSummary s = compute_speedup(rs, rp);
+  EXPECT_GE(s.overall, 1.0);
+}
+
+TEST(PerformanceExperiment, LowerBandwidthNeverFaster) {
+  PerformanceParams fast = small_params(fs::KeyScheme::kD2);
+  PerformanceParams slow = small_params(fs::KeyScheme::kD2);
+  slow.node_bandwidth = kbps(384);
+  const PerformanceResult rf = PerformanceExperiment(fast).run();
+  const PerformanceResult rsl = PerformanceExperiment(slow).run();
+  SimTime total_fast = 0, total_slow = 0;
+  for (const auto& g : rf.groups) total_fast += g.latency;
+  for (const auto& g : rsl.groups) total_slow += g.latency;
+  EXPECT_GE(total_slow, total_fast);
+}
+
+TEST(PerformanceExperiment, ClosestReplicaNotSlowerThanRandom) {
+  PerformanceParams random_sel = small_params(fs::KeyScheme::kD2);
+  PerformanceParams closest = small_params(fs::KeyScheme::kD2);
+  closest.closest_replica = true;
+  const PerformanceResult rr = PerformanceExperiment(random_sel).run();
+  const PerformanceResult rc = PerformanceExperiment(closest).run();
+  const SpeedupSummary s = compute_speedup(rr, rc);
+  EXPECT_GE(s.overall, 0.95);  // at worst a wash; normally a speedup
+}
+
+TEST(ComputeSpeedup, IgnoresUnmatchedGroups) {
+  PerformanceResult a, b;
+  a.groups.push_back(GroupResult{0, 1, seconds(2), 3});
+  a.groups.push_back(GroupResult{0, 2, seconds(2), 3});
+  b.groups.push_back(GroupResult{0, 1, seconds(1), 3});
+  b.groups.push_back(GroupResult{0, 99, seconds(1), 3});  // no partner
+  const SpeedupSummary s = compute_speedup(a, b);
+  EXPECT_EQ(s.matched_groups, 1u);
+  EXPECT_DOUBLE_EQ(s.overall, 2.0);
+}
+
+TEST(ComputeSpeedup, PerUserGeometricMean) {
+  PerformanceResult a, b;
+  // User 0: 4x and 1x speedups -> geo-mean 2x. User 1: 1x -> 1x.
+  a.groups.push_back(GroupResult{0, 1, seconds(4), 1});
+  a.groups.push_back(GroupResult{0, 2, seconds(1), 1});
+  a.groups.push_back(GroupResult{1, 3, seconds(3), 1});
+  b.groups.push_back(GroupResult{0, 1, seconds(1), 1});
+  b.groups.push_back(GroupResult{0, 2, seconds(1), 1});
+  b.groups.push_back(GroupResult{1, 3, seconds(3), 1});
+  const SpeedupSummary s = compute_speedup(a, b);
+  EXPECT_DOUBLE_EQ(s.per_user.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.per_user.at(1), 1.0);
+  // Overall = geo-mean of the per-user means = sqrt(2).
+  EXPECT_NEAR(s.overall, std::sqrt(2.0), 1e-12);
+}
+
+TEST(MatchedLatencies, PairsInOrder) {
+  PerformanceResult a, b;
+  a.groups.push_back(GroupResult{0, 1, seconds(5), 1});
+  b.groups.push_back(GroupResult{0, 1, seconds(2), 1});
+  const auto pairs = matched_latencies(a, b);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, seconds(5));   // baseline
+  EXPECT_EQ(pairs[0].second, seconds(2));  // treatment
+}
+
+}  // namespace
+}  // namespace d2::core

@@ -1,0 +1,166 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace d2 {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMean) {
+  Rng rng(9);
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  const double mu = 1.0, sigma = 0.5;
+  double sum = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2), 0.05);
+}
+
+TEST(Rng, ParetoBounded) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(11);
+  // E[geometric(p)] = (1-p)/p.
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / n, (1 - p) / p, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int count = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) count += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(count) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(13);
+  Rng b = a.fork();
+  // The fork and the parent should produce different streams.
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) {
+    if (a.next_u64() != b.next_u64()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Zipf, RanksWithinBounds) {
+  Rng rng(14);
+  ZipfDistribution z(100, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(15);
+  ZipfDistribution z(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[100]);
+  // Zipf(1.0): rank 0 frequency ~ 1/H(1000) ~ 13%.
+  EXPECT_NEAR(counts[0] / 100000.0, 0.133, 0.02);
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(16);
+  ZipfDistribution z(1, 1.0);
+  EXPECT_EQ(z.sample(rng), 0u);
+}
+
+class RngRangeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngRangeSweep, NextBelowUnbiasedAcrossModuli) {
+  Rng rng(GetParam());
+  // chi-square-lite: each bucket of next_below(10) within 3% of uniform.
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(counts[b] / static_cast<double>(n), 0.1, 0.01) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngRangeSweep, ::testing::Values(1, 7, 21, 88));
+
+}  // namespace
+}  // namespace d2

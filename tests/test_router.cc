@@ -1,0 +1,163 @@
+#include "dht/router.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dht/consistent_hash.h"
+
+namespace d2::dht {
+namespace {
+
+Ring random_ring(int n, Rng& rng) {
+  Ring r;
+  for (int i = 0; i < n; ++i) {
+    Key id = random_node_id(rng);
+    while (r.id_taken(id)) id = random_node_id(rng);
+    r.add(i, id);
+  }
+  return r;
+}
+
+TEST(Router, LookupFindsOwner) {
+  Rng rng(1);
+  Ring ring = random_ring(64, rng);
+  Router router(ring, rng);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = Key::random(rng);
+    const int src = static_cast<int>(rng.next_below(64));
+    const auto res = router.lookup(src, k);
+    EXPECT_EQ(res.owner, ring.owner(k));
+  }
+}
+
+TEST(Router, LookupFromOwnerIsFree) {
+  Rng rng(2);
+  Ring ring = random_ring(32, rng);
+  Router router(ring, rng);
+  const Key k = Key::random(rng);
+  const int owner = ring.owner(k);
+  const auto res = router.lookup(owner, k);
+  EXPECT_EQ(res.hops, 0);
+  EXPECT_EQ(res.messages, 0);
+  EXPECT_EQ(res.path, std::vector<int>{owner});
+}
+
+TEST(Router, MessagesAreHopsPlusReply) {
+  Rng rng(3);
+  Ring ring = random_ring(64, rng);
+  Router router(ring, rng);
+  for (int i = 0; i < 50; ++i) {
+    const Key k = Key::random(rng);
+    const auto res = router.lookup(0, k);
+    if (res.hops > 0) {
+      EXPECT_EQ(res.messages, res.hops + 1);
+      EXPECT_EQ(res.path.size(), static_cast<std::size_t>(res.hops) + 1);
+    }
+  }
+}
+
+TEST(Router, PathStartsAtSourceEndsAtOwner) {
+  Rng rng(4);
+  Ring ring = random_ring(100, rng);
+  Router router(ring, rng);
+  const Key k = Key::random(rng);
+  const auto res = router.lookup(5, k);
+  EXPECT_EQ(res.path.front(), 5);
+  EXPECT_EQ(res.path.back(), res.owner);
+}
+
+TEST(Router, SingleNodeRing) {
+  Rng rng(5);
+  Ring ring;
+  ring.add(0, Key::from_uint64(42));
+  Router router(ring, rng);
+  const auto res = router.lookup(0, Key::random(rng));
+  EXPECT_EQ(res.owner, 0);
+  EXPECT_EQ(res.hops, 0);
+}
+
+TEST(Router, HopsLogarithmicInSize) {
+  // Mercury/Symphony-style harmonic links give O(log^2 n / k) = O(log n)
+  // expected hops with k = log n links. Check the average stays well below
+  // linear and grows slowly.
+  Rng rng(6);
+  auto mean_hops = [&rng](int n) {
+    Ring ring = random_ring(n, rng);
+    Router router(ring, rng);
+    double total = 0;
+    const int trials = 300;
+    for (int i = 0; i < trials; ++i) {
+      const Key k = Key::random(rng);
+      const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+      total += router.lookup(src, k).hops;
+    }
+    return total / trials;
+  };
+  const double h200 = mean_hops(200);
+  const double h1000 = mean_hops(1000);
+  EXPECT_LT(h200, 20.0);
+  EXPECT_LT(h1000, 30.0);
+  EXPECT_LT(h1000, h200 * 3.0);  // far sublinear growth
+}
+
+TEST(Router, WorksOnSkewedIdDistribution) {
+  // Node IDs clustered in a tiny fraction of the key space (what happens
+  // after D2's load balancing on skewed keys): routing must still work
+  // because links are sampled by rank, not key distance.
+  Rng rng(7);
+  Ring ring;
+  for (int i = 0; i < 128; ++i) {
+    ring.add(i, Key::from_uint64(1000 + static_cast<std::uint64_t>(i) * 10));
+  }
+  Router router(ring, rng);
+  for (int i = 0; i < 100; ++i) {
+    const Key k = Key::random(rng);
+    const auto res = router.lookup(static_cast<int>(rng.next_below(128)), k);
+    EXPECT_EQ(res.owner, ring.owner(k));
+    EXPECT_LE(res.hops, 64);
+  }
+}
+
+TEST(Router, RebuildAfterRingChange) {
+  Rng rng(8);
+  Ring ring = random_ring(32, rng);
+  Router router(ring, rng);
+  ring.move(3, Key::from_uint64(77));
+  router.rebuild(rng);
+  const Key k = Key::from_uint64(77);
+  EXPECT_EQ(router.lookup(0, k).owner, ring.owner(k));
+}
+
+TEST(Router, LinksIncludeSuccessor) {
+  Rng rng(9);
+  Ring ring = random_ring(32, rng);
+  Router router(ring, rng);
+  for (int n = 0; n < 32; ++n) {
+    const auto& links = router.links_of(n);
+    EXPECT_EQ(links.front(), ring.successor(n));
+    EXPECT_GE(links.size(), 2u);
+  }
+}
+
+class RouterSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RouterSizeSweep, AllLookupsTerminateCorrectly) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  Ring ring = random_ring(n, rng);
+  Router router(ring, rng);
+  for (int i = 0; i < 100; ++i) {
+    const Key k = Key::random(rng);
+    const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto res = router.lookup(src, k);
+    EXPECT_EQ(res.owner, ring.owner(k));
+    EXPECT_LE(res.hops, 2 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RouterSizeSweep,
+                         ::testing::Values(2, 3, 8, 50, 200, 500));
+
+}  // namespace
+}  // namespace d2::dht

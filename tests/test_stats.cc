@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace d2 {
+namespace {
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook dataset
+  EXPECT_DOUBLE_EQ(s.normalized_stddev(), 0.4);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), PreconditionError);
+  EXPECT_THROW(s.min(), PreconditionError);
+  EXPECT_THROW(s.percentile(50), PreconditionError);
+}
+
+TEST(Stats, GeometricMean) {
+  Stats s;
+  s.add(1.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.geometric_mean(), 2.0);
+}
+
+TEST(GeometricMean, RequiresPositive) {
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), PreconditionError);
+  EXPECT_THROW(geometric_mean({}), PreconditionError);
+}
+
+TEST(GeometricMean, RatiosAverageCorrectly) {
+  // gm(2, 0.5) == 1: a 2x speedup and a 2x slowdown cancel — the reason
+  // the paper uses geometric means for speedups.
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 0.5}), 1.0);
+}
+
+TEST(Stats, Percentiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(RankedDescending, Sorts) {
+  auto v = ranked_descending({1.0, 3.0, 2.0});
+  EXPECT_EQ(v, (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+TEST(Stats, NormalizedStddevZeroMeanThrows) {
+  Stats s;
+  s.add(1.0);
+  s.add(-1.0);
+  EXPECT_THROW(s.normalized_stddev(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace d2

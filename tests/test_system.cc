@@ -1,0 +1,322 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "fs/key_encoding.h"
+
+namespace d2::core {
+namespace {
+
+SystemConfig small_config() {
+  SystemConfig c;
+  c.node_count = 16;
+  c.replicas = 3;
+  c.seed = 7;
+  return c;
+}
+
+// Sequential "D2-like" keys concentrated in a small region of the ring —
+// the skew that consistent hashing cannot balance.
+Key seq_key(std::uint64_t i) { return Key::from_uint64(1000 + i); }
+
+TEST(System, PutPlacesOnReplicaSet) {
+  sim::Simulator sim;
+  System sys(small_config(), sim);
+  const Key key = seq_key(1);
+  sys.put(key, 100);
+  const auto nodes = sys.replica_nodes(key);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], sys.owner_of(key));
+  EXPECT_TRUE(sys.block_available(key));
+  EXPECT_EQ(sys.serving_node(key), nodes[0]);
+  EXPECT_EQ(sys.user_write_bytes(), 100);
+}
+
+TEST(System, RemoveIsDelayed) {
+  sim::Simulator sim;
+  System sys(small_config(), sim);
+  sys.put(seq_key(1), 100);
+  sys.remove(seq_key(1));
+  EXPECT_TRUE(sys.has(seq_key(1)));  // §3: 30-second removal delay
+  sim.run_until(seconds(29));
+  EXPECT_TRUE(sys.has(seq_key(1)));
+  sim.run_until(seconds(31));
+  EXPECT_FALSE(sys.has(seq_key(1)));
+  EXPECT_EQ(sys.user_removed_bytes(), 100);
+}
+
+TEST(System, PutExistingKeyIsUpdate) {
+  sim::Simulator sim;
+  System sys(small_config(), sim);
+  sys.put(seq_key(1), 100);
+  sys.put(seq_key(1), 150);
+  EXPECT_EQ(sys.block_map().find(seq_key(1))->size, 150);
+  EXPECT_EQ(sys.block_map().block_count(), 1u);
+  EXPECT_EQ(sys.user_write_bytes(), 250);
+}
+
+TEST(System, LoadBalancingFlattensSkewedKeys) {
+  SystemConfig c = small_config();
+  c.node_count = 32;
+  c.use_pointers = false;  // eager, so physical bytes follow quickly
+  sim::Simulator sim;
+  System sys(c, sim);
+  for (std::uint64_t i = 0; i < 2000; ++i) sys.put(seq_key(i), kB(8));
+  // All keys land on one node initially (they're numerically adjacent).
+  EXPECT_GT(sys.max_over_mean_load(), 5.0);
+  sys.start_load_balancing();
+  sim.run_until(days(2));
+  // Karger-Ruhl with t=4: loads within a constant factor of the mean.
+  Stats s;
+  for (int n = 0; n < c.node_count; ++n) {
+    s.add(static_cast<double>(sys.block_map().primary_count(n)));
+  }
+  EXPECT_LT(s.max() / s.mean(), 6.0);
+  EXPECT_GT(sys.lb_moves(), 5);
+}
+
+TEST(System, NoBalancingWithoutActivation) {
+  SystemConfig c = small_config();
+  sim::Simulator sim;
+  System sys(c, sim);
+  for (std::uint64_t i = 0; i < 500; ++i) sys.put(seq_key(i), kB(8));
+  sim.run_until(days(1));
+  EXPECT_EQ(sys.lb_moves(), 0);
+}
+
+TEST(System, PointersDeferMigrationUntilStabilization) {
+  SystemConfig c = small_config();
+  c.use_pointers = true;
+  c.pointer_stabilization = hours(1);
+  sim::Simulator sim;
+  System sys(c, sim);
+  for (std::uint64_t i = 0; i < 400; ++i) sys.put(seq_key(i), kB(8));
+  // Force one balancing step manually.
+  bool moved = false;
+  for (int p = 0; p < c.node_count && !moved; ++p) moved = sys.probe_once(p);
+  ASSERT_TRUE(moved);
+  // Immediately after the move nothing migrated: the new owner holds
+  // pointers.
+  EXPECT_EQ(sys.migration_bytes(), 0);
+  // All blocks are still available (data is where it was).
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    EXPECT_TRUE(sys.block_available(seq_key(i)));
+  }
+  // After stabilization + transfer time, data has moved.
+  sim.run_until(hours(12));
+  EXPECT_GT(sys.migration_bytes(), 0);
+  // And every replica of every block holds real data again.
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const store::BlockState* b = sys.block_map().find(seq_key(i));
+    for (const store::Replica& r : b->replicas) {
+      EXPECT_TRUE(r.has_data) << "block " << i;
+    }
+    EXPECT_TRUE(b->stale_holders.empty());
+  }
+}
+
+TEST(System, EagerMigrationWithoutPointers) {
+  SystemConfig c = small_config();
+  c.use_pointers = false;
+  sim::Simulator sim;
+  System sys(c, sim);
+  for (std::uint64_t i = 0; i < 400; ++i) sys.put(seq_key(i), kB(8));
+  bool moved = false;
+  for (int p = 0; p < c.node_count && !moved; ++p) moved = sys.probe_once(p);
+  ASSERT_TRUE(moved);
+  sim.run_until(hours(1));  // well within pointer_stabilization
+  EXPECT_GT(sys.migration_bytes(), 0);
+}
+
+TEST(System, PointerHandoffAvoidsDoubleMove) {
+  // Split the same hot range twice within the stabilization window: the
+  // blocks that were handed off to the second splitter must be fetched
+  // only once (from the original holder), not moved twice.
+  SystemConfig base = small_config();
+  base.node_count = 32;
+
+  auto run = [&](bool pointers) {
+    SystemConfig c = base;
+    c.use_pointers = pointers;
+    sim::Simulator sim;
+    System sys(c, sim);
+    for (std::uint64_t i = 0; i < 1000; ++i) sys.put(seq_key(i), kB(8));
+    sys.start_load_balancing();
+    sim.run_until(days(3));
+    return sys.migration_bytes();
+  };
+  const Bytes with_pointers = run(true);
+  const Bytes without_pointers = run(false);
+  EXPECT_LT(with_pointers, without_pointers);
+}
+
+TEST(System, AvailabilitySurvivesMinorityReplicaFailure) {
+  SystemConfig c = small_config();
+  sim::Simulator sim;
+  System sys(c, sim);
+  sys.put(seq_key(1), kB(8));
+  const auto nodes = sys.replica_nodes(seq_key(1));
+
+  // Primary down for an hour: the block stays available via replicas.
+  const auto trace = sim::FailureTrace::from_intervals(
+      c.node_count, days(1), {{nodes[0], minutes(10), minutes(70)}});
+  sys.attach_failure_trace(&trace, 0);
+  sim.run_until(minutes(20));
+  EXPECT_FALSE(sys.node_up(nodes[0]));
+  EXPECT_TRUE(sys.block_available(seq_key(1)));
+  EXPECT_EQ(sys.serving_node(seq_key(1)), nodes[1]);
+  sim.run_until(minutes(80));
+  EXPECT_TRUE(sys.node_up(nodes[0]));
+  EXPECT_EQ(sys.serving_node(seq_key(1)), nodes[0]);
+}
+
+TEST(System, WholeGroupDownMakesBlockUnavailable) {
+  SystemConfig c = small_config();
+  c.regen_delay = hours(10);  // effectively no regeneration
+  sim::Simulator sim;
+  System sys(c, sim);
+  sys.put(seq_key(1), kB(8));
+  const auto nodes = sys.replica_nodes(seq_key(1));
+  std::vector<sim::FailureTrace::DownInterval> downs;
+  for (int n : nodes) downs.push_back({n, minutes(10), hours(2)});
+  const auto trace = sim::FailureTrace::from_intervals(c.node_count, days(1), downs);
+  sys.attach_failure_trace(&trace, 0);
+  sim.run_until(minutes(30));
+  EXPECT_FALSE(sys.block_available(seq_key(1)));
+  EXPECT_EQ(sys.serving_node(seq_key(1)), std::nullopt);
+  sim.run_until(hours(3));
+  EXPECT_TRUE(sys.block_available(seq_key(1)));
+}
+
+TEST(System, RegenerationRestoresAvailability) {
+  // The first two replicas fail; regeneration must copy the block onto an
+  // extra successor (bandwidth-limited), so that when the third replica
+  // later also fails, the block is still reachable.
+  SystemConfig c = small_config();
+  c.regen_delay = minutes(30);
+  sim::Simulator sim;
+  System sys(c, sim);
+  sys.put(seq_key(1), kB(8));
+  const auto nodes = sys.replica_nodes(seq_key(1));
+  std::vector<sim::FailureTrace::DownInterval> downs = {
+      {nodes[0], minutes(10), hours(8)},
+      {nodes[1], minutes(10), hours(8)},
+      {nodes[2], hours(3), hours(8)},  // fails after regeneration completed
+  };
+  const auto trace = sim::FailureTrace::from_intervals(c.node_count, days(1), downs);
+  sys.attach_failure_trace(&trace, 0);
+  sim.run_until(hours(4));
+  // All three original replicas are down, but the regenerated copy serves.
+  EXPECT_FALSE(sys.node_up(nodes[0]));
+  EXPECT_FALSE(sys.node_up(nodes[1]));
+  EXPECT_FALSE(sys.node_up(nodes[2]));
+  EXPECT_TRUE(sys.block_available(seq_key(1)));
+}
+
+TEST(System, RecoveryShrinksReplicaSetToCanonical) {
+  SystemConfig c = small_config();
+  c.regen_delay = minutes(5);
+  sim::Simulator sim;
+  System sys(c, sim);
+  sys.put(seq_key(1), kB(8));
+  const auto before = sys.replica_nodes(seq_key(1));
+  const auto trace = sim::FailureTrace::from_intervals(
+      c.node_count, days(1), {{before[0], minutes(10), hours(2)}});
+  sys.attach_failure_trace(&trace, 0);
+  sim.run_until(hours(1));
+  EXPECT_GT(sys.replica_nodes(seq_key(1)).size(), 3u);  // extended
+  sim.run_until(hours(6));
+  const auto after = sys.replica_nodes(seq_key(1));
+  EXPECT_EQ(after, before);  // canonical set restored on recovery
+}
+
+TEST(System, WriteDuringReplicaDowntimeCatchesUpOnRecovery) {
+  SystemConfig c = small_config();
+  c.regen_delay = hours(10);  // no regeneration in this window
+  sim::Simulator sim;
+  System sys(c, sim);
+  // Find the replica set of the key before inserting it.
+  const Key key = seq_key(1);
+  const auto nodes = sys.replica_nodes(key);  // empty (not inserted)
+  EXPECT_TRUE(nodes.empty());
+  const int owner = sys.owner_of(key);
+  const auto trace = sim::FailureTrace::from_intervals(
+      c.node_count, days(1), {{owner, minutes(1), hours(1)}});
+  sys.attach_failure_trace(&trace, 0);
+  sim.run_until(minutes(5));
+  sys.put(key, kB(8));  // written while the primary is down
+  const store::BlockState* b = sys.block_map().find(key);
+  bool owner_has_data = true;
+  for (const store::Replica& r : b->replicas) {
+    if (r.node == owner) owner_has_data = r.has_data;
+  }
+  EXPECT_FALSE(owner_has_data);
+  EXPECT_TRUE(sys.block_available(key));  // other replicas hold it
+  // After recovery the owner fetches the missed write.
+  sim.run_until(hours(3));
+  b = sys.block_map().find(key);
+  for (const store::Replica& r : b->replicas) {
+    EXPECT_TRUE(r.has_data);
+  }
+  EXPECT_GT(sys.migration_bytes(), 0);
+}
+
+TEST(System, ImbalanceMetricsComputed) {
+  sim::Simulator sim;
+  System sys(small_config(), sim);
+  for (std::uint64_t i = 0; i < 100; ++i) sys.put(seq_key(i), kB(8));
+  EXPECT_GT(sys.load_imbalance(), 0.0);
+  EXPECT_GE(sys.max_over_mean_load(), 1.0);
+}
+
+TEST(System, ResetTrafficCounters) {
+  sim::Simulator sim;
+  System sys(small_config(), sim);
+  sys.put(seq_key(1), 100);
+  sys.reset_traffic_counters();
+  EXPECT_EQ(sys.user_write_bytes(), 0);
+  EXPECT_EQ(sys.migration_bytes(), 0);
+}
+
+TEST(System, ReplicaSetsConsecutiveOnRing) {
+  sim::Simulator sim;
+  System sys(small_config(), sim);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Key k = Key::random(rng);
+    sys.put(k, kB(8));
+    const auto nodes = sys.replica_nodes(k);
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes[0], sys.ring().owner(k));
+    EXPECT_EQ(sys.ring().successor(nodes[0]), nodes[1]);
+    EXPECT_EQ(sys.ring().successor(nodes[1]), nodes[2]);
+  }
+}
+
+class LbThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LbThresholdSweep, SteadyStateRespectsThreshold) {
+  SystemConfig c = small_config();
+  c.node_count = 24;
+  c.lb_threshold = GetParam();
+  c.use_pointers = false;
+  sim::Simulator sim;
+  System sys(c, sim);
+  for (std::uint64_t i = 0; i < 1500; ++i) sys.put(seq_key(i), kB(8));
+  sys.start_load_balancing();
+  sim.run_until(days(2));
+  // Steady state: no pair of nodes should differ by much more than t
+  // (allow slack for the minimum-split floor and probe randomness).
+  Stats s;
+  for (int n = 0; n < c.node_count; ++n) {
+    s.add(static_cast<double>(sys.block_map().primary_count(n)) + 1.0);
+  }
+  EXPECT_LT(s.max() / s.mean(), GetParam() * 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, LbThresholdSweep,
+                         ::testing::Values(2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace d2::core

@@ -1,0 +1,135 @@
+#include "trace/tasks.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace d2::trace {
+namespace {
+
+TraceRecord read_at(SimTime t, int user) {
+  return TraceRecord{t, user, TraceRecord::Op::kRead, "f", "", 0, 8};
+}
+
+TEST(Tasks, SplitsOnInterArrivalGap) {
+  std::vector<TraceRecord> recs = {
+      read_at(seconds(0), 0), read_at(seconds(1), 0), read_at(seconds(2), 0),
+      read_at(seconds(30), 0),  // gap > 5 s: new task
+  };
+  auto tasks = segment_tasks(recs, seconds(5));
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].record_indices.size(), 3u);
+  EXPECT_EQ(tasks[1].record_indices.size(), 1u);
+}
+
+TEST(Tasks, PerUserStreamsIndependent) {
+  std::vector<TraceRecord> recs = {
+      read_at(seconds(0), 0), read_at(seconds(1), 1), read_at(seconds(2), 0),
+      read_at(seconds(3), 1),
+  };
+  auto tasks = segment_tasks(recs, seconds(5));
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].user, 0);
+  EXPECT_EQ(tasks[1].user, 1);
+  EXPECT_EQ(tasks[0].record_indices, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(tasks[1].record_indices, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Tasks, DurationCappedAtFiveMinutes) {
+  std::vector<TraceRecord> recs;
+  // One access every 4 s for 10 minutes: inter = 5 s would never split,
+  // but the 5-minute cap must.
+  for (int i = 0; i < 150; ++i) recs.push_back(read_at(seconds(4) * i, 0));
+  auto tasks = segment_tasks(recs, seconds(5), minutes(5));
+  EXPECT_GE(tasks.size(), 2u);
+  for (const Task& t : tasks) {
+    EXPECT_LE(t.end - t.start, minutes(5) + seconds(4));
+  }
+}
+
+TEST(Tasks, NonAccessOpsIgnored) {
+  std::vector<TraceRecord> recs = {
+      read_at(seconds(0), 0),
+      {seconds(1), 0, TraceRecord::Op::kRename, "a", "b", 0, 0},
+      read_at(seconds(2), 0),
+  };
+  auto tasks = segment_tasks(recs, seconds(5));
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].record_indices, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Tasks, WritesCountAsAccesses) {
+  std::vector<TraceRecord> recs = {
+      {seconds(0), 0, TraceRecord::Op::kWrite, "a", "", 0, 8},
+      {seconds(1), 0, TraceRecord::Op::kCreate, "b", "", 0, 8},
+  };
+  auto tasks = segment_tasks(recs, seconds(5));
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].record_indices.size(), 2u);
+}
+
+TEST(Tasks, InterThresholdBoundary) {
+  std::vector<TraceRecord> recs = {
+      read_at(seconds(0), 0),
+      read_at(seconds(5), 0),  // gap == inter: NOT < inter -> new task
+  };
+  auto tasks = segment_tasks(recs, seconds(5));
+  EXPECT_EQ(tasks.size(), 2u);
+}
+
+TEST(AccessGroups, ThinkTimeSplits) {
+  std::vector<TraceRecord> recs = {
+      read_at(0, 0),
+      read_at(milliseconds(500), 0),
+      read_at(milliseconds(900), 0),
+      read_at(seconds(3), 0),  // > 1 s think time
+  };
+  auto groups = segment_access_groups(recs);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].record_indices.size(), 3u);
+  EXPECT_EQ(groups[1].record_indices.size(), 1u);
+}
+
+TEST(AccessGroups, ExactlyOneSecondStaysTogether) {
+  std::vector<TraceRecord> recs = {
+      read_at(0, 0),
+      read_at(seconds(1), 0),  // <= think time: same group
+  };
+  auto groups = segment_access_groups(recs);
+  EXPECT_EQ(groups.size(), 1u);
+}
+
+TEST(AccessGroups, StartRecorded) {
+  std::vector<TraceRecord> recs = {read_at(seconds(7), 3)};
+  auto groups = segment_access_groups(recs);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].start, seconds(7));
+  EXPECT_EQ(groups[0].user, 3);
+}
+
+TEST(Tasks, EmptyInput) {
+  EXPECT_TRUE(segment_tasks({}, seconds(5)).empty());
+  EXPECT_TRUE(segment_access_groups({}).empty());
+}
+
+class InterSweep : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(InterSweep, LargerInterMeansFewerTasks) {
+  std::vector<TraceRecord> recs;
+  Rng rng(42);
+  SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<SimTime>(rng.exponential(3.0) * 1e6);
+    recs.push_back(read_at(t, 0));
+  }
+  const auto small = segment_tasks(recs, GetParam()).size();
+  const auto large = segment_tasks(recs, GetParam() * 4).size();
+  EXPECT_LE(large, small);
+  EXPECT_GE(small, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Inters, InterSweep,
+                         ::testing::Values(seconds(1), seconds(5), seconds(15)));
+
+}  // namespace
+}  // namespace d2::trace

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "trace/harvard_gen.h"
+#include "trace/hp_gen.h"
+#include "trace/web_gen.h"
+
+namespace d2::trace {
+namespace {
+
+HarvardParams small_harvard() {
+  HarvardParams p;
+  p.users = 10;
+  p.days = 3;
+  p.target_active_bytes = mB(32);
+  p.accesses_per_user_day = 200;
+  p.seed = 5;
+  return p;
+}
+
+TEST(HarvardGenerator, RecordsSortedByTime) {
+  HarvardGenerator gen(small_harvard());
+  EXPECT_TRUE(is_sorted_by_time(gen.records()));
+  EXPECT_FALSE(gen.records().empty());
+}
+
+TEST(HarvardGenerator, InitialDataNearTarget) {
+  HarvardGenerator gen(small_harvard());
+  const WorkloadSummary s = gen.summary();
+  EXPECT_GT(s.active_data, mB(24));
+  EXPECT_LT(s.active_data, mB(64));
+  EXPECT_GT(s.initial_files, 100u);
+}
+
+TEST(HarvardGenerator, AllUsersActive) {
+  HarvardGenerator gen(small_harvard());
+  std::set<int> users;
+  for (const TraceRecord& r : gen.records()) users.insert(r.user);
+  EXPECT_EQ(users.size(), 10u);
+}
+
+TEST(HarvardGenerator, DeterministicForSeed) {
+  HarvardGenerator a(small_harvard());
+  HarvardGenerator b(small_harvard());
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (std::size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_EQ(a.records()[i].time, b.records()[i].time);
+    EXPECT_EQ(a.records()[i].path, b.records()[i].path);
+  }
+}
+
+TEST(HarvardGenerator, UsersWriteOnlyTheirHomes) {
+  HarvardGenerator gen(small_harvard());
+  for (const TraceRecord& r : gen.records()) {
+    if (r.op == TraceRecord::Op::kWrite || r.op == TraceRecord::Op::kCreate ||
+        r.op == TraceRecord::Op::kRemove || r.op == TraceRecord::Op::kRename) {
+      EXPECT_EQ(r.path.rfind(HarvardGenerator::user_home(r.user), 0), 0u)
+          << r.path << " written by user " << r.user;
+    }
+  }
+}
+
+TEST(HarvardGenerator, ReadsDominril) {
+  HarvardGenerator gen(small_harvard());
+  std::uint64_t reads = 0, writes = 0;
+  for (const TraceRecord& r : gen.records()) {
+    if (r.op == TraceRecord::Op::kRead) ++reads;
+    if (r.op == TraceRecord::Op::kWrite || r.op == TraceRecord::Op::kCreate) {
+      ++writes;
+    }
+  }
+  EXPECT_GT(reads, writes * 2);  // typical FS: read-dominated
+}
+
+TEST(HarvardGenerator, DailyChurnCalibration) {
+  // Table 3 row 1: daily writes are ~10-20% of resident data.
+  HarvardParams p = small_harvard();
+  p.days = 3;
+  HarvardGenerator gen(p);
+  const WorkloadSummary s = gen.summary();
+  const double daily_write_fraction =
+      static_cast<double>(s.bytes_written) / p.days /
+      static_cast<double>(s.active_data);
+  EXPECT_GT(daily_write_fraction, 0.03);
+  EXPECT_LT(daily_write_fraction, 0.5);
+}
+
+TEST(HarvardGenerator, SessionLocalityPresent) {
+  // Consecutive reads by the same user should frequently target the same
+  // directory (the working-set behaviour locality depends on).
+  HarvardGenerator gen(small_harvard());
+  std::unordered_map<int, std::string> last_dir;
+  int same = 0, total = 0;
+  for (const TraceRecord& r : gen.records()) {
+    if (r.op != TraceRecord::Op::kRead) continue;
+    const auto slash = r.path.find_last_of('/');
+    const std::string dir = r.path.substr(0, slash);
+    auto it = last_dir.find(r.user);
+    if (it != last_dir.end()) {
+      ++total;
+      if (it->second == dir) ++same;
+    }
+    last_dir[r.user] = dir;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(same) / total, 0.4);
+}
+
+TEST(HarvardGenerator, RenamesAreRare) {
+  HarvardGenerator gen(small_harvard());
+  std::uint64_t renames = 0;
+  for (const TraceRecord& r : gen.records()) {
+    if (r.op == TraceRecord::Op::kRename) ++renames;
+  }
+  EXPECT_LT(static_cast<double>(renames),
+            0.01 * static_cast<double>(gen.records().size()));
+}
+
+TEST(HpGenerator, BlockNamesSortNumerically) {
+  EXPECT_LT(HpGenerator::block_name(99), HpGenerator::block_name(100));
+  EXPECT_LT(HpGenerator::block_name(0), HpGenerator::block_name(1));
+  EXPECT_LT(HpGenerator::block_name(999999), HpGenerator::block_name(1000000));
+}
+
+TEST(HpGenerator, ProducesSortedBlockReads) {
+  HpParams p;
+  p.apps = 5;
+  p.days = 2;
+  p.accesses_per_app_day = 300;
+  HpGenerator gen(p);
+  EXPECT_TRUE(is_sorted_by_time(gen.records()));
+  for (const TraceRecord& r : gen.records()) {
+    EXPECT_EQ(r.op, TraceRecord::Op::kRead);
+    EXPECT_EQ(r.path[0], 'b');
+  }
+  EXPECT_GT(gen.records().size(), 1000u);
+}
+
+TEST(HpGenerator, SequentialRunsPresent) {
+  HpParams p;
+  p.apps = 3;
+  p.days = 1;
+  HpGenerator gen(p);
+  // Many consecutive records should be numerically adjacent blocks.
+  int adjacent = 0, total = 0;
+  std::unordered_map<int, std::string> last;
+  for (const TraceRecord& r : gen.records()) {
+    auto it = last.find(r.user);
+    if (it != last.end()) {
+      ++total;
+      if (r.path > it->second &&
+          std::stoll(r.path.substr(1)) - std::stoll(it->second.substr(1)) == 1) {
+        ++adjacent;
+      }
+    }
+    last[r.user] = r.path;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(adjacent) / total, 0.3);
+}
+
+TEST(WebGenerator, RecordsSortedAndSized) {
+  WebParams p;
+  p.clients = 10;
+  p.days = 2;
+  p.sites = 50;
+  p.requests_per_client_day = 100;
+  WebGenerator gen(p);
+  EXPECT_TRUE(is_sorted_by_time(gen.records()));
+  for (const TraceRecord& r : gen.records()) {
+    EXPECT_GT(r.length, 0);
+    EXPECT_NE(r.path.find("www."), std::string::npos);
+  }
+}
+
+TEST(WebGenerator, SitePopularityZipf) {
+  WebParams p;
+  p.clients = 20;
+  p.days = 2;
+  p.sites = 100;
+  p.requests_per_client_day = 200;
+  WebGenerator gen(p);
+  std::unordered_map<std::string, int> site_counts;
+  for (const TraceRecord& r : gen.records()) {
+    site_counts[r.path.substr(0, r.path.find('/'))]++;
+  }
+  // The most popular site should dwarf the median site.
+  int max_count = 0;
+  for (const auto& [site, count] : site_counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count,
+            static_cast<int>(gen.records().size()) / static_cast<int>(site_counts.size()) * 5);
+}
+
+TEST(WebGenerator, ObjectSizesStable) {
+  WebParams p;
+  p.clients = 5;
+  p.days = 1;
+  p.sites = 20;
+  WebGenerator gen(p);
+  std::unordered_map<std::string, Bytes> seen;
+  for (const TraceRecord& r : gen.records()) {
+    auto [it, inserted] = seen.emplace(r.path, r.length);
+    if (!inserted) EXPECT_EQ(it->second, r.length) << r.path;
+  }
+}
+
+TEST(WebGenerator, BrowsingLocalityPresent) {
+  WebParams p;
+  p.clients = 10;
+  p.days = 1;
+  p.sites = 100;
+  WebGenerator gen(p);
+  std::unordered_map<int, std::string> last_site;
+  int same = 0, total = 0;
+  for (const TraceRecord& r : gen.records()) {
+    const std::string site = r.path.substr(0, r.path.find('/'));
+    auto it = last_site.find(r.user);
+    if (it != last_site.end()) {
+      ++total;
+      if (it->second == site) ++same;
+    }
+    last_site[r.user] = site;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(same) / total, 0.5);
+}
+
+TEST(WebGenerator, FlashCrowdDaySpikes) {
+  WebParams p;
+  p.clients = 15;
+  p.days = 4;
+  p.sites = 60;
+  p.requests_per_client_day = 150;
+  p.flash_crowd_day = 2;
+  p.flash_multiplier = 4.0;
+  WebGenerator gen(p);
+  std::vector<int> per_day(4, 0);
+  std::vector<int> news_per_day(4, 0);
+  for (const TraceRecord& r : gen.records()) {
+    const int day = static_cast<int>(r.time / days(1));
+    if (day < 0 || day >= 4) continue;
+    ++per_day[static_cast<std::size_t>(day)];
+    if (r.path.rfind("www.newswire.com", 0) == 0) {
+      ++news_per_day[static_cast<std::size_t>(day)];
+    }
+  }
+  // The flash day carries several times the traffic, mostly fresh news.
+  EXPECT_GT(per_day[2], per_day[1] * 2);
+  EXPECT_GT(news_per_day[2], per_day[2] / 2);
+  EXPECT_EQ(news_per_day[1], 0);  // no news before the event
+  // Sessions started late on the flash day may spill a little into day 3.
+  EXPECT_LT(news_per_day[3], per_day[3] / 5 + 1);
+}
+
+TEST(WebGenerator, FlashCrowdDisabled) {
+  WebParams p;
+  p.clients = 10;
+  p.days = 4;
+  p.sites = 60;
+  p.flash_crowd_day = -1;
+  WebGenerator gen(p);
+  for (const TraceRecord& r : gen.records()) {
+    EXPECT_EQ(r.path.rfind("www.newswire.com", 0), std::string::npos);
+  }
+}
+
+TEST(WorkloadSummary, CountsAccessesAndBytes) {
+  std::vector<TraceRecord> recs = {
+      {seconds(1), 0, TraceRecord::Op::kRead, "a", "", 0, 100},
+      {seconds(2), 1, TraceRecord::Op::kWrite, "b", "", 0, 50},
+      {seconds(3), 0, TraceRecord::Op::kRemove, "a", "", 0, 0},
+  };
+  const WorkloadSummary s = summarize(recs, {{"x", 1000}});
+  EXPECT_EQ(s.accesses, 2u);
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.bytes_read, 100);
+  EXPECT_EQ(s.bytes_written, 50);
+  EXPECT_EQ(s.active_data, 1000);
+  EXPECT_EQ(s.users, 2);
+  EXPECT_EQ(s.duration, seconds(3));
+}
+
+}  // namespace
+}  // namespace d2::trace

@@ -1,0 +1,112 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.h"
+#include "trace/harvard_gen.h"
+
+namespace d2::trace {
+namespace {
+
+TEST(TraceIo, RoundTripsAllOps) {
+  std::vector<TraceRecord> records = {
+      {0, 1, TraceRecord::Op::kCreate, "home/u1/a", "", 0, 8192},
+      {seconds(1), 1, TraceRecord::Op::kRead, "home/u1/a", "", 100, 200},
+      {seconds(2), 2, TraceRecord::Op::kWrite, "home/u2/b", "", 0, 4096},
+      {seconds(3), 1, TraceRecord::Op::kRename, "home/u1/a", "home/u1/c", 0, 0},
+      {seconds(4), 1, TraceRecord::Op::kMkdir, "home/u1/d", "", 0, 0},
+      {seconds(5), 1, TraceRecord::Op::kRemove, "home/u1/c", "", 0, 0},
+  };
+  std::ostringstream os;
+  write_trace(os, records);
+  std::istringstream is(os.str());
+  const std::vector<TraceRecord> parsed = read_trace(is);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].time, records[i].time) << i;
+    EXPECT_EQ(parsed[i].user, records[i].user) << i;
+    EXPECT_EQ(parsed[i].op, records[i].op) << i;
+    EXPECT_EQ(parsed[i].path, records[i].path) << i;
+    EXPECT_EQ(parsed[i].path2, records[i].path2) << i;
+    EXPECT_EQ(parsed[i].offset, records[i].offset) << i;
+    EXPECT_EQ(parsed[i].length, records[i].length) << i;
+  }
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream is(
+      "# d2-trace v1\n"
+      "\n"
+      "   # indented comment\n"
+      "5 0 read a/b 0 100\n");
+  const auto parsed = read_trace(is);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].path, "a/b");
+}
+
+TEST(TraceIo, SortsByTime) {
+  std::istringstream is(
+      "10 0 read b 0 1\n"
+      "5 0 read a 0 1\n");
+  const auto parsed = read_trace(is);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].path, "a");
+  EXPECT_TRUE(is_sorted_by_time(parsed));
+}
+
+TEST(TraceIo, OptionalOffsetLength) {
+  std::istringstream is("5 0 read a/b\n");
+  const auto parsed = read_trace(is);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].offset, 0);
+  EXPECT_EQ(parsed[0].length, 0);
+}
+
+TEST(TraceIo, MalformedLineThrows) {
+  std::istringstream bad1("what\n");
+  EXPECT_THROW(read_trace(bad1), PreconditionError);
+  std::istringstream bad2("5 0 teleport a/b\n");
+  EXPECT_THROW(read_trace(bad2), PreconditionError);
+  std::istringstream bad3("5 0 rename a/b\n");  // missing "-> target"
+  EXPECT_THROW(read_trace(bad3), PreconditionError);
+  std::istringstream bad4("-5 0 read a 0 1\n");
+  EXPECT_THROW(read_trace(bad4), PreconditionError);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/to/trace"),
+               PreconditionError);
+}
+
+TEST(TraceIo, GeneratorRoundTrip) {
+  HarvardParams p;
+  p.users = 3;
+  p.days = 1;
+  p.target_active_bytes = mB(4);
+  p.accesses_per_user_day = 50;
+  HarvardGenerator gen(p);
+  std::ostringstream os;
+  write_trace(os, gen.records());
+  std::istringstream is(os.str());
+  const auto parsed = read_trace(is);
+  ASSERT_EQ(parsed.size(), gen.records().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].path, gen.records()[i].path);
+    EXPECT_EQ(parsed[i].op, gen.records()[i].op);
+  }
+}
+
+TEST(TraceIo, OpNamesRoundTrip) {
+  for (const TraceRecord::Op op :
+       {TraceRecord::Op::kRead, TraceRecord::Op::kWrite, TraceRecord::Op::kCreate,
+        TraceRecord::Op::kRemove, TraceRecord::Op::kRename,
+        TraceRecord::Op::kMkdir}) {
+    EXPECT_EQ(parse_op(op_name(op)), op);
+  }
+  EXPECT_THROW(parse_op("bogus"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace d2::trace

@@ -1,0 +1,51 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace d2 {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(seconds(1), 1'000'000);
+  EXPECT_EQ(milliseconds(1500), microseconds(1'500'000));
+  EXPECT_EQ(minutes(2), seconds(120));
+  EXPECT_EQ(hours(1), minutes(60));
+  EXPECT_EQ(days(1), hours(24));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(90)), 90.0);
+  EXPECT_DOUBLE_EQ(to_hours(days(2)), 48.0);
+}
+
+TEST(Units, ByteConversions) {
+  EXPECT_EQ(kB(1), 1024);
+  EXPECT_EQ(mB(1), 1024 * 1024);
+  EXPECT_EQ(gB(1), 1024LL * 1024 * 1024);
+  EXPECT_EQ(kBlockSize, kB(8));
+}
+
+TEST(Units, TransmissionTime) {
+  // 8 KB at 1500 kbps: 8192*8/1.5e6 s = 43.69 ms.
+  const SimTime t = transmission_time(kB(8), kbps(1500));
+  EXPECT_NEAR(static_cast<double>(t), 43690.0, 10.0);
+  // Paper §8.1 write rate sanity: 1500 kbps moves 1500e3/8 B/s * 3600 =
+  // 675e6 bytes per hour = 643.7 MiB/h.
+  const Bytes per_hour = static_cast<Bytes>(
+      static_cast<double>(hours(1)) /
+      static_cast<double>(transmission_time(mB(1), kbps(1500))) * mB(1));
+  EXPECT_NEAR(static_cast<double>(per_hour) / mB(1), 643.7, 5.0);
+}
+
+TEST(Units, TransmissionTimeMonotonic) {
+  for (Bytes b = 0; b < kB(64); b += kB(8)) {
+    EXPECT_LE(transmission_time(b, kbps(384)),
+              transmission_time(b + kB(8), kbps(384)));
+    EXPECT_GE(transmission_time(b, kbps(384)),
+              transmission_time(b, kbps(1500)));
+  }
+}
+
+TEST(Units, NeverIsHuge) {
+  EXPECT_GT(kSimTimeNever, days(365 * 1000));
+}
+
+}  // namespace
+}  // namespace d2

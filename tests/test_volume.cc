@@ -1,0 +1,459 @@
+#include "fs/volume.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+#include "fs/key_encoding.h"
+
+namespace d2::fs {
+namespace {
+
+// Applies ops to a mirror of the store, checking basic sanity.
+class StoreMirror {
+ public:
+  void apply(const std::vector<StoreOp>& ops) {
+    for (const StoreOp& op : ops) {
+      switch (op.kind) {
+        case StoreOp::Kind::kPut:
+          blocks_[op.key] = op.size;
+          ++puts_;
+          put_bytes_ += op.size;
+          break;
+        case StoreOp::Kind::kRemove:
+          // Removal of an unknown key indicates a bookkeeping bug.
+          ASSERT_TRUE(blocks_.count(op.key) > 0) << "remove of unknown key";
+          blocks_.erase(op.key);
+          ++removes_;
+          break;
+        case StoreOp::Kind::kGet:
+          ++gets_;
+          get_bytes_ += op.size;
+          break;
+      }
+    }
+  }
+
+  std::map<Key, Bytes> blocks_;
+  int puts_ = 0, removes_ = 0, gets_ = 0;
+  Bytes put_bytes_ = 0, get_bytes_ = 0;
+};
+
+std::vector<StoreOp> gets_only(const std::vector<StoreOp>& ops) {
+  std::vector<StoreOp> out;
+  for (const StoreOp& op : ops) {
+    if (op.kind == StoreOp::Kind::kGet) out.push_back(op);
+  }
+  return out;
+}
+
+TEST(Volume, CreateAndFlushEmitsBlocks) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("a/b/file.txt", 0, kB(20), 0, ops);
+  EXPECT_TRUE(v.exists("a/b/file.txt"));
+  EXPECT_TRUE(v.is_directory("a/b"));
+  EXPECT_EQ(v.file_size("a/b/file.txt"), kB(20));
+  EXPECT_TRUE(ops.empty());  // everything buffered
+  v.flush(0, ops);
+  StoreMirror m;
+  m.apply(ops);
+  // root + a + b dir blocks, inode, 3 data blocks (20KB = 2x8K + 4K).
+  EXPECT_EQ(m.blocks_.size(), 7u);
+}
+
+TEST(Volume, SmallFileInlinesInInode) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("tiny.txt", 0, 1000, 0, ops);
+  v.flush(0, ops);
+  StoreMirror m;
+  m.apply(ops);
+  // root + inode only: data is inline.
+  EXPECT_EQ(m.blocks_.size(), 2u);
+  // Reading it back touches no data blocks.
+  ops.clear();
+  v.read("tiny.txt", 0, 1000, hours(1), ops);
+  for (const StoreOp& op : gets_only(ops)) {
+    EXPECT_EQ(decode_block_key(op.key).type != BlockType::kData, true);
+  }
+}
+
+TEST(Volume, SpillOutOfInodeWhenGrowing) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("f", 0, kB(2), 0, ops);
+  v.write("f", kB(2), kB(30), 0, ops);  // now 32 KB: 4 data blocks
+  v.flush(0, ops);
+  StoreMirror m;
+  m.apply(ops);
+  EXPECT_EQ(m.blocks_.size(), 6u);  // root + inode + 4 data
+}
+
+TEST(Volume, WritebackCoalescesRepeatedWrites) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  for (int i = 0; i < 10; ++i) {
+    v.write("f", 0, kB(8), static_cast<SimTime>(i) * seconds(1), ops);
+  }
+  EXPECT_TRUE(ops.empty());
+  v.flush(seconds(10), ops);
+  StoreMirror m;
+  m.apply(ops);
+  // 10 writes to the same block produced exactly one version of it.
+  EXPECT_EQ(m.puts_, 3);  // root + inode + 1 data block
+  EXPECT_EQ(m.removes_, 0);
+}
+
+TEST(Volume, TemporaryFileNeverHitsStore) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("tmp/scratch", 0, kB(100), 0, ops);
+  v.remove("tmp/scratch", seconds(5), ops);
+  v.flush(seconds(6), ops);
+  StoreMirror m;
+  m.apply(ops);
+  // Only the surviving metadata (root + tmp dir) was written; none of the
+  // file's blocks ever left the write-back cache.
+  for (const auto& [key, size] : m.blocks_) {
+    EXPECT_NE(decode_block_key(key).type, BlockType::kData);
+  }
+  EXPECT_EQ(m.removes_, 0);
+}
+
+TEST(Volume, OverwriteEmitsNewVersionAndRemovesOld) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("f", 0, kB(8), 0, ops);
+  v.flush(0, ops);
+  StoreMirror m;
+  m.apply(ops);
+  const auto before = m.blocks_;
+
+  ops.clear();
+  v.write("f", 0, kB(8), hours(1), ops);  // overwrite after commit
+  v.flush(hours(1), ops);
+  m.apply(ops);
+  // Same count, but data key changed (new version), old removed.
+  EXPECT_EQ(m.blocks_.size(), before.size());
+  EXPECT_GT(m.removes_, 0);
+  EXPECT_NE(m.blocks_, before);
+}
+
+TEST(Volume, ReadEmitsMetadataChainThenData) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("a/b/f", 0, kB(16), 0, ops);
+  v.flush(0, ops);
+  ops.clear();
+  v.read("a/b/f", 0, kB(16), hours(1), ops);
+  const auto gets = gets_only(ops);
+  ASSERT_EQ(gets.size(), 6u);  // root, a, b, inode, 2 data
+  EXPECT_EQ(decode_block_key(gets[0].key).type, BlockType::kDirectory);
+  EXPECT_EQ(decode_block_key(gets[3].key).type, BlockType::kInode);
+  EXPECT_EQ(decode_block_key(gets[4].key).type, BlockType::kData);
+}
+
+TEST(Volume, BufferCacheAbsorbsRereads) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("f", 0, kB(16), 0, ops);
+  v.flush(0, ops);
+  ops.clear();
+  v.read("f", 0, kB(16), hours(1), ops);
+  const auto first = gets_only(ops).size();
+  ops.clear();
+  v.read("f", 0, kB(16), hours(1) + seconds(10), ops);
+  EXPECT_EQ(gets_only(ops).size(), 0u);  // within 30 s window
+  ops.clear();
+  v.read("f", 0, kB(16), hours(2), ops);
+  EXPECT_EQ(gets_only(ops).size(), first);  // window expired
+}
+
+TEST(Volume, PartialReadTouchesOnlyCoveredBlocks) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("f", 0, kB(80), 0, ops);  // 10 data blocks
+  v.flush(0, ops);
+  ops.clear();
+  v.read("f", kB(24), kB(8), hours(1), ops);
+  int data_gets = 0;
+  for (const StoreOp& op : gets_only(ops)) {
+    if (decode_block_key(op.key).type == BlockType::kData) {
+      ++data_gets;
+      EXPECT_EQ(decode_block_key(op.key).block_number, 3u);
+    }
+  }
+  EXPECT_EQ(data_gets, 1);
+}
+
+TEST(Volume, ReadPastEndTouchesNothing) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("f", 0, kB(8), 0, ops);
+  v.flush(0, ops);
+  ops.clear();
+  v.read("f", kB(100), kB(8), hours(1), ops);
+  int data_gets = 0;
+  for (const StoreOp& op : gets_only(ops)) {
+    if (decode_block_key(op.key).type == BlockType::kData) ++data_gets;
+  }
+  EXPECT_EQ(data_gets, 0);
+}
+
+TEST(Volume, RemoveCommittedFileEmitsRemoves) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("d/f", 0, kB(24), 0, ops);
+  v.flush(0, ops);
+  StoreMirror m;
+  m.apply(ops);
+  ops.clear();
+  v.remove("d/f", hours(1), ops);
+  v.flush(hours(1), ops);
+  m.apply(ops);
+  EXPECT_FALSE(v.exists("d/f"));
+  // Only root + dir d remain (new versions).
+  for (const auto& [key, size] : m.blocks_) {
+    EXPECT_EQ(decode_block_key(key).type, BlockType::kDirectory);
+  }
+}
+
+TEST(Volume, RemoveDirectoryRecursive) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("d/a", 0, kB(8), 0, ops);
+  v.write("d/e/b", 0, kB(8), 0, ops);
+  v.flush(0, ops);
+  ops.clear();
+  v.remove("d", hours(1), ops);
+  EXPECT_FALSE(v.exists("d"));
+  EXPECT_FALSE(v.exists("d/e/b"));
+  EXPECT_EQ(v.dir_count(), 1u);  // only the root
+  EXPECT_EQ(v.file_count(), 0u);
+}
+
+TEST(Volume, RenameKeepsBlockKeys) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("a/f", 0, kB(16), 0, ops);
+  v.flush(0, ops);
+  ops.clear();
+  v.read("a/f", 0, kB(16), hours(1), ops);
+  std::vector<Key> keys_before;
+  for (const StoreOp& op : gets_only(ops)) {
+    if (decode_block_key(op.key).type == BlockType::kData) {
+      keys_before.push_back(op.key);
+    }
+  }
+
+  ops.clear();
+  v.rename("a/f", "b/g", hours(2), ops);
+  EXPECT_FALSE(v.exists("a/f"));
+  EXPECT_TRUE(v.exists("b/g"));
+
+  ops.clear();
+  v.read("b/g", 0, kB(16), hours(3), ops);
+  std::vector<Key> keys_after;
+  for (const StoreOp& op : gets_only(ops)) {
+    if (decode_block_key(op.key).type == BlockType::kData) {
+      keys_after.push_back(op.key);
+    }
+  }
+  EXPECT_EQ(keys_before, keys_after);  // §4.2: renames keep original keys
+}
+
+TEST(Volume, RootKeyConstantAcrossUpdates) {
+  Volume v("vol");
+  const Key root = v.root_key();
+  std::vector<StoreOp> ops;
+  v.write("f1", 0, kB(8), 0, ops);
+  v.flush(0, ops);
+  v.write("f2", 0, kB(8), hours(1), ops);
+  v.flush(hours(1), ops);
+  EXPECT_EQ(v.root_key(), root);
+  // Every put of the root key targeted the same key (in-place update).
+  int root_puts = 0;
+  for (const StoreOp& op : ops) {
+    if (op.kind == StoreOp::Kind::kPut && op.key == root) ++root_puts;
+  }
+  EXPECT_EQ(root_puts, 2);
+}
+
+TEST(Volume, TraditionalFileSchemeOneObjectPerFile) {
+  VolumeConfig config;
+  config.scheme = KeyScheme::kTraditionalFile;
+  Volume v("vol", config);
+  std::vector<StoreOp> ops;
+  v.write("d/f", 0, kB(100), 0, ops);
+  v.flush(0, ops);
+  StoreMirror m;
+  m.apply(ops);
+  // root + d + one file object.
+  EXPECT_EQ(m.blocks_.size(), 3u);
+  // Partial read fetches only the requested bytes from the one object.
+  ops.clear();
+  v.read("d/f", 0, kB(8), hours(1), ops);
+  const auto gets = gets_only(ops);
+  ASSERT_FALSE(gets.empty());
+  EXPECT_EQ(gets.back().size, kB(8));
+}
+
+TEST(Volume, TraditionalBlockKeysNotClustered) {
+  VolumeConfig config;
+  config.scheme = KeyScheme::kTraditionalBlock;
+  Volume v("vol", config);
+  std::vector<StoreOp> ops;
+  v.write("d/f", 0, kB(64), 0, ops);  // 8 data blocks
+  v.flush(0, ops);
+  // Hashed keys: the spread between min and max should span much of the
+  // key space (random), unlike D2 keys.
+  std::vector<Key> keys;
+  for (const StoreOp& op : ops) {
+    if (op.kind == StoreOp::Kind::kPut) keys.push_back(op.key);
+  }
+  ASSERT_GT(keys.size(), 4u);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_GT(keys.back().ring_position() - keys.front().ring_position(), 0.3);
+}
+
+TEST(Volume, D2KeysOfFileAreContiguousRange) {
+  Volume v("vol");
+  std::vector<StoreOp> a_ops, b_ops;
+  v.write("d/a", 0, kB(64), 0, a_ops);
+  v.write("d/b", 0, kB(64), 0, b_ops);
+  v.flush(0, a_ops);  // flush order: both files' blocks land in a_ops
+  std::vector<Key> a_keys, b_keys;
+  for (const StoreOp& op : a_ops) {
+    if (op.kind != StoreOp::Kind::kPut) continue;
+    const DecodedKey d = decode_block_key(op.key);
+    if (d.type != BlockType::kData) continue;
+    // Distinguish by path slot depth-2 value: file a got slot 1, b slot 2.
+    if (d.path.slots[1] == 1) a_keys.push_back(op.key);
+    if (d.path.slots[1] == 2) b_keys.push_back(op.key);
+  }
+  ASSERT_EQ(a_keys.size(), 8u);
+  ASSERT_EQ(b_keys.size(), 8u);
+  EXPECT_LT(*std::max_element(a_keys.begin(), a_keys.end()),
+            *std::min_element(b_keys.begin(), b_keys.end()));
+}
+
+TEST(Volume, ErrorsOnBadUsage) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("d/f", 0, kB(8), 0, ops);
+  EXPECT_THROW(v.read("nope", 0, 8, 0, ops), PreconditionError);
+  EXPECT_THROW(v.remove("nope", 0, ops), PreconditionError);
+  EXPECT_THROW(v.write("d/f/sub", 0, 8, 0, ops), PreconditionError);  // file as dir
+  EXPECT_THROW(v.file_size("d"), PreconditionError);
+  EXPECT_THROW(v.rename("nope", "x", 0, ops), PreconditionError);
+}
+
+TEST(Volume, UncachedReadOpsListsEverything) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("a/f", 0, kB(24), 0, ops);
+  v.flush(0, ops);
+  const auto uncached = v.uncached_read_ops("a/f");
+  // root, a, inode, 3 data blocks.
+  EXPECT_EQ(uncached.size(), 6u);
+}
+
+TEST(VolumeIntegrity, DigestStableAcrossReads) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("a/f", 0, kB(24), 0, ops);
+  v.flush(0, ops);
+  const Sha1Digest d1 = v.integrity_digest();
+  ops.clear();
+  v.read("a/f", 0, kB(24), hours(1), ops);
+  EXPECT_EQ(v.integrity_digest(), d1);  // reads don't change the chain
+}
+
+TEST(VolumeIntegrity, DigestChangesOnWrite) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("a/f", 0, kB(24), 0, ops);
+  v.flush(0, ops);
+  const Sha1Digest before = v.integrity_digest();
+  v.write("a/f", 0, kB(8), hours(1), ops);
+  v.flush(hours(1), ops);
+  EXPECT_NE(v.integrity_digest(), before);
+}
+
+TEST(VolumeIntegrity, DigestChangesOnRenameAndRemove) {
+  Volume v("vol");
+  std::vector<StoreOp> ops;
+  v.write("a/f", 0, kB(8), 0, ops);
+  v.write("a/g", 0, kB(8), 0, ops);
+  v.flush(0, ops);
+  const Sha1Digest before = v.integrity_digest();
+  v.rename("a/f", "a/h", hours(1), ops);
+  const Sha1Digest after_rename = v.integrity_digest();
+  EXPECT_NE(after_rename, before);  // names are part of the signed tree
+  v.remove("a/g", hours(2), ops);
+  EXPECT_NE(v.integrity_digest(), after_rename);
+}
+
+TEST(VolumeIntegrity, IdenticalHistoriesIdenticalDigests) {
+  auto build = [] {
+    auto v = std::make_unique<Volume>("vol");
+    std::vector<StoreOp> ops;
+    v->write("a/f", 0, kB(24), 0, ops);
+    v->write("b/g", 0, kB(4), seconds(1), ops);
+    v->flush(minutes(1), ops);
+    return v;
+  };
+  const auto v1 = build();
+  const auto v2 = build();
+  EXPECT_EQ(v1->integrity_digest(), v2->integrity_digest());
+}
+
+class VolumeSchemeSweep : public ::testing::TestWithParam<KeyScheme> {};
+
+TEST_P(VolumeSchemeSweep, WriteReadRemoveLifecycle) {
+  VolumeConfig config;
+  config.scheme = GetParam();
+  Volume v("vol", config);
+  StoreMirror m;
+  std::vector<StoreOp> ops;
+  // Create 20 files across directories, read them, remove half.
+  for (int i = 0; i < 20; ++i) {
+    v.write("dir" + std::to_string(i % 4) + "/f" + std::to_string(i), 0,
+            kB(4) * (1 + i % 5), static_cast<SimTime>(i) * seconds(1), ops);
+  }
+  v.flush(minutes(1), ops);
+  m.apply(ops);
+  ops.clear();
+  for (int i = 0; i < 20; ++i) {
+    v.read("dir" + std::to_string(i % 4) + "/f" + std::to_string(i), 0, kB(20),
+           minutes(2) + static_cast<SimTime>(i) * seconds(1), ops);
+  }
+  m.apply(ops);
+  EXPECT_GT(m.gets_, 0);
+  ops.clear();
+  for (int i = 0; i < 10; ++i) {
+    v.remove("dir" + std::to_string(i % 4) + "/f" + std::to_string(i),
+             hours(1) + static_cast<SimTime>(i) * seconds(1), ops);
+  }
+  v.flush(hours(2), ops);
+  m.apply(ops);
+  EXPECT_EQ(v.file_count(), 10u);
+  EXPECT_GT(m.removes_, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, VolumeSchemeSweep,
+                         ::testing::Values(KeyScheme::kD2,
+                                           KeyScheme::kTraditionalBlock,
+                                           KeyScheme::kTraditionalFile),
+                         [](const auto& info) {
+                           return to_string(info.param) == "d2" ? "D2"
+                                  : to_string(info.param) == "traditional"
+                                      ? "TraditionalBlock"
+                                      : "TraditionalFile";
+                         });
+
+}  // namespace
+}  // namespace d2::fs

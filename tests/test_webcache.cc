@@ -1,0 +1,150 @@
+#include "core/webcache.h"
+
+#include <gtest/gtest.h>
+
+namespace d2::core {
+namespace {
+
+SystemConfig config() {
+  SystemConfig c;
+  c.node_count = 8;
+  c.replicas = 2;
+  c.seed = 3;
+  return c;
+}
+
+WebCacheConfig static_objects() {
+  WebCacheConfig c;
+  c.dynamic_fraction = 0.0;
+  return c;
+}
+
+WebCacheConfig all_dynamic(SimTime interval) {
+  WebCacheConfig c;
+  c.dynamic_fraction = 1.0;
+  c.min_change_interval = interval;
+  c.max_change_interval = interval;
+  return c;
+}
+
+TEST(WebCache, MissInsertsThenHits) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kD2, static_objects());
+  EXPECT_FALSE(cache.request("www.a.com/x.html", kB(10)));
+  EXPECT_TRUE(cache.request("www.a.com/x.html", kB(10)));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.resident_objects(), 1u);
+}
+
+TEST(WebCache, EvictsAfterOneDayIdle) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kD2, static_objects());
+  cache.request("www.a.com/x.html", kB(10));
+  sim.run_until(days(1) + hours(1));
+  // Evicted: the next request misses again.
+  EXPECT_FALSE(cache.request("www.a.com/x.html", kB(10)));
+}
+
+TEST(WebCache, RefreshPreventsEviction) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kD2, static_objects());
+  cache.request("www.a.com/x.html", kB(10));
+  sim.run_until(hours(20));
+  EXPECT_TRUE(cache.request("www.a.com/x.html", kB(10)));  // refresh
+  sim.run_until(hours(30));  // 10h after refresh: still resident
+  EXPECT_TRUE(cache.request("www.a.com/x.html", kB(10)));
+}
+
+TEST(WebCache, DynamicObjectReplacedWithNewVersion) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kD2, all_dynamic(hours(1)));
+  EXPECT_FALSE(cache.request("www.a.com/news.html", kB(10)));  // cold miss
+  sim.run_until(minutes(10));
+  EXPECT_TRUE(cache.request("www.a.com/news.html", kB(10)));  // same epoch
+  sim.run_until(hours(1) + minutes(1));
+  // The origin's copy changed: a hit-with-stale-version re-writes.
+  EXPECT_FALSE(cache.request("www.a.com/news.html", kB(10)));
+  EXPECT_EQ(cache.version_replacements(), 1u);
+  // Writes were counted for the replacement too.
+  EXPECT_EQ(sys.user_write_bytes(), 2 * kB(10));
+}
+
+TEST(WebCache, StaticObjectNeverReplaced) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kD2, static_objects());
+  cache.request("www.a.com/logo.gif", kB(10));
+  for (int h = 1; h < 20; h += 3) {
+    sim.run_until(hours(h));
+    EXPECT_TRUE(cache.request("www.a.com/logo.gif", kB(10)));
+  }
+  EXPECT_EQ(cache.version_replacements(), 0u);
+}
+
+TEST(WebCache, ChangeIntervalDeterministicPerUrl) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCacheConfig cfg;
+  cfg.dynamic_fraction = 0.5;
+  WebCache cache(sys, fs::KeyScheme::kD2, cfg);
+  const SimTime a = cache.change_interval("www.a.com/p.html");
+  EXPECT_EQ(a, cache.change_interval("www.a.com/p.html"));
+  // With fraction 0.5, some URLs are dynamic and some are static.
+  int dynamic = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (cache.change_interval("www.x.com/o" + std::to_string(i)) !=
+        kSimTimeNever) {
+      ++dynamic;
+    }
+  }
+  EXPECT_GT(dynamic, 20);
+  EXPECT_LT(dynamic, 80);
+}
+
+TEST(WebCache, D2KeysClusterBySite) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kD2, static_objects());
+  const Key a1 = cache.key_for("www.alpha.com/p/1.html");
+  const Key a2 = cache.key_for("www.alpha.com/p/2.html");
+  const Key b = cache.key_for("www.beta.com/p/1.html");
+  const Key lo = std::min(a1, a2);
+  const Key hi = std::max(a1, a2);
+  EXPECT_TRUE(b < lo || b > hi);
+}
+
+TEST(WebCache, TraditionalKeysUniform) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kTraditionalBlock, static_objects());
+  double min_pos = 1.0, max_pos = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double pos =
+        cache.key_for("www.alpha.com/p/" + std::to_string(i) + ".html")
+            .ring_position();
+    min_pos = std::min(min_pos, pos);
+    max_pos = std::max(max_pos, pos);
+  }
+  EXPECT_GT(max_pos - min_pos, 0.5);
+}
+
+TEST(WebCache, ChurnRemovesBytesFromSystem) {
+  sim::Simulator sim;
+  System sys(config(), sim);
+  WebCache cache(sys, fs::KeyScheme::kD2, static_objects());
+  for (int i = 0; i < 20; ++i) {
+    cache.request("www.a.com/obj" + std::to_string(i), kB(8));
+  }
+  EXPECT_EQ(sys.block_map().block_count(), 20u);
+  sim.run_until(days(1) + hours(2));
+  EXPECT_EQ(sys.block_map().block_count(), 0u);
+  EXPECT_GT(sys.user_removed_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace d2::core

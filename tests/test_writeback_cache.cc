@@ -1,0 +1,131 @@
+#include "fs/writeback_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace d2::fs {
+namespace {
+
+Key K(std::uint64_t v) { return Key::from_uint64(v); }
+
+TEST(WritebackCache, FlushesAfterTtl) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(1), 100, 0, std::nullopt);
+  std::vector<StoreOp> out;
+  c.collect_expired(seconds(29), out);
+  EXPECT_TRUE(out.empty());
+  c.collect_expired(seconds(30), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, StoreOp::Kind::kPut);
+  EXPECT_EQ(out[0].key, K(1));
+  EXPECT_EQ(out[0].size, 100);
+  EXPECT_EQ(c.pending_puts(), 0u);
+}
+
+TEST(WritebackCache, TouchDelaysFlush) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(1), 100, 0, std::nullopt);
+  c.touch_put(K(1), 150, seconds(20));
+  std::vector<StoreOp> out;
+  c.collect_expired(seconds(35), out);
+  EXPECT_TRUE(out.empty());  // refreshed at t=20; flushes at t=50
+  c.collect_expired(seconds(50), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size, 150);  // latest size wins
+}
+
+TEST(WritebackCache, FlushEmitsRemoveOfOldVersion) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(2), 100, 0, K(1));
+  std::vector<StoreOp> out;
+  c.collect_expired(seconds(30), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, StoreOp::Kind::kPut);
+  EXPECT_EQ(out[0].key, K(2));
+  EXPECT_EQ(out[1].kind, StoreOp::Kind::kRemove);
+  EXPECT_EQ(out[1].key, K(1));
+}
+
+TEST(WritebackCache, CancelAbsorbsTemporaryFile) {
+  // A file created and deleted within the window never touches the store.
+  WritebackCache c(seconds(30));
+  c.stage_put(K(1), 100, 0, std::nullopt);
+  const auto old = c.cancel_put(K(1));
+  EXPECT_FALSE(old.has_value());
+  std::vector<StoreOp> out;
+  c.collect_expired(seconds(60), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WritebackCache, CancelReturnsCommittedPredecessor) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(2), 100, 0, K(1));
+  const auto old = c.cancel_put(K(2));
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, K(1));
+}
+
+TEST(WritebackCache, FreshnessForDirtyAndClean) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(1), 100, 0, std::nullopt);
+  EXPECT_TRUE(c.is_fresh(K(1), seconds(5)));  // dirty data is in memory
+  c.mark_clean(K(2), 0);
+  EXPECT_TRUE(c.is_fresh(K(2), seconds(29)));
+  EXPECT_FALSE(c.is_fresh(K(2), seconds(30)));
+  EXPECT_FALSE(c.is_fresh(K(3), 0));
+}
+
+TEST(WritebackCache, FlushedBlockStaysReadable) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(1), 100, 0, std::nullopt);
+  std::vector<StoreOp> out;
+  c.collect_expired(seconds(30), out);
+  // Just-written data is still in the buffer cache.
+  EXPECT_TRUE(c.is_fresh(K(1), seconds(31)));
+}
+
+TEST(WritebackCache, FlushAllIgnoresAge) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(1), 100, 0, std::nullopt);
+  c.stage_put(K(2), 200, seconds(1), K(9));
+  std::vector<StoreOp> out;
+  c.flush_all(seconds(2), out);
+  EXPECT_EQ(out.size(), 3u);  // two puts + one remove
+  EXPECT_EQ(c.pending_puts(), 0u);
+}
+
+TEST(WritebackCache, DoubleStageThrows) {
+  WritebackCache c(seconds(30));
+  c.stage_put(K(1), 100, 0, std::nullopt);
+  EXPECT_THROW(c.stage_put(K(1), 100, 0, std::nullopt), PreconditionError);
+}
+
+TEST(WritebackCache, TouchWithoutStageThrows) {
+  WritebackCache c(seconds(30));
+  EXPECT_THROW(c.touch_put(K(1), 100, 0), PreconditionError);
+  EXPECT_THROW(c.cancel_put(K(1)), PreconditionError);
+}
+
+TEST(WritebackCache, ManyBlocksFlushInExpiryOrder) {
+  WritebackCache c(seconds(30));
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    c.stage_put(K(i), 8, static_cast<SimTime>(i) * seconds(1), std::nullopt);
+  }
+  std::vector<StoreOp> out;
+  c.collect_expired(seconds(34), out);  // entries staged at t=0..4 expire
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(c.pending_puts(), 5u);
+}
+
+TEST(WritebackCache, CleanEntriesExpireFromHeap) {
+  WritebackCache c(seconds(30));
+  c.mark_clean(K(1), 0);
+  std::vector<StoreOp> out;
+  c.collect_expired(seconds(31), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(c.is_fresh(K(1), seconds(31)));
+}
+
+}  // namespace
+}  // namespace d2::fs

@@ -1,0 +1,304 @@
+// d2sim — command-line driver for the D2 experiment engines.
+//
+//   d2sim locality     [--workload=harvard|hp|web] [--node-mb=4]
+//   d2sim availability [--scheme=S] [--nodes=N] [--inter=SECS] [--trials=T]
+//   d2sim balance      [--workload=harvard|webcache] [--scheme=S] [--nodes=N]
+//                      [--no-pointers] [--threshold=T]
+//   d2sim performance  [--scheme=S] [--nodes=N] [--kbps=1500] [--para]
+//   d2sim trace-gen    [--workload=harvard|hp|web] [--out=FILE]
+//
+// Common options: --users=U --days=D --mb=ACTIVE_MB --seed=X
+// Schemes: d2 (default), traditional, traditional-file, trad+merc
+//
+// Exit status is non-zero on usage errors, so the tool is scriptable.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/availability.h"
+#include "core/balance.h"
+#include "core/locality_analysis.h"
+#include "core/performance.h"
+#include "trace/trace_io.h"
+
+using namespace d2;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        continue;
+      }
+      const std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq == std::string::npos) {
+        values_[body] = "1";  // boolean flag
+      } else {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string str(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  long num(const std::string& key, long def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atol(it->second.c_str());
+  }
+  bool flag(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: d2sim <locality|availability|balance|performance|trace-gen> "
+      "[options]\n"
+      "  common: --users=N --days=N --mb=ACTIVE_MB --seed=X --nodes=N\n"
+      "  scheme: --scheme=d2|traditional|traditional-file|trad+merc\n"
+      "  see the header of tools/d2sim.cc for per-command options\n");
+  return 2;
+}
+
+trace::HarvardParams harvard_params(const Args& args) {
+  trace::HarvardParams p;
+  p.users = static_cast<int>(args.num("users", 20));
+  p.days = static_cast<int>(args.num("days", 7));
+  p.target_active_bytes = mB(args.num("mb", 96));
+  p.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  return p;
+}
+
+bool parse_scheme(const std::string& name, fs::KeyScheme* scheme,
+                  bool* active_lb) {
+  if (name == "d2") {
+    *scheme = fs::KeyScheme::kD2;
+    *active_lb = true;
+  } else if (name == "traditional") {
+    *scheme = fs::KeyScheme::kTraditionalBlock;
+    *active_lb = false;
+  } else if (name == "traditional-file") {
+    *scheme = fs::KeyScheme::kTraditionalFile;
+    *active_lb = false;
+  } else if (name == "trad+merc") {
+    *scheme = fs::KeyScheme::kTraditionalBlock;
+    *active_lb = true;
+  } else {
+    std::fprintf(stderr, "unknown scheme: %s\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+core::SystemConfig system_config(const Args& args) {
+  core::SystemConfig c;
+  c.node_count = static_cast<int>(args.num("nodes", 64));
+  c.replicas = static_cast<int>(args.num("replicas", 3));
+  c.seed = static_cast<std::uint64_t>(args.num("seed", 1)) + 1000;
+  c.lb_threshold = static_cast<double>(args.num("threshold", 4));
+  c.use_pointers = !args.flag("no-pointers");
+  c.scatter_replicas = static_cast<int>(args.num("scatter", 0));
+  return c;
+}
+
+int cmd_locality(const Args& args) {
+  const std::string workload = args.str("workload", "harvard");
+  core::LocalityParams lp;
+  lp.node_capacity = mB(args.num("node-mb", 4));
+  std::vector<core::BlockAccess> accesses;
+  if (workload == "harvard") {
+    trace::HarvardGenerator gen(harvard_params(args));
+    accesses = core::LocalityAnalysis::from_harvard(gen);
+  } else if (workload == "hp") {
+    trace::HpParams p;
+    p.apps = static_cast<int>(args.num("users", 20));
+    p.days = static_cast<int>(args.num("days", 7));
+    p.seed = static_cast<std::uint64_t>(args.num("seed", 7));
+    trace::HpGenerator gen(p);
+    accesses = core::LocalityAnalysis::from_hp(gen);
+  } else if (workload == "web") {
+    trace::WebParams p;
+    p.clients = static_cast<int>(args.num("users", 40));
+    p.days = static_cast<int>(args.num("days", 7));
+    p.seed = static_cast<std::uint64_t>(args.num("seed", 11));
+    trace::WebGenerator gen(p);
+    accesses = core::LocalityAnalysis::from_web(gen);
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 2;
+  }
+  const core::LocalityResult r = core::LocalityAnalysis::analyze(accesses, lp);
+  std::printf("workload=%s blocks=%llu nodes=%d user-hours=%llu\n",
+              workload.c_str(),
+              static_cast<unsigned long long>(r.distinct_blocks), r.nodes,
+              static_cast<unsigned long long>(r.user_hours));
+  std::printf("nodes/user-hour: traditional=%.2f ordered=%.2f lower-bound=%.2f\n",
+              r.traditional_nodes_per_user_hour, r.ordered_nodes_per_user_hour,
+              r.lower_bound_nodes_per_user_hour);
+  std::printf("normalized: ordered=%.3f lower-bound=%.3f\n",
+              r.ordered_normalized(), r.lower_bound_normalized());
+  return 0;
+}
+
+int cmd_availability(const Args& args) {
+  core::AvailabilityParams p;
+  p.system = system_config(args);
+  if (!parse_scheme(args.str("scheme", "d2"), &p.system.scheme,
+                    &p.system.active_load_balance)) {
+    return 2;
+  }
+  p.workload = harvard_params(args);
+  p.failure.node_count = p.system.node_count;
+  p.failure.duration = days(args.num("days", 7) + 1);
+  p.inter = seconds(args.num("inter", 5));
+  p.warmup = days(1);
+  const int trials = static_cast<int>(args.num("trials", 1));
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    p.system.seed = static_cast<std::uint64_t>(args.num("seed", 1)) + 100 +
+                    static_cast<std::uint64_t>(t);
+    const core::AvailabilityResult r = core::AvailabilityExperiment(p).run();
+    std::printf(
+        "trial=%d tasks=%llu failed=%llu unavailability=%.3e nodes/task=%.1f "
+        "blocks/task=%.1f\n",
+        t, static_cast<unsigned long long>(r.tasks),
+        static_cast<unsigned long long>(r.failed_tasks),
+        r.task_unavailability(), r.mean_nodes_per_task, r.mean_blocks_per_task);
+    sum += r.task_unavailability();
+  }
+  if (trials > 1) std::printf("mean unavailability=%.3e\n", sum / trials);
+  return 0;
+}
+
+int cmd_balance(const Args& args) {
+  core::BalanceParams p;
+  p.system = system_config(args);
+  if (!parse_scheme(args.str("scheme", "d2"), &p.system.scheme,
+                    &p.system.active_load_balance)) {
+    return 2;
+  }
+  const std::string workload = args.str("workload", "harvard");
+  if (workload == "harvard") {
+    p.workload = core::BalanceWorkload::kHarvard;
+    p.harvard = harvard_params(args);
+    p.warmup = days(1);
+  } else if (workload == "webcache") {
+    p.workload = core::BalanceWorkload::kWebcache;
+    p.web.clients = static_cast<int>(args.num("users", 40));
+    p.web.days = static_cast<int>(args.num("days", 7));
+    p.web.seed = static_cast<std::uint64_t>(args.num("seed", 11));
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 2;
+  }
+  const core::BalanceResult r = core::BalanceExperiment(p).run();
+  std::printf("mean imbalance=%.3f mean max/mean=%.2f lb-moves=%lld\n",
+              r.mean_imbalance(), r.mean_max_over_mean(),
+              static_cast<long long>(r.lb_moves));
+  std::printf("%-6s %10s %10s %10s %12s\n", "day", "W (MB)", "R (MB)",
+              "L (MB)", "T@start (MB)");
+  for (std::size_t i = 0; i < r.days.size(); ++i) {
+    std::printf("%-6zu %10.1f %10.1f %10.1f %12.1f\n", i,
+                static_cast<double>(r.days[i].written) / mB(1),
+                static_cast<double>(r.days[i].removed) / mB(1),
+                static_cast<double>(r.days[i].migrated) / mB(1),
+                static_cast<double>(r.days[i].total_at_start) / mB(1));
+  }
+  return 0;
+}
+
+int cmd_performance(const Args& args) {
+  core::PerformanceParams p;
+  p.system = system_config(args);
+  p.system.replicas = static_cast<int>(args.num("replicas", 4));
+  if (!parse_scheme(args.str("scheme", "d2"), &p.system.scheme,
+                    &p.system.active_load_balance)) {
+    return 2;
+  }
+  p.workload = harvard_params(args);
+  p.workload.days = std::min(p.workload.days, 3);
+  p.workload.target_active_bytes = mB(1) * p.system.node_count;
+  p.warmup = hours(18);
+  p.window_count = static_cast<int>(args.num("windows", 4));
+  p.node_bandwidth = kbps(args.num("kbps", 1500));
+  p.parallel = args.flag("para");
+  const core::PerformanceResult r = core::PerformanceExperiment(p).run();
+  SimTime total = 0;
+  for (const core::GroupResult& g : r.groups) total += g.latency;
+  std::printf(
+      "groups=%zu mean-latency=%.2fs lookups=%llu msgs/node=%.1f "
+      "miss-rate=%.1f%% tcp-cold=%llu/%llu\n",
+      r.groups.size(),
+      r.groups.empty() ? 0.0
+                       : to_seconds(total) / static_cast<double>(r.groups.size()),
+      static_cast<unsigned long long>(r.lookups), r.lookup_messages_per_node,
+      100 * r.mean_cache_miss_rate,
+      static_cast<unsigned long long>(r.tcp_cold_starts),
+      static_cast<unsigned long long>(r.tcp_transfers));
+  return 0;
+}
+
+int cmd_trace_gen(const Args& args) {
+  const std::string workload = args.str("workload", "harvard");
+  std::vector<trace::TraceRecord> records;
+  if (workload == "harvard") {
+    records = trace::HarvardGenerator(harvard_params(args)).records();
+  } else if (workload == "hp") {
+    trace::HpParams p;
+    p.apps = static_cast<int>(args.num("users", 20));
+    p.days = static_cast<int>(args.num("days", 7));
+    records = trace::HpGenerator(p).records();
+  } else if (workload == "web") {
+    trace::WebParams p;
+    p.clients = static_cast<int>(args.num("users", 40));
+    p.days = static_cast<int>(args.num("days", 7));
+    records = trace::WebGenerator(p).records();
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 2;
+  }
+  const std::string out = args.str("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "trace-gen requires --out=FILE\n");
+    return 2;
+  }
+  trace::write_trace_file(out, records);
+  std::printf("wrote %zu records to %s\n", records.size(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args(argc, argv);
+  if (!args.ok()) return usage();
+  try {
+    if (cmd == "locality") return cmd_locality(args);
+    if (cmd == "availability") return cmd_availability(args);
+    if (cmd == "balance") return cmd_balance(args);
+    if (cmd == "performance") return cmd_performance(args);
+    if (cmd == "trace-gen") return cmd_trace_gen(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
