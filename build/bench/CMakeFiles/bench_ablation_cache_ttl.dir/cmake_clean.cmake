@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache_ttl.dir/bench_ablation_cache_ttl.cc.o"
+  "CMakeFiles/bench_ablation_cache_ttl.dir/bench_ablation_cache_ttl.cc.o.d"
+  "bench_ablation_cache_ttl"
+  "bench_ablation_cache_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_router_links.dir/bench_ablation_router_links.cc.o"
+  "CMakeFiles/bench_ablation_router_links.dir/bench_ablation_router_links.cc.o.d"
+  "bench_ablation_router_links"
+  "bench_ablation_router_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_router_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

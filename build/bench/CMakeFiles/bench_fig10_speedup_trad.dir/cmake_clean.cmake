@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_speedup_trad.dir/bench_fig10_speedup_trad.cc.o"
+  "CMakeFiles/bench_fig10_speedup_trad.dir/bench_fig10_speedup_trad.cc.o.d"
+  "bench_fig10_speedup_trad"
+  "bench_fig10_speedup_trad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_speedup_trad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

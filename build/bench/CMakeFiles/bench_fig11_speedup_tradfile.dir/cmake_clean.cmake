@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_speedup_tradfile.dir/bench_fig11_speedup_tradfile.cc.o"
+  "CMakeFiles/bench_fig11_speedup_tradfile.dir/bench_fig11_speedup_tradfile.cc.o.d"
+  "bench_fig11_speedup_tradfile"
+  "bench_fig11_speedup_tradfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_speedup_tradfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cache_miss.dir/bench_fig13_cache_miss.cc.o"
+  "CMakeFiles/bench_fig13_cache_miss.dir/bench_fig13_cache_miss.cc.o.d"
+  "bench_fig13_cache_miss"
+  "bench_fig13_cache_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cache_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_latency_scatter_file.dir/bench_fig15_latency_scatter_file.cc.o"
+  "CMakeFiles/bench_fig15_latency_scatter_file.dir/bench_fig15_latency_scatter_file.cc.o.d"
+  "bench_fig15_latency_scatter_file"
+  "bench_fig15_latency_scatter_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_latency_scatter_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

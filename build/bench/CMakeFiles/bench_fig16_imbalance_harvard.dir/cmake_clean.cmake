@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_imbalance_harvard.dir/bench_fig16_imbalance_harvard.cc.o"
+  "CMakeFiles/bench_fig16_imbalance_harvard.dir/bench_fig16_imbalance_harvard.cc.o.d"
+  "bench_fig16_imbalance_harvard"
+  "bench_fig16_imbalance_harvard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_imbalance_harvard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

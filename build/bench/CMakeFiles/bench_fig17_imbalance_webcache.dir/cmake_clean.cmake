@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_imbalance_webcache.dir/bench_fig17_imbalance_webcache.cc.o"
+  "CMakeFiles/bench_fig17_imbalance_webcache.dir/bench_fig17_imbalance_webcache.cc.o.d"
+  "bench_fig17_imbalance_webcache"
+  "bench_fig17_imbalance_webcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_imbalance_webcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

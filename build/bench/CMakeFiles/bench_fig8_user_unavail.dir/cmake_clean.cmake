@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_user_unavail.dir/bench_fig8_user_unavail.cc.o"
+  "CMakeFiles/bench_fig8_user_unavail.dir/bench_fig8_user_unavail.cc.o.d"
+  "bench_fig8_user_unavail"
+  "bench_fig8_user_unavail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_user_unavail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

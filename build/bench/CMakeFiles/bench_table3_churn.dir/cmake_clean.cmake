@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_churn.dir/bench_table3_churn.cc.o"
+  "CMakeFiles/bench_table3_churn.dir/bench_table3_churn.cc.o.d"
+  "bench_table3_churn"
+  "bench_table3_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_trace.dir/custom_trace.cpp.o"
+  "CMakeFiles/custom_trace.dir/custom_trace.cpp.o.d"
+  "custom_trace"
+  "custom_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadbalance_demo.dir/loadbalance_demo.cpp.o"
+  "CMakeFiles/loadbalance_demo.dir/loadbalance_demo.cpp.o.d"
+  "loadbalance_demo"
+  "loadbalance_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadbalance_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcache_demo.dir/webcache_demo.cpp.o"
+  "CMakeFiles/webcache_demo.dir/webcache_demo.cpp.o.d"
+  "webcache_demo"
+  "webcache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_common.dir/hash.cc.o"
+  "CMakeFiles/d2_common.dir/hash.cc.o.d"
+  "CMakeFiles/d2_common.dir/key.cc.o"
+  "CMakeFiles/d2_common.dir/key.cc.o.d"
+  "CMakeFiles/d2_common.dir/rng.cc.o"
+  "CMakeFiles/d2_common.dir/rng.cc.o.d"
+  "CMakeFiles/d2_common.dir/stats.cc.o"
+  "CMakeFiles/d2_common.dir/stats.cc.o.d"
+  "libd2_common.a"
+  "libd2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

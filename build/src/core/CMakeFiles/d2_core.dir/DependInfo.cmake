@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/availability.cc" "src/core/CMakeFiles/d2_core.dir/availability.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/availability.cc.o.d"
+  "/root/repo/src/core/balance.cc" "src/core/CMakeFiles/d2_core.dir/balance.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/balance.cc.o.d"
+  "/root/repo/src/core/locality_analysis.cc" "src/core/CMakeFiles/d2_core.dir/locality_analysis.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/locality_analysis.cc.o.d"
+  "/root/repo/src/core/performance.cc" "src/core/CMakeFiles/d2_core.dir/performance.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/performance.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/core/CMakeFiles/d2_core.dir/replay.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/replay.cc.o.d"
+  "/root/repo/src/core/request_load.cc" "src/core/CMakeFiles/d2_core.dir/request_load.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/request_load.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/d2_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/system.cc.o.d"
+  "/root/repo/src/core/webcache.cc" "src/core/CMakeFiles/d2_core.dir/webcache.cc.o" "gcc" "src/core/CMakeFiles/d2_core.dir/webcache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/d2_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/d2_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/d2_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/d2_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

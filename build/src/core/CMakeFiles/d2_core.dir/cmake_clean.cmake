@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_core.dir/availability.cc.o"
+  "CMakeFiles/d2_core.dir/availability.cc.o.d"
+  "CMakeFiles/d2_core.dir/balance.cc.o"
+  "CMakeFiles/d2_core.dir/balance.cc.o.d"
+  "CMakeFiles/d2_core.dir/locality_analysis.cc.o"
+  "CMakeFiles/d2_core.dir/locality_analysis.cc.o.d"
+  "CMakeFiles/d2_core.dir/performance.cc.o"
+  "CMakeFiles/d2_core.dir/performance.cc.o.d"
+  "CMakeFiles/d2_core.dir/replay.cc.o"
+  "CMakeFiles/d2_core.dir/replay.cc.o.d"
+  "CMakeFiles/d2_core.dir/request_load.cc.o"
+  "CMakeFiles/d2_core.dir/request_load.cc.o.d"
+  "CMakeFiles/d2_core.dir/system.cc.o"
+  "CMakeFiles/d2_core.dir/system.cc.o.d"
+  "CMakeFiles/d2_core.dir/webcache.cc.o"
+  "CMakeFiles/d2_core.dir/webcache.cc.o.d"
+  "libd2_core.a"
+  "libd2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

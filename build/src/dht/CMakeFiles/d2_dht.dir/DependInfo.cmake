@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/consistent_hash.cc" "src/dht/CMakeFiles/d2_dht.dir/consistent_hash.cc.o" "gcc" "src/dht/CMakeFiles/d2_dht.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/dht/load_balance.cc" "src/dht/CMakeFiles/d2_dht.dir/load_balance.cc.o" "gcc" "src/dht/CMakeFiles/d2_dht.dir/load_balance.cc.o.d"
+  "/root/repo/src/dht/ring.cc" "src/dht/CMakeFiles/d2_dht.dir/ring.cc.o" "gcc" "src/dht/CMakeFiles/d2_dht.dir/ring.cc.o.d"
+  "/root/repo/src/dht/router.cc" "src/dht/CMakeFiles/d2_dht.dir/router.cc.o" "gcc" "src/dht/CMakeFiles/d2_dht.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

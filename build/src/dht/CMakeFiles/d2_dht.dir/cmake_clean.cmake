@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_dht.dir/consistent_hash.cc.o"
+  "CMakeFiles/d2_dht.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/d2_dht.dir/load_balance.cc.o"
+  "CMakeFiles/d2_dht.dir/load_balance.cc.o.d"
+  "CMakeFiles/d2_dht.dir/ring.cc.o"
+  "CMakeFiles/d2_dht.dir/ring.cc.o.d"
+  "CMakeFiles/d2_dht.dir/router.cc.o"
+  "CMakeFiles/d2_dht.dir/router.cc.o.d"
+  "libd2_dht.a"
+  "libd2_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/key_encoding.cc" "src/fs/CMakeFiles/d2_fs.dir/key_encoding.cc.o" "gcc" "src/fs/CMakeFiles/d2_fs.dir/key_encoding.cc.o.d"
+  "/root/repo/src/fs/volume.cc" "src/fs/CMakeFiles/d2_fs.dir/volume.cc.o" "gcc" "src/fs/CMakeFiles/d2_fs.dir/volume.cc.o.d"
+  "/root/repo/src/fs/writeback_cache.cc" "src/fs/CMakeFiles/d2_fs.dir/writeback_cache.cc.o" "gcc" "src/fs/CMakeFiles/d2_fs.dir/writeback_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/d2_dht.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

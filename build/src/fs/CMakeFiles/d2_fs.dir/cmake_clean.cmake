@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_fs.dir/key_encoding.cc.o"
+  "CMakeFiles/d2_fs.dir/key_encoding.cc.o.d"
+  "CMakeFiles/d2_fs.dir/volume.cc.o"
+  "CMakeFiles/d2_fs.dir/volume.cc.o.d"
+  "CMakeFiles/d2_fs.dir/writeback_cache.cc.o"
+  "CMakeFiles/d2_fs.dir/writeback_cache.cc.o.d"
+  "libd2_fs.a"
+  "libd2_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

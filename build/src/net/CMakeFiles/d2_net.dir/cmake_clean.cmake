@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_net.dir/latency.cc.o"
+  "CMakeFiles/d2_net.dir/latency.cc.o.d"
+  "CMakeFiles/d2_net.dir/tcp_model.cc.o"
+  "CMakeFiles/d2_net.dir/tcp_model.cc.o.d"
+  "libd2_net.a"
+  "libd2_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_sim.dir/bandwidth.cc.o"
+  "CMakeFiles/d2_sim.dir/bandwidth.cc.o.d"
+  "CMakeFiles/d2_sim.dir/event_queue.cc.o"
+  "CMakeFiles/d2_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/d2_sim.dir/failure.cc.o"
+  "CMakeFiles/d2_sim.dir/failure.cc.o.d"
+  "CMakeFiles/d2_sim.dir/simulator.cc.o"
+  "CMakeFiles/d2_sim.dir/simulator.cc.o.d"
+  "libd2_sim.a"
+  "libd2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

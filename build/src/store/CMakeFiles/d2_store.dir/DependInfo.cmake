@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/block_map.cc" "src/store/CMakeFiles/d2_store.dir/block_map.cc.o" "gcc" "src/store/CMakeFiles/d2_store.dir/block_map.cc.o.d"
+  "/root/repo/src/store/lookup_cache.cc" "src/store/CMakeFiles/d2_store.dir/lookup_cache.cc.o" "gcc" "src/store/CMakeFiles/d2_store.dir/lookup_cache.cc.o.d"
+  "/root/repo/src/store/retrieval_cache.cc" "src/store/CMakeFiles/d2_store.dir/retrieval_cache.cc.o" "gcc" "src/store/CMakeFiles/d2_store.dir/retrieval_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/d2_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_store.dir/block_map.cc.o"
+  "CMakeFiles/d2_store.dir/block_map.cc.o.d"
+  "CMakeFiles/d2_store.dir/lookup_cache.cc.o"
+  "CMakeFiles/d2_store.dir/lookup_cache.cc.o.d"
+  "CMakeFiles/d2_store.dir/retrieval_cache.cc.o"
+  "CMakeFiles/d2_store.dir/retrieval_cache.cc.o.d"
+  "libd2_store.a"
+  "libd2_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/harvard_gen.cc" "src/trace/CMakeFiles/d2_trace.dir/harvard_gen.cc.o" "gcc" "src/trace/CMakeFiles/d2_trace.dir/harvard_gen.cc.o.d"
+  "/root/repo/src/trace/hp_gen.cc" "src/trace/CMakeFiles/d2_trace.dir/hp_gen.cc.o" "gcc" "src/trace/CMakeFiles/d2_trace.dir/hp_gen.cc.o.d"
+  "/root/repo/src/trace/tasks.cc" "src/trace/CMakeFiles/d2_trace.dir/tasks.cc.o" "gcc" "src/trace/CMakeFiles/d2_trace.dir/tasks.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/d2_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/d2_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/web_gen.cc" "src/trace/CMakeFiles/d2_trace.dir/web_gen.cc.o" "gcc" "src/trace/CMakeFiles/d2_trace.dir/web_gen.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/trace/CMakeFiles/d2_trace.dir/workload.cc.o" "gcc" "src/trace/CMakeFiles/d2_trace.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

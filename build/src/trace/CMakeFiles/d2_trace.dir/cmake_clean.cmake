@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2_trace.dir/harvard_gen.cc.o"
+  "CMakeFiles/d2_trace.dir/harvard_gen.cc.o.d"
+  "CMakeFiles/d2_trace.dir/hp_gen.cc.o"
+  "CMakeFiles/d2_trace.dir/hp_gen.cc.o.d"
+  "CMakeFiles/d2_trace.dir/tasks.cc.o"
+  "CMakeFiles/d2_trace.dir/tasks.cc.o.d"
+  "CMakeFiles/d2_trace.dir/trace_io.cc.o"
+  "CMakeFiles/d2_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/d2_trace.dir/web_gen.cc.o"
+  "CMakeFiles/d2_trace.dir/web_gen.cc.o.d"
+  "CMakeFiles/d2_trace.dir/workload.cc.o"
+  "CMakeFiles/d2_trace.dir/workload.cc.o.d"
+  "libd2_trace.a"
+  "libd2_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_map.dir/test_block_map.cc.o"
+  "CMakeFiles/test_block_map.dir/test_block_map.cc.o.d"
+  "test_block_map"
+  "test_block_map.pdb"
+  "test_block_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

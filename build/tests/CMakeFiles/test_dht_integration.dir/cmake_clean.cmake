@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dht_integration.dir/test_dht_integration.cc.o"
+  "CMakeFiles/test_dht_integration.dir/test_dht_integration.cc.o.d"
+  "test_dht_integration"
+  "test_dht_integration.pdb"
+  "test_dht_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dht_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

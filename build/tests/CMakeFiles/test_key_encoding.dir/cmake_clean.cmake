@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_encoding.dir/test_key_encoding.cc.o"
+  "CMakeFiles/test_key_encoding.dir/test_key_encoding.cc.o.d"
+  "test_key_encoding"
+  "test_key_encoding.pdb"
+  "test_key_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookup_cache.dir/test_lookup_cache.cc.o"
+  "CMakeFiles/test_lookup_cache.dir/test_lookup_cache.cc.o.d"
+  "test_lookup_cache"
+  "test_lookup_cache.pdb"
+  "test_lookup_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookup_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

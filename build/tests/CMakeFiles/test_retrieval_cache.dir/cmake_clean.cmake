@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retrieval_cache.dir/test_retrieval_cache.cc.o"
+  "CMakeFiles/test_retrieval_cache.dir/test_retrieval_cache.cc.o.d"
+  "test_retrieval_cache"
+  "test_retrieval_cache.pdb"
+  "test_retrieval_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retrieval_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_stress.dir/test_system_stress.cc.o"
+  "CMakeFiles/test_system_stress.dir/test_system_stress.cc.o.d"
+  "test_system_stress"
+  "test_system_stress.pdb"
+  "test_system_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/test_trace.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/d2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/d2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/d2_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/d2_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/d2_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/d2_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/d2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webcache.dir/test_webcache.cc.o"
+  "CMakeFiles/test_webcache.dir/test_webcache.cc.o.d"
+  "test_webcache"
+  "test_webcache.pdb"
+  "test_webcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_writeback_cache.dir/test_writeback_cache.cc.o"
+  "CMakeFiles/test_writeback_cache.dir/test_writeback_cache.cc.o.d"
+  "test_writeback_cache"
+  "test_writeback_cache.pdb"
+  "test_writeback_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_writeback_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2sim.dir/d2sim.cc.o"
+  "CMakeFiles/d2sim.dir/d2sim.cc.o.d"
+  "d2sim"
+  "d2sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
