@@ -15,11 +15,34 @@
 #include "core/balance.h"
 #include "core/config.h"
 #include "core/performance.h"
+#include "obs/metrics.h"
 #include "trace/harvard_gen.h"
 #include "trace/hp_gen.h"
 #include "trace/web_gen.h"
 
 namespace d2::bench {
+
+/// Process-wide metrics registry shared by every bench harness. Successive
+/// experiment runs in one binary accumulate into the same instruments, so
+/// the exit-time dump summarises the whole binary.
+inline obs::Registry& metrics() {
+  static obs::Registry registry;
+  return registry;
+}
+
+namespace detail {
+inline void dump_metrics() {
+  if (const char* out = std::getenv("D2_BENCH_METRICS")) {
+    if (std::string(out) != "-") {
+      metrics().write_json_file(out);
+      std::fprintf(stderr, "wrote %zu metrics to %s\n",
+                   metrics().instrument_count(), out);
+      return;
+    }
+  }
+  std::printf("\n-- metrics --\n%s\n", metrics().to_json().c_str());
+}
+}  // namespace detail
 
 inline double scale_factor() {
   if (const char* s = std::getenv("D2_BENCH_SCALE")) {
@@ -114,6 +137,7 @@ inline core::PerformanceResult perf_run(fs::KeyScheme scheme, int nodes,
   p.window_count = 4;
   p.node_bandwidth = bandwidth;
   p.parallel = parallel;
+  p.metrics = &metrics();
   return core::PerformanceExperiment(p).run();
 }
 
@@ -129,7 +153,17 @@ inline const char* scheme_name(fs::KeyScheme s) {
   return "?";
 }
 
+/// Prints the standard bench banner and arranges for the shared metrics
+/// block to be emitted when the binary exits (a JSON file when
+/// D2_BENCH_METRICS names one, stdout otherwise). Every bench binary calls
+/// this, so they all produce the same metrics block.
 inline void print_header(const char* title, const char* paper_ref) {
+  static const bool metrics_registered = [] {
+    metrics();  // construct the registry first so it outlives the dump
+    std::atexit(detail::dump_metrics);
+    return true;
+  }();
+  (void)metrics_registered;
   std::printf("==============================================================\n");
   std::printf("%s\n  (reproduces %s; D2_BENCH_SCALE=%.1f)\n", title, paper_ref,
               scale_factor());

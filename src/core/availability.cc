@@ -16,8 +16,11 @@ AvailabilityExperiment::AvailabilityExperiment(const AvailabilityParams& params)
 
 AvailabilityResult AvailabilityExperiment::run() {
   sim::Simulator sim;
-  System system(params_.system, sim);
+  sim.bind_metrics(params_.metrics);
+  System system(params_.system, sim, params_.metrics);
+  system.set_tracer(params_.tracer);
   VolumeSet volumes(params_.system.scheme);
+  volumes.bind_metrics(params_.metrics);
   trace::HarvardGenerator gen(params_.workload);
 
   auto apply_ops = [&system](const std::vector<fs::StoreOp>& ops) {
@@ -142,6 +145,11 @@ AvailabilityResult AvailabilityExperiment::run() {
   }
   result.migration_bytes = system.migration_bytes();
   result.lb_moves = system.lb_moves();
+  if (params_.metrics != nullptr) {
+    sim.export_metrics();
+    params_.metrics->gauge("core.availability.task_unavailability")
+        .set(result.task_unavailability());
+  }
   return result;
 }
 

@@ -14,6 +14,8 @@
 
 #include "core/config.h"
 #include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/failure.h"
 #include "trace/harvard_gen.h"
 #include "trace/tasks.h"
@@ -33,6 +35,9 @@ struct AvailabilityParams {
   SimTime task_cap = minutes(5);
   /// Disable the failure process (Table 2 placement statistics only).
   bool enable_failures = true;
+  /// Observability sinks (not owned; may be null).
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct AvailabilityResult {

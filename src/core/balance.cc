@@ -27,7 +27,9 @@ BalanceExperiment::BalanceExperiment(const BalanceParams& params)
 
 BalanceResult BalanceExperiment::run() {
   sim::Simulator sim;
-  System system(params_.system, sim);
+  sim.bind_metrics(params_.metrics);
+  System system(params_.system, sim, params_.metrics);
+  system.set_tracer(params_.tracer);
   BalanceResult result;
 
   const bool harvard = params_.workload == BalanceWorkload::kHarvard;
@@ -124,6 +126,13 @@ BalanceResult BalanceExperiment::run() {
     result.days.push_back(d);
   }
   result.lb_moves = system.lb_moves();
+  if (params_.metrics != nullptr) {
+    sim.export_metrics();
+    params_.metrics->gauge("core.balance.load_imbalance")
+        .set(system.load_imbalance());
+    params_.metrics->gauge("core.balance.max_over_mean_load")
+        .set(system.max_over_mean_load());
+  }
   return result;
 }
 

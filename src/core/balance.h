@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "trace/harvard_gen.h"
 #include "trace/web_gen.h"
 
@@ -27,6 +29,9 @@ struct BalanceParams {
   /// Webcache starts from an empty DHT, as in the paper).
   SimTime warmup = days(3);
   SimTime sample_interval = hours(1);
+  /// Observability sinks (not owned; may be null).
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct DayStats {

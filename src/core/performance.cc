@@ -62,8 +62,11 @@ std::vector<SimTime> pick_windows(const trace::HarvardParams& wl, int count,
 
 PerformanceResult PerformanceExperiment::run() {
   sim::Simulator sim;
-  System system(params_.system, sim);
+  sim.bind_metrics(params_.metrics);
+  System system(params_.system, sim, params_.metrics);
+  system.set_tracer(params_.tracer);
   VolumeSet volumes(params_.system.scheme);
+  volumes.bind_metrics(params_.metrics);
   trace::HarvardGenerator gen(params_.workload);
   Rng rng(params_.system.seed ^ 0x1234567);
 
@@ -82,8 +85,12 @@ PerformanceResult PerformanceExperiment::run() {
   net::TcpModel tcp;
   std::vector<sim::BandwidthLink> uplinks;
   uplinks.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) uplinks.emplace_back(params_.node_bandwidth);
+  for (int i = 0; i < n; ++i) {
+    uplinks.emplace_back(params_.node_bandwidth);
+    uplinks.back().bind_metrics(params_.metrics, "net.uplink");
+  }
   dht::Router router(system.ring(), rng);
+  router.bind_metrics(params_.metrics);
 
   // Users sit on random nodes (§9.1).
   std::unordered_map<int, int> user_node;
@@ -93,6 +100,7 @@ PerformanceResult PerformanceExperiment::run() {
     if (it == caches.end()) {
       it = caches.emplace(user, store::LookupCache(params_.lookup_cache_ttl))
                .first;
+      it->second.bind_metrics(params_.metrics);
     }
     return it->second;
   };
@@ -143,10 +151,16 @@ PerformanceResult PerformanceExperiment::run() {
     if (cached && *cached == owner) {
       cache.record_hit();
       ++result.cache_hits;
+      if (params_.tracer != nullptr) {
+        params_.tracer->record(t, obs::EventType::kCacheHit, user);
+      }
     } else {
       if (cached) cache.invalidate(get.key);  // stale range
       cache.record_miss();
       ++result.cache_misses;
+      if (params_.tracer != nullptr) {
+        params_.tracer->record(t, obs::EventType::kCacheMiss, user);
+      }
       const dht::Router::LookupResult lr = router.lookup(client, get.key);
       ++result.lookups;
       result.lookup_messages += static_cast<std::uint64_t>(lr.messages);
@@ -271,6 +285,16 @@ PerformanceResult PerformanceExperiment::run() {
   if (!miss_rates.empty()) result.mean_cache_miss_rate = miss_rates.mean();
   result.tcp_cold_starts = tcp.cold_starts();
   result.tcp_transfers = tcp.transfers();
+  if (params_.metrics != nullptr) {
+    sim.export_metrics();
+    params_.metrics->gauge("net.tcp.cold_start_rate")
+        .set(result.tcp_transfers == 0
+                 ? 0.0
+                 : static_cast<double>(result.tcp_cold_starts) /
+                       static_cast<double>(result.tcp_transfers));
+    params_.metrics->gauge("store.lookup_cache.mean_user_miss_rate")
+        .set(result.mean_cache_miss_rate);
+  }
   return result;
 }
 

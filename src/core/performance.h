@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "trace/harvard_gen.h"
 
 namespace d2::core {
@@ -44,6 +46,11 @@ struct PerformanceParams {
   bool closest_replica = false;
   double mean_rtt_ms = 90.0;
   SimTime lookup_cache_ttl = hours(1) + minutes(15);
+  /// Observability sinks (not owned; may be null). With `metrics` set,
+  /// the whole stack reports into it: sim.*, system.*, dht.router.*,
+  /// store.lookup_cache.*, fs.writeback_cache.*, net.uplink.*.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct GroupResult {

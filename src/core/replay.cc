@@ -38,8 +38,14 @@ fs::Volume& VolumeSet::volume_for(const std::string& path,
              .emplace(vol_name,
                       std::make_unique<fs::Volume>(vol_name, config))
              .first;
+    it->second->bind_metrics(metrics_);
   }
   return *it->second;
+}
+
+void VolumeSet::bind_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  for (auto& [name, vol] : volumes_) vol->bind_metrics(registry);
 }
 
 void VolumeSet::apply(const trace::TraceRecord& r, SimTime now,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fs/volume.h"
+#include "obs/metrics.h"
 #include "trace/workload.h"
 
 namespace d2::core {
@@ -43,9 +44,14 @@ class VolumeSet {
 
   std::size_t volume_count() const { return volumes_.size(); }
 
+  /// Binds every volume's write-back cache (existing and future) to
+  /// `registry`. Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry);
+
  private:
   fs::KeyScheme scheme_;
   SimTime writeback_ttl_;
+  obs::Registry* metrics_ = nullptr;
   std::map<std::string, std::unique_ptr<fs::Volume>> volumes_;
 };
 

@@ -18,7 +18,8 @@ RequestLoadExperiment::RequestLoadExperiment(const RequestLoadParams& params)
 
 RequestLoadResult RequestLoadExperiment::run() {
   sim::Simulator sim;
-  System system(params_.system, sim);
+  sim.bind_metrics(params_.metrics);
+  System system(params_.system, sim, params_.metrics);
   Rng rng(params_.seed);
 
   // Publish the content volume.
@@ -48,6 +49,7 @@ RequestLoadResult RequestLoadExperiment::run() {
   caches.reserve(static_cast<std::size_t>(params_.system.node_count));
   for (int i = 0; i < params_.system.node_count; ++i) {
     caches.emplace_back(params_.retrieval_cache_capacity);
+    caches.back().bind_metrics(params_.metrics);
   }
   std::vector<std::int64_t> serves(
       static_cast<std::size_t>(params_.system.node_count), 0);

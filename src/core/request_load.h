@@ -30,6 +30,8 @@ struct RequestLoadParams {
   /// Per-node retrieval cache capacity (0 disables caching).
   Bytes retrieval_cache_capacity = 0;
   std::uint64_t seed = 3;
+  /// Observability sink (not owned; may be null).
+  obs::Registry* metrics = nullptr;
 };
 
 struct RequestLoadResult {

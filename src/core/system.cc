@@ -25,9 +25,13 @@ bool System::erasure() const {
   return config_.redundancy == SystemConfig::Redundancy::kErasure;
 }
 
-System::System(const SystemConfig& config, sim::Simulator& sim)
+System::System(const SystemConfig& config, sim::Simulator& sim,
+               obs::Registry* metrics)
     : config_(config),
       sim_(sim),
+      owned_metrics_(metrics == nullptr ? std::make_unique<obs::Registry>()
+                                        : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       rng_(config.seed),
       map_(config.node_count),
       balancer_(dht::LoadBalanceConfig{config.lb_threshold, 4}) {
@@ -39,9 +43,17 @@ System::System(const SystemConfig& config, sim::Simulator& sim)
     D2_REQUIRE_MSG(config.scatter_replicas == 0,
                    "hybrid placement + erasure coding not supported together");
   }
+  user_write_bytes_c_ = &metrics_->counter("system.user_write_bytes");
+  user_removed_bytes_c_ = &metrics_->counter("system.user_removed_bytes");
+  migration_bytes_c_ = &metrics_->counter("system.migration_bytes");
+  lb_moves_c_ = &metrics_->counter("system.lb_moves");
+  replica_fetches_c_ = &metrics_->counter("system.replica_fetches");
+  pointer_promotions_c_ = &metrics_->counter("system.pointer_promotions");
+  balancer_.bind_metrics(metrics_);
   nodes_.reserve(static_cast<std::size_t>(config.node_count));
   for (int i = 0; i < config.node_count; ++i) {
     nodes_.emplace_back(config.migration_bandwidth);
+    nodes_.back().migration_link.bind_metrics(metrics_, "sim.migration_link");
     Key id = dht::random_node_id(rng_);
     while (ring_.id_taken(id)) id = dht::random_node_id(rng_);
     ring_.add(i, id);
@@ -201,12 +213,12 @@ std::optional<int> System::serving_node(const Key& k) const {
 
 void System::put(const Key& k, Bytes size) {
   D2_REQUIRE(size >= 0);
-  user_write_bytes_ += size;
+  user_write_bytes_c_->add(size);
   bool fresh_key = true;
   if (const store::BlockState* existing = map_.find(k)) {
     // In-place update (the mutable root block, or a webcache version
     // replacement): the previous version's bytes are discarded.
-    user_removed_bytes_ += existing->size;
+    user_removed_bytes_c_->add(existing->size);
     fresh_key = false;  // scatter-index entries stay valid
     if (existing->size != size) {
       map_.erase(k);
@@ -232,7 +244,7 @@ void System::put(const Key& k, Bytes size) {
 void System::remove(const Key& k) {
   sim_.schedule_after(config_.remove_delay, [this, k] {
     if (const store::BlockState* b = map_.find(k)) {
-      user_removed_bytes_ += b->size;
+      user_removed_bytes_c_->add(b->size);
       map_.erase(k);
       expiry_.erase(k);
       extended_.erase(k);
@@ -250,7 +262,10 @@ void System::refresh(const Key& k) {
     auto it = expiry_.find(k);
     if (it == expiry_.end() || it->second != deadline) return;  // refreshed
     if (const store::BlockState* b = map_.find(k)) {
-      user_removed_bytes_ += b->size;
+      user_removed_bytes_c_->add(b->size);
+      if (tracer_ != nullptr) {
+        tracer_->record(sim_.now(), obs::EventType::kBlockExpired, b->size);
+      }
       map_.erase(k);
       extended_.erase(k);
       if (config_.scatter_replicas > 0) forget_scatter(k);
@@ -295,7 +310,12 @@ void System::try_fetch(const Key& k, int node) {
     transfer_bytes = b->size;
   }
   member->fetch_in_flight = true;
-  migration_bytes_ += transfer_bytes;
+  migration_bytes_c_->add(transfer_bytes);
+  replica_fetches_c_->add(1);
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventType::kReplicaFetch, node,
+                    transfer_bytes);
+  }
   const SimTime done = nodes_[static_cast<std::size_t>(node)]
                            .migration_link.enqueue(sim_.now(), transfer_bytes);
   sim_.schedule_at(done, [this, k, node] {
@@ -303,7 +323,12 @@ void System::try_fetch(const Key& k, int node) {
     if (blk == nullptr) return;
     for (store::Replica& r : blk->replicas) {
       if (r.node == node) {
-        if (!r.has_data && r.fetch_in_flight) map_.mark_data(k, node);
+        if (!r.has_data && r.fetch_in_flight) {
+          map_.mark_data(k, node);
+          // The member held (at most) a pointer until now; the fetch
+          // completing promotes it to a full data holder.
+          pointer_promotions_c_->add(1);
+        }
         return;
       }
     }
@@ -414,7 +439,11 @@ bool System::probe_once(int prober) {
 }
 
 void System::execute_move(const dht::MoveDecision& decision) {
-  ++lb_moves_;
+  lb_moves_c_->add(1);
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventType::kLbMove, decision.light_node,
+                    decision.heavy_node);
+  }
   const int light = decision.light_node;
   const int old_successor = ring_.successor(light);
   ring_.move(light, decision.new_id);
@@ -448,6 +477,9 @@ void System::attach_failure_trace(const sim::FailureTrace* trace,
 
 void System::on_node_down(int node) {
   nodes_[static_cast<std::size_t>(node)].up = false;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventType::kNodeDown, node);
+  }
   // Regenerate this node's blocks elsewhere only if it stays down past the
   // grace period (avoids churning on reboots).
   sim_.schedule_after(config_.regen_delay, [this, node] {
@@ -459,6 +491,9 @@ void System::on_node_down(int node) {
 
 void System::on_node_up(int node) {
   nodes_[static_cast<std::size_t>(node)].up = true;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventType::kNodeUp, node);
+  }
   // Shrink extended replica sets back to canonical and let this node catch
   // up on writes it missed.
   readjust_arc(node, 0);
@@ -478,10 +513,12 @@ void System::on_node_up(int node) {
 // -------------------------------------------------------------- metrics --
 
 void System::reset_traffic_counters() {
-  user_write_bytes_ = 0;
-  user_removed_bytes_ = 0;
-  migration_bytes_ = 0;
-  lb_moves_ = 0;
+  user_write_bytes_c_->reset();
+  user_removed_bytes_c_->reset();
+  migration_bytes_c_->reset();
+  lb_moves_c_->reset();
+  replica_fetches_c_->reset();
+  pointer_promotions_c_->reset();
 }
 
 double System::load_imbalance() const {

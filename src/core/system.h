@@ -28,6 +28,8 @@
 #include "core/config.h"
 #include "dht/load_balance.h"
 #include "dht/ring.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/bandwidth.h"
 #include "sim/failure.h"
 #include "sim/simulator.h"
@@ -37,7 +39,12 @@ namespace d2::core {
 
 class System {
  public:
-  System(const SystemConfig& config, sim::Simulator& sim);
+  /// When `metrics` is null the system owns a private obs::Registry; in
+  /// either case all traffic accounting lives in registry instruments
+  /// (`system.*`, `dht.load_balancer.*`, `sim.migration_link.*`) and the
+  /// legacy accessors below are shims over them.
+  System(const SystemConfig& config, sim::Simulator& sim,
+         obs::Registry* metrics = nullptr);
 
   const SystemConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
@@ -97,10 +104,20 @@ class System {
 
   // ----- metrics -----
 
-  Bytes user_write_bytes() const { return user_write_bytes_; }
-  Bytes user_removed_bytes() const { return user_removed_bytes_; }
-  Bytes migration_bytes() const { return migration_bytes_; }
-  std::int64_t lb_moves() const { return lb_moves_; }
+  /// The registry this system reports into (its own unless one was
+  /// injected).
+  obs::Registry& metrics() { return *metrics_; }
+  const obs::Registry& metrics() const { return *metrics_; }
+
+  /// Attaches an event tracer (lb_move, replica_fetch, node_down/up,
+  /// block_expired). Pass nullptr to detach.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  // Legacy accessors — thin shims over the registry counters.
+  Bytes user_write_bytes() const { return user_write_bytes_c_->value(); }
+  Bytes user_removed_bytes() const { return user_removed_bytes_c_->value(); }
+  Bytes migration_bytes() const { return migration_bytes_c_->value(); }
+  std::int64_t lb_moves() const { return lb_moves_c_->value(); }
   void reset_traffic_counters();
 
   /// Normalized standard deviation of per-node physical storage (§10's
@@ -141,6 +158,9 @@ class System {
 
   SystemConfig config_;
   sim::Simulator& sim_;
+  std::unique_ptr<obs::Registry> owned_metrics_;  // set iff none injected
+  obs::Registry* metrics_;
+  obs::Tracer* tracer_ = nullptr;
   Rng rng_;
   dht::Ring ring_;
   store::BlockMap map_;
@@ -155,10 +175,15 @@ class System {
   std::vector<NodeState> nodes_;
   const sim::FailureTrace* failure_trace_ = nullptr;
 
-  Bytes user_write_bytes_ = 0;
-  Bytes user_removed_bytes_ = 0;
-  Bytes migration_bytes_ = 0;
-  std::int64_t lb_moves_ = 0;
+  // Registry-backed traffic accounting (replaces the former private
+  // Bytes/int64 members). Stable instrument addresses, bound once in the
+  // constructor.
+  obs::Counter* user_write_bytes_c_;
+  obs::Counter* user_removed_bytes_c_;
+  obs::Counter* migration_bytes_c_;
+  obs::Counter* lb_moves_c_;
+  obs::Counter* replica_fetches_c_;
+  obs::Counter* pointer_promotions_c_;
 };
 
 }  // namespace d2::core

@@ -9,9 +9,20 @@ LoadBalancer::LoadBalancer(LoadBalanceConfig config) : config_(config) {
   D2_REQUIRE(config_.min_split_load >= 2);
 }
 
+void LoadBalancer::bind_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    probes_counter_ = nullptr;
+    moves_counter_ = nullptr;
+    return;
+  }
+  probes_counter_ = &registry->counter("dht.load_balancer.probes");
+  moves_counter_ = &registry->counter("dht.load_balancer.moves_triggered");
+}
+
 std::optional<MoveDecision> LoadBalancer::evaluate_probe(
     int a, std::int64_t load_a, int b, std::int64_t load_b,
     const std::function<std::optional<Key>(int heavy)>& median_key_of) const {
+  if (probes_counter_ != nullptr) probes_counter_->add(1);
   if (a == b) return std::nullopt;
   int heavy, light;
   std::int64_t heavy_load, light_load;
@@ -34,6 +45,7 @@ std::optional<MoveDecision> LoadBalancer::evaluate_probe(
   }
   std::optional<Key> split = median_key_of(heavy);
   if (!split) return std::nullopt;
+  if (moves_counter_ != nullptr) moves_counter_->add(1);
   return MoveDecision{light, heavy, *split};
 }
 

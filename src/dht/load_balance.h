@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "common/key.h"
+#include "obs/metrics.h"
 
 namespace d2::dht {
 
@@ -49,8 +50,15 @@ class LoadBalancer {
 
   const LoadBalanceConfig& config() const { return config_; }
 
+  /// Reports probe evaluations (`dht.load_balancer.probes`) and
+  /// triggered moves (`dht.load_balancer.moves_triggered`) into
+  /// `registry`. Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry);
+
  private:
   LoadBalanceConfig config_;
+  obs::Counter* probes_counter_ = nullptr;
+  obs::Counter* moves_counter_ = nullptr;
 };
 
 }  // namespace d2::dht

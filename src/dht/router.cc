@@ -13,6 +13,18 @@ Router::Router(const Ring& ring, Rng& rng, int links_per_node)
 
 void Router::rebuild(Rng& rng) { build_tables(rng); }
 
+void Router::bind_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    lookups_counter_ = nullptr;
+    messages_counter_ = nullptr;
+    hops_histogram_ = nullptr;
+    return;
+  }
+  lookups_counter_ = &registry->counter("dht.router.lookups");
+  messages_counter_ = &registry->counter("dht.router.messages");
+  hops_histogram_ = &registry->histogram("dht.router.hops");
+}
+
 void Router::build_tables(Rng& rng) {
   links_.clear();
   const std::size_t n = ring_.size();
@@ -80,6 +92,11 @@ Router::LookupResult Router::lookup(int src, const Key& k) const {
   }
   res.owner = current;
   res.messages = res.hops == 0 ? 0 : res.hops + 1;  // + result return
+  if (lookups_counter_ != nullptr) lookups_counter_->add(1);
+  if (messages_counter_ != nullptr) messages_counter_->add(res.messages);
+  if (hops_histogram_ != nullptr) {
+    hops_histogram_->record(static_cast<double>(res.hops));
+  }
   return res;
 }
 

@@ -19,6 +19,7 @@
 #include "common/key.h"
 #include "common/rng.h"
 #include "dht/ring.h"
+#include "obs/metrics.h"
 
 namespace d2::dht {
 
@@ -41,6 +42,11 @@ class Router {
   /// Routes a lookup for `k` starting at `src`.
   LookupResult lookup(int src, const Key& k) const;
 
+  /// Reports every lookup into `registry`: `dht.router.lookups` /
+  /// `dht.router.messages` counters and the `dht.router.hops` histogram.
+  /// Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry);
+
   /// Links of one node (for tests): clockwise neighbours by node index.
   const std::vector<int>& links_of(int node) const;
 
@@ -52,6 +58,11 @@ class Router {
   const Ring& ring_;
   int links_per_node_;
   std::unordered_map<int, std::vector<int>> links_;
+  // Instrument pointers, not const: lookup() is logically const but
+  // still reports traffic.
+  obs::Counter* lookups_counter_ = nullptr;
+  obs::Counter* messages_counter_ = nullptr;
+  obs::Histogram* hops_histogram_ = nullptr;
 };
 
 }  // namespace d2::dht

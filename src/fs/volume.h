@@ -59,6 +59,10 @@ class Volume {
   Volume(const Volume&) = delete;
   Volume& operator=(const Volume&) = delete;
 
+  /// Binds the embedded write-back cache to `registry` (see
+  /// WritebackCache::bind_metrics). Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry) { cache_.bind_metrics(registry); }
+
   /// Writes [offset, offset+len) to `path`, creating the file (and any
   /// missing parent directories) if needed. Store operations — including
   /// any write-back flushes that came due — are appended to `out`.

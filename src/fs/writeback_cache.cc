@@ -6,11 +6,26 @@ namespace d2::fs {
 
 WritebackCache::WritebackCache(SimTime ttl) : ttl_(ttl) { D2_REQUIRE(ttl > 0); }
 
+void WritebackCache::bind_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    staged_counter_ = nullptr;
+    coalesced_counter_ = nullptr;
+    cancelled_counter_ = nullptr;
+    flushed_counter_ = nullptr;
+    return;
+  }
+  staged_counter_ = &registry->counter("fs.writeback_cache.staged_puts");
+  coalesced_counter_ = &registry->counter("fs.writeback_cache.coalesced_puts");
+  cancelled_counter_ = &registry->counter("fs.writeback_cache.cancelled_puts");
+  flushed_counter_ = &registry->counter("fs.writeback_cache.flushed_puts");
+}
+
 void WritebackCache::stage_put(const Key& key, Bytes size, SimTime now,
                                std::optional<Key> remove_on_flush) {
   D2_REQUIRE_MSG(dirty_.count(key) == 0, "put already staged; use touch_put");
   dirty_.emplace(key, Pending{size, now, remove_on_flush});
   heap_.push(HeapEntry{now + ttl_, key, true});
+  if (staged_counter_ != nullptr) staged_counter_->add(1);
 }
 
 void WritebackCache::touch_put(const Key& key, Bytes size, SimTime now) {
@@ -19,6 +34,7 @@ void WritebackCache::touch_put(const Key& key, Bytes size, SimTime now) {
   it->second.size = size;
   it->second.since = now;
   heap_.push(HeapEntry{now + ttl_, key, true});
+  if (coalesced_counter_ != nullptr) coalesced_counter_->add(1);
 }
 
 std::optional<Key> WritebackCache::cancel_put(const Key& key) {
@@ -26,6 +42,7 @@ std::optional<Key> WritebackCache::cancel_put(const Key& key) {
   D2_REQUIRE_MSG(it != dirty_.end(), "cancel_put without staged put");
   std::optional<Key> remove_old = it->second.remove_on_flush;
   dirty_.erase(it);  // heap entry removed lazily
+  if (cancelled_counter_ != nullptr) cancelled_counter_->add(1);
   return remove_old;
 }
 
@@ -46,6 +63,7 @@ void WritebackCache::flush_entry(const Key& key, const Pending& p,
   if (p.remove_on_flush) {
     out.push_back(StoreOp{StoreOp::Kind::kRemove, *p.remove_on_flush, 0});
   }
+  if (flushed_counter_ != nullptr) flushed_counter_->add(1);
 }
 
 void WritebackCache::collect_expired(SimTime now, std::vector<StoreOp>& out) {

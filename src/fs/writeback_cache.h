@@ -22,6 +22,7 @@
 
 #include "common/key.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace d2::fs {
 
@@ -38,6 +39,12 @@ struct StoreOp {
 class WritebackCache {
  public:
   explicit WritebackCache(SimTime ttl = seconds(30));
+
+  /// Aggregates write-back activity into shared registry counters
+  /// `fs.writeback_cache.{staged_puts,coalesced_puts,cancelled_puts,
+  /// flushed_puts}` (per-volume caches bound to one registry sum
+  /// together). Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry);
 
   /// Stages a put of `key`. `remove_on_flush` is the previous committed
   /// version's key, removed when (and only when) the new version commits.
@@ -95,6 +102,11 @@ class WritebackCache {
     bool operator>(const HeapEntry& o) const { return expires > o.expires; }
   };
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+
+  obs::Counter* staged_counter_ = nullptr;
+  obs::Counter* coalesced_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  obs::Counter* flushed_counter_ = nullptr;
 };
 
 }  // namespace d2::fs

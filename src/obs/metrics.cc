@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace d2::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '.';
+}
+
+/// Shortest round-trippable representation; always a valid JSON number.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %g may produce "inf"/"nan" which are not JSON; instruments never
+  // should (Stats rejects empty reductions), but guard anyway.
+  for (const char* p = buf; *p; ++p) {
+    if ((*p >= 'a' && *p <= 'z' && *p != 'e') || *p == 'I' || *p == 'N') {
+      out += "null";
+      return;
+    }
+  }
+  out += buf;
+}
+
+void append_key(std::string& out, const std::string& name) {
+  out += '"';
+  out += name;  // names are [a-z0-9_.], never need escaping
+  out += "\":";
+}
+
+}  // namespace
+
+void Registry::check_name(const std::string& name, const char* kind) const {
+  D2_REQUIRE_MSG(!name.empty(), "instrument name must be non-empty");
+  for (char c : name) {
+    D2_REQUIRE_MSG(valid_name_char(c),
+                   "instrument name must match [a-z0-9_.]: " + name);
+  }
+  const bool is_counter = counters_.count(name) > 0;
+  const bool is_gauge = gauges_.count(name) > 0;
+  const bool is_histogram = histograms_.count(name) > 0;
+  const std::string k = kind;
+  D2_REQUIRE_MSG((!is_counter || k == "counter") &&
+                     (!is_gauge || k == "gauge") &&
+                     (!is_histogram || k == "histogram"),
+                 "instrument '" + name + "' already registered as another kind");
+}
+
+Counter& Registry::counter(const std::string& name) {
+  check_name(name, "counter");
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  check_name(name, "gauge");
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  check_name(name, "histogram");
+  return histograms_[name];
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    out += std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    append_double(out, g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    out += "{\"count\":" + std::to_string(h.count());
+    if (h.count() > 0) {
+      const Stats& s = h.stats();
+      out += ",\"mean\":";
+      append_double(out, s.mean());
+      out += ",\"min\":";
+      append_double(out, s.min());
+      out += ",\"max\":";
+      append_double(out, s.max());
+      out += ",\"p50\":";
+      append_double(out, s.percentile(50));
+      out += ",\"p90\":";
+      append_double(out, s.percentile(90));
+      out += ",\"p99\":";
+      append_double(out, s.percentile(99));
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  D2_REQUIRE_MSG(f.good(), "cannot open metrics output file: " + path);
+  f << to_json() << '\n';
+}
+
+}  // namespace d2::obs

@@ -1,0 +1,119 @@
+// Unified observability layer: a registry of named metric instruments.
+//
+// Every d2 layer (sim, net, dht, store, fs, core) reports cross-cutting
+// quantities — lookup traffic, cache hit rates, migration bytes, per-node
+// load — through one obs::Registry instead of private ad-hoc counters.
+// Instruments are created on first use and named by the convention
+// `layer.component.metric` (e.g. `store.lookup_cache.hits`,
+// `dht.router.hops`); repeated lookups of the same name return the same
+// instrument, so independent instances (per-user caches, per-node links)
+// naturally aggregate into one system-wide figure.
+//
+// Three instrument kinds, matching what the paper's evaluation reports:
+//   Counter   — monotonically increasing int64 (bytes moved, cache hits);
+//   Gauge     — last-set double (clock, queue depth, utilization);
+//   Histogram — distribution built on d2::Stats (hop counts, latencies),
+//               exported as count/mean/min/max and p50/p90/p99.
+//
+// Registry::to_json() serializes everything as one deterministic JSON
+// object (instruments sorted by name) for `d2sim --metrics-out=FILE` and
+// the bench harness metrics block.
+//
+// Instrument references returned by counter()/gauge()/histogram() are
+// stable for the registry's lifetime (node-based storage), so hot paths
+// bind once and increment through a pointer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace d2::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  /// Snapshot-style assignment, for instruments mirrored from a source
+  /// counter at export time (e.g. sim.events_processed when a Simulator
+  /// is bound after it already ran).
+  void set(std::int64_t v) { value_ = v; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+class Histogram {
+ public:
+  void record(double v) { stats_.add(v); }
+  std::size_t count() const { return stats_.count(); }
+  const Stats& stats() const { return stats_; }
+  double percentile(double p) const { return stats_.percentile(p); }
+  void reset() { stats_ = Stats{}; }
+
+ private:
+  Stats stats_;
+};
+
+/// Named instrument store. Not thread-safe (the simulator is
+/// single-threaded); create one Registry per experiment run.
+class Registry {
+ public:
+  /// Returns the instrument named `name`, creating it on first use.
+  /// `name` must be non-empty, use only [a-z0-9_.] (the
+  /// `layer.component.metric` convention), and not already name an
+  /// instrument of a different kind — a cross-kind collision throws
+  /// PreconditionError.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Lookup without creation (nullptr when absent) — for tests and
+  /// report code that must not materialize instruments.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t instrument_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every instrument (names and identities survive, so bound
+  /// pointers stay valid). Counterpart of the legacy per-class
+  /// reset_*_counters() helpers.
+  void reset();
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {"name":{"count":..,"mean":..,"min":..,"max":..,"p50":..,"p90":..,
+  /// "p99":..}}}. Deterministic (sorted by name); empty histograms emit
+  /// count 0 and omit the reductions.
+  std::string to_json() const;
+
+  /// Writes to_json() (plus a trailing newline) to `path`; throws
+  /// PreconditionError when the file cannot be opened.
+  void write_json_file(const std::string& path) const;
+
+ private:
+  void check_name(const std::string& name, const char* kind) const;
+
+  // std::map gives stable element addresses and sorted JSON output.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace d2::obs

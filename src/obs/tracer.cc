@@ -1,0 +1,80 @@
+#include "obs/tracer.h"
+
+#include <fstream>
+
+#include "common/assert.h"
+
+namespace d2::obs {
+
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kLbMove:
+      return "lb_move";
+    case EventType::kReplicaFetch:
+      return "replica_fetch";
+    case EventType::kNodeDown:
+      return "node_down";
+    case EventType::kNodeUp:
+      return "node_up";
+    case EventType::kCacheHit:
+      return "cache_hit";
+    case EventType::kCacheMiss:
+      return "cache_miss";
+    case EventType::kBlockExpired:
+      return "block_expired";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  D2_REQUIRE(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void Tracer::record(SimTime time, EventType type, std::int64_t a,
+                    std::int64_t b) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Event{time, type, a, b});
+    return;
+  }
+  ring_[next_] = Event{time, type, a, b};
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<Event> Tracer::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // Once wrapped, `next_` points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::string Tracer::to_json_lines() const {
+  std::string out;
+  for (const Event& e : events()) {
+    out += "{\"t\":" + std::to_string(e.time);
+    out += ",\"type\":\"";
+    out += event_type_name(e.type);
+    out += "\",\"a\":" + std::to_string(e.a);
+    out += ",\"b\":" + std::to_string(e.b);
+    out += "}\n";
+  }
+  return out;
+}
+
+void Tracer::write_json_lines_file(const std::string& path) const {
+  std::ofstream f(path);
+  D2_REQUIRE_MSG(f.good(), "cannot open trace output file: " + path);
+  f << to_json_lines();
+}
+
+}  // namespace d2::obs

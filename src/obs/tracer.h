@@ -1,0 +1,81 @@
+// Structured simulation event tracing (the second half of the obs layer).
+//
+// Where metrics.h aggregates, the Tracer records *individual* typed
+// events with their simulated timestamps — the load-balancing move that
+// caused a migration burst, the node_down that preceded an availability
+// dip — into a bounded ring buffer. When the buffer is full the oldest
+// events are overwritten (the tail of a long run is usually what
+// matters; `dropped()` says how much history was lost).
+//
+// Events carry two free-form int64 operands whose meaning depends on the
+// type (documented next to each enumerator). Export is JSON lines, one
+// event per line, ready for jq / pandas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace d2::obs {
+
+enum class EventType : std::uint8_t {
+  kLbMove,        // a = light node (moved), b = heavy node (split)
+  kReplicaFetch,  // a = fetching node, b = bytes transferred
+  kNodeDown,      // a = node
+  kNodeUp,        // a = node
+  kCacheHit,      // a = user/home id (cache-dependent), b unused
+  kCacheMiss,     // a = user/home id (cache-dependent), b unused
+  kBlockExpired,  // a = bytes reclaimed (TTL expiry), b unused
+};
+
+/// Stable wire name of a type ("lb_move", "node_down", ...).
+const char* event_type_name(EventType t);
+
+struct Event {
+  SimTime time = 0;
+  EventType type = EventType::kLbMove;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  bool operator==(const Event&) const = default;
+};
+
+class Tracer {
+ public:
+  /// `capacity` > 0: maximum events retained (oldest overwritten first).
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  void record(SimTime time, EventType type, std::int64_t a = 0,
+              std::int64_t b = 0);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const { return ring_.size(); }
+  /// Total events ever recorded.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events overwritten by ring wraparound.
+  std::uint64_t dropped() const { return recorded_ - ring_.size(); }
+
+  /// Retained events, oldest first.
+  std::vector<Event> events() const;
+
+  void clear();
+
+  /// One JSON object per line:
+  /// {"t":123,"type":"lb_move","a":4,"b":9}
+  std::string to_json_lines() const;
+
+  /// Writes to_json_lines() to `path`; throws PreconditionError when the
+  /// file cannot be opened.
+  void write_json_lines_file(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;   // grows to capacity_, then circular
+  std::size_t next_ = 0;      // overwrite position once full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace d2::obs

@@ -10,11 +10,26 @@ BandwidthLink::BandwidthLink(BitRate rate) : rate_(rate) {
   D2_REQUIRE(rate > 0);
 }
 
+void BandwidthLink::bind_metrics(obs::Registry* registry,
+                                 const std::string& prefix) {
+  if (registry == nullptr) {
+    bytes_counter_ = nullptr;
+    transfers_counter_ = nullptr;
+    return;
+  }
+  bytes_counter_ = &registry->counter(prefix + ".queued_bytes");
+  transfers_counter_ = &registry->counter(prefix + ".transfers");
+}
+
 SimTime BandwidthLink::enqueue(SimTime now, Bytes bytes) {
   D2_REQUIRE(bytes >= 0);
   const SimTime start = std::max(now, busy_until_);
-  busy_until_ = start + transmission_time(bytes, rate_);
+  const SimTime tx = transmission_time(bytes, rate_);
+  busy_until_ = start + tx;
+  busy_time_ += tx;
   total_bytes_ += bytes;
+  if (bytes_counter_ != nullptr) bytes_counter_->add(bytes);
+  if (transfers_counter_ != nullptr) transfers_counter_->add(1);
   return busy_until_;
 }
 

@@ -7,13 +7,22 @@
 // bytes/rate. Byte counters feed the Table 4 overhead accounting.
 #pragma once
 
+#include <string>
+
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace d2::sim {
 
 class BandwidthLink {
  public:
   explicit BandwidthLink(BitRate rate);
+
+  /// Aggregates this link's traffic into shared registry counters
+  /// `<prefix>.queued_bytes` and `<prefix>.transfers` — many links (one
+  /// per node) bound with the same prefix sum into one system-wide
+  /// figure. Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry, const std::string& prefix);
 
   /// Enqueues a transfer of `bytes` starting no earlier than `now`;
   /// returns its completion time.
@@ -32,12 +41,23 @@ class BandwidthLink {
   Bytes total_bytes() const { return total_bytes_; }
   BitRate rate() const { return rate_; }
 
-  void reset_counters() { total_bytes_ = 0; }
+  /// Cumulative transmission time of everything enqueued so far; with
+  /// the current simulated time this yields link utilization:
+  /// min(1, busy_time / elapsed).
+  SimTime busy_time() const { return busy_time_; }
+
+  void reset_counters() {
+    total_bytes_ = 0;
+    busy_time_ = 0;
+  }
 
  private:
   BitRate rate_;
   SimTime busy_until_ = 0;
   Bytes total_bytes_ = 0;
+  SimTime busy_time_ = 0;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* transfers_counter_ = nullptr;
 };
 
 }  // namespace d2::sim

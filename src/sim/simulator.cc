@@ -33,8 +33,26 @@ bool Simulator::step() {
   D2_ASSERT(ev.time >= now_);
   now_ = ev.time;
   ++events_processed_;
+  if (events_counter_ != nullptr) events_counter_->add(1);
   ev.fn();
   return true;
+}
+
+void Simulator::bind_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    events_counter_ = nullptr;
+    return;
+  }
+  events_counter_ = &registry->counter("sim.events_processed");
+  events_counter_->set(static_cast<std::int64_t>(events_processed_));
+}
+
+void Simulator::export_metrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("sim.events_pending")
+      .set(static_cast<double>(queue_.pending()));
+  metrics_->gauge("sim.clock_seconds").set(to_seconds(now_));
 }
 
 }  // namespace d2::sim

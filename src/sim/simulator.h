@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace d2::sim {
@@ -15,6 +16,16 @@ namespace d2::sim {
 class Simulator {
  public:
   SimTime now() const { return now_; }
+
+  /// Mirrors simulator accounting into `registry` under `sim.*`:
+  /// `sim.events_processed` is kept live from here on (seeded with the
+  /// current count), `sim.events_pending` / `sim.clock_seconds` gauges
+  /// are refreshed by export_metrics(). Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry);
+
+  /// Snapshots the point-in-time quantities (pending events, clock) into
+  /// the bound registry; call before dumping. No-op when unbound.
+  void export_metrics();
 
   /// Schedules `fn` at absolute simulated time `t` (>= now).
   EventId schedule_at(SimTime t, std::function<void()> fn);
@@ -41,6 +52,8 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
 };
 
 }  // namespace d2::sim

@@ -6,6 +6,20 @@ namespace d2::store {
 
 LookupCache::LookupCache(SimTime ttl) : ttl_(ttl) { D2_REQUIRE(ttl > 0); }
 
+void LookupCache::bind_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+    insertions_counter_ = nullptr;
+    evictions_counter_ = nullptr;
+    return;
+  }
+  hits_counter_ = &registry->counter("store.lookup_cache.hits");
+  misses_counter_ = &registry->counter("store.lookup_cache.misses");
+  insertions_counter_ = &registry->counter("store.lookup_cache.insertions");
+  evictions_counter_ = &registry->counter("store.lookup_cache.evictions");
+}
+
 void LookupCache::insert(SimTime now, int node, const Key& arc_from,
                          const Key& arc_to) {
   if (arc_from == arc_to) {
@@ -32,8 +46,10 @@ void LookupCache::insert_piece(SimTime now, int node, const Key& start,
   auto it = entries_.lower_bound(start);
   while (it != entries_.end() && it->second.start <= end) {
     it = entries_.erase(it);
+    if (evictions_counter_ != nullptr) evictions_counter_->add(1);
   }
   entries_.emplace(end, Entry{node, start, end, now + ttl_});
+  if (insertions_counter_ != nullptr) insertions_counter_->add(1);
 }
 
 std::optional<int> LookupCache::find(SimTime now, const Key& k) {

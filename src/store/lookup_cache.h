@@ -17,6 +17,7 @@
 
 #include "common/key.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace d2::store {
 
@@ -39,10 +40,23 @@ class LookupCache {
   void clear() { entries_.clear(); }
   std::size_t size() const { return entries_.size(); }
 
+  /// Aggregates this cache's activity into shared registry counters
+  /// `store.lookup_cache.{hits,misses,insertions,evictions}`; the many
+  /// per-user caches of an experiment all bind the same registry and sum
+  /// into one system-wide figure. Per-instance hits()/misses() keep
+  /// working (per-user miss rates). Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry);
+
   /// Hit/miss accounting is driven by the caller, which knows whether a
   /// cached node actually served the request (a stale hit is a miss).
-  void record_hit() { ++hits_; }
-  void record_miss() { ++misses_; }
+  void record_hit() {
+    ++hits_;
+    if (hits_counter_ != nullptr) hits_counter_->add(1);
+  }
+  void record_miss() {
+    ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->add(1);
+  }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   double miss_rate() const;
@@ -67,6 +81,10 @@ class LookupCache {
   SimTime ttl_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* insertions_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace d2::store

@@ -8,14 +8,28 @@ RetrievalCache::RetrievalCache(Bytes capacity) : capacity_(capacity) {
   D2_REQUIRE(capacity >= 0);
 }
 
+void RetrievalCache::bind_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+    evictions_counter_ = nullptr;
+    return;
+  }
+  hits_counter_ = &registry->counter("store.retrieval_cache.hits");
+  misses_counter_ = &registry->counter("store.retrieval_cache.misses");
+  evictions_counter_ = &registry->counter("store.retrieval_cache.evictions");
+}
+
 bool RetrievalCache::lookup(const Key& k) {
   auto it = map_.find(k);
   if (it == map_.end()) {
     ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->add(1);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front
   ++hits_;
+  if (hits_counter_ != nullptr) hits_counter_->add(1);
   return true;
 }
 
@@ -37,6 +51,7 @@ void RetrievalCache::insert(const Key& k, Bytes size) {
     used_ -= victim.size;
     map_.erase(victim.key);
     lru_.pop_back();
+    if (evictions_counter_ != nullptr) evictions_counter_->add(1);
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/key.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace d2::store {
 
@@ -41,6 +42,11 @@ class RetrievalCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  /// Aggregates activity into shared registry counters
+  /// `store.retrieval_cache.{hits,misses,evictions}` (per-node caches
+  /// bound to one registry sum together). Pass nullptr to unbind.
+  void bind_metrics(obs::Registry* registry);
+
  private:
   struct Entry {
     Key key;
@@ -53,6 +59,9 @@ class RetrievalCache {
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace d2::store

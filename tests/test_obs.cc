@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+#include "obs/tracer.h"
+
+namespace d2::obs {
+namespace {
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("store.lookup_cache.hits");
+  Counter& b = r.counter("store.lookup_cache.hits");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(a.value(), 5);
+  EXPECT_EQ(r.instrument_count(), 1u);
+}
+
+TEST(Registry, CrossKindNameCollisionThrows) {
+  Registry r;
+  r.counter("dht.router.hops");
+  EXPECT_THROW(r.gauge("dht.router.hops"), PreconditionError);
+  EXPECT_THROW(r.histogram("dht.router.hops"), PreconditionError);
+  r.histogram("sim.latency");
+  EXPECT_THROW(r.counter("sim.latency"), PreconditionError);
+}
+
+TEST(Registry, NameValidation) {
+  Registry r;
+  EXPECT_THROW(r.counter(""), PreconditionError);
+  EXPECT_THROW(r.counter("Bad.Name"), PreconditionError);
+  EXPECT_THROW(r.counter("has space"), PreconditionError);
+  EXPECT_NO_THROW(r.counter("layer.component_2.metric"));
+}
+
+TEST(Registry, FindDoesNotCreate) {
+  Registry r;
+  EXPECT_EQ(r.find_counter("a.b"), nullptr);
+  EXPECT_EQ(r.find_gauge("a.b"), nullptr);
+  EXPECT_EQ(r.find_histogram("a.b"), nullptr);
+  EXPECT_EQ(r.instrument_count(), 0u);
+  r.counter("a.b").add(7);
+  ASSERT_NE(r.find_counter("a.b"), nullptr);
+  EXPECT_EQ(r.find_counter("a.b")->value(), 7);
+}
+
+TEST(Registry, ResetZeroesButKeepsIdentity) {
+  Registry r;
+  Counter& c = r.counter("x.c");
+  Gauge& g = r.gauge("x.g");
+  Histogram& h = r.histogram("x.h");
+  c.add(10);
+  g.set(2.5);
+  h.record(1);
+  r.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // Bound pointers stay valid and usable after reset.
+  EXPECT_EQ(&c, &r.counter("x.c"));
+  c.add(1);
+  EXPECT_EQ(r.find_counter("x.c")->value(), 1);
+  EXPECT_EQ(r.instrument_count(), 3u);
+}
+
+TEST(Registry, HistogramPercentileExport) {
+  Registry r;
+  Histogram& h = r.histogram("dht.router.hops");
+  for (int v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50);
+  EXPECT_DOUBLE_EQ(h.percentile(90), 90);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 99);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"dht.router.hops\":{\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":90"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":99"), std::string::npos);
+}
+
+TEST(Registry, JsonShape) {
+  Registry r;
+  r.counter("b.count").add(2);
+  r.counter("a.count").add(1);
+  r.gauge("a.gauge").set(0.5);
+  r.histogram("a.hist");  // empty: count only, no reductions
+  const std::string json = r.to_json();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+            "\"gauges\":{\"a.gauge\":0.5},"
+            "\"histograms\":{\"a.hist\":{\"count\":0}}}");
+}
+
+TEST(Registry, EmptyRegistryJson) {
+  Registry r;
+  EXPECT_EQ(r.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer t(8);
+  t.record(10, EventType::kNodeDown, 3);
+  t.record(20, EventType::kNodeUp, 3);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (Event{10, EventType::kNodeDown, 3, 0}));
+  EXPECT_EQ(events[1], (Event{20, EventType::kNodeUp, 3, 0}));
+  EXPECT_EQ(t.recorded(), 2u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingBufferWraparoundKeepsNewest) {
+  Tracer t(4);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    t.record(i, EventType::kCacheHit, i);
+  }
+  EXPECT_EQ(t.capacity(), 4u);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: events 6..9 survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].time, static_cast<SimTime>(6 + i));
+    EXPECT_EQ(events[i].a, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer t(2);
+  t.record(1, EventType::kLbMove, 1, 2);
+  t.record(2, EventType::kLbMove, 3, 4);
+  t.record(3, EventType::kLbMove, 5, 6);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  t.record(4, EventType::kReplicaFetch, 7, 8);
+  EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(Tracer, JsonLinesShape) {
+  Tracer t(8);
+  t.record(100, EventType::kLbMove, 4, 9);
+  t.record(200, EventType::kBlockExpired, 4096);
+  EXPECT_EQ(t.to_json_lines(),
+            "{\"t\":100,\"type\":\"lb_move\",\"a\":4,\"b\":9}\n"
+            "{\"t\":200,\"type\":\"block_expired\",\"a\":4096,\"b\":0}\n");
+}
+
+TEST(Tracer, EventTypeNamesAreStable) {
+  EXPECT_STREQ(event_type_name(EventType::kLbMove), "lb_move");
+  EXPECT_STREQ(event_type_name(EventType::kReplicaFetch), "replica_fetch");
+  EXPECT_STREQ(event_type_name(EventType::kNodeDown), "node_down");
+  EXPECT_STREQ(event_type_name(EventType::kNodeUp), "node_up");
+  EXPECT_STREQ(event_type_name(EventType::kCacheHit), "cache_hit");
+  EXPECT_STREQ(event_type_name(EventType::kCacheMiss), "cache_miss");
+  EXPECT_STREQ(event_type_name(EventType::kBlockExpired), "block_expired");
+}
+
+TEST(Tracer, ZeroCapacityRejected) {
+  EXPECT_THROW(Tracer(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace d2::obs

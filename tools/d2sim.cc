@@ -10,11 +10,21 @@
 // Common options: --users=U --days=D --mb=ACTIVE_MB --seed=X
 // Schemes: d2 (default), traditional, traditional-file, trad+merc
 //
+// Observability (availability, balance, performance):
+//   --metrics-out=FILE  write a JSON snapshot of every counter, gauge and
+//                       histogram the run touched (see DESIGN.md,
+//                       "Observability") after the experiment finishes.
+//   --trace-out=FILE    write typed simulation events (lb_move,
+//                       replica_fetch, node_down/up, cache_hit/miss,
+//                       block_expired) as JSON lines with sim timestamps.
+//
 // Exit status is non-zero on usage errors, so the tool is scriptable.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,11 +32,18 @@
 #include "core/balance.h"
 #include "core/locality_analysis.h"
 #include "core/performance.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "trace/trace_io.h"
 
 using namespace d2;
 
 namespace {
+
+/// Thrown for malformed flag values; main() turns it into usage().
+class UsageError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class Args {
  public:
@@ -56,7 +73,17 @@ class Args {
   }
   long num(const std::string& key, long def) const {
     auto it = values_.find(key);
-    return it == values_.end() ? def : std::atol(it->second.c_str());
+    if (it == values_.end()) return def;
+    const char* s = it->second.c_str();
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "invalid numeric value for --%s: %s\n", key.c_str(),
+                   it->second.c_str());
+      throw UsageError("bad numeric flag");
+    }
+    return v;
   }
   bool flag(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -75,6 +102,36 @@ int usage() {
       "  see the header of tools/d2sim.cc for per-command options\n");
   return 2;
 }
+
+/// Optional observability sinks shared by the experiment commands.
+/// Enabled only when the corresponding flag names an output file, so the
+/// hot paths stay unmetered by default.
+struct Sinks {
+  explicit Sinks(const Args& args)
+      : metrics_path(args.str("metrics-out", "")),
+        trace_path(args.str("trace-out", "")) {}
+
+  obs::Registry* registry() { return metrics_path.empty() ? nullptr : &metrics; }
+  obs::Tracer* tracer_ptr() { return trace_path.empty() ? nullptr : &tracer; }
+
+  void write() {
+    if (!metrics_path.empty()) {
+      metrics.write_json_file(metrics_path);
+      std::fprintf(stderr, "wrote %zu metrics to %s\n",
+                   metrics.instrument_count(), metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      tracer.write_json_lines_file(trace_path);
+      std::fprintf(stderr, "wrote %zu trace events to %s\n", tracer.size(),
+                   trace_path.c_str());
+    }
+  }
+
+  std::string metrics_path;
+  std::string trace_path;
+  obs::Registry metrics;
+  obs::Tracer tracer;
+};
 
 trace::HarvardParams harvard_params(const Args& args) {
   trace::HarvardParams p;
@@ -168,6 +225,9 @@ int cmd_availability(const Args& args) {
   p.failure.duration = days(args.num("days", 7) + 1);
   p.inter = seconds(args.num("inter", 5));
   p.warmup = days(1);
+  Sinks sinks(args);
+  p.metrics = sinks.registry();
+  p.tracer = sinks.tracer_ptr();
   const int trials = static_cast<int>(args.num("trials", 1));
   double sum = 0;
   for (int t = 0; t < trials; ++t) {
@@ -183,6 +243,7 @@ int cmd_availability(const Args& args) {
     sum += r.task_unavailability();
   }
   if (trials > 1) std::printf("mean unavailability=%.3e\n", sum / trials);
+  sinks.write();
   return 0;
 }
 
@@ -207,7 +268,11 @@ int cmd_balance(const Args& args) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 2;
   }
+  Sinks sinks(args);
+  p.metrics = sinks.registry();
+  p.tracer = sinks.tracer_ptr();
   const core::BalanceResult r = core::BalanceExperiment(p).run();
+  sinks.write();
   std::printf("mean imbalance=%.3f mean max/mean=%.2f lb-moves=%lld\n",
               r.mean_imbalance(), r.mean_max_over_mean(),
               static_cast<long long>(r.lb_moves));
@@ -238,7 +303,11 @@ int cmd_performance(const Args& args) {
   p.window_count = static_cast<int>(args.num("windows", 4));
   p.node_bandwidth = kbps(args.num("kbps", 1500));
   p.parallel = args.flag("para");
+  Sinks sinks(args);
+  p.metrics = sinks.registry();
+  p.tracer = sinks.tracer_ptr();
   const core::PerformanceResult r = core::PerformanceExperiment(p).run();
+  sinks.write();
   SimTime total = 0;
   for (const core::GroupResult& g : r.groups) total += g.latency;
   std::printf(
@@ -296,6 +365,8 @@ int main(int argc, char** argv) {
     if (cmd == "balance") return cmd_balance(args);
     if (cmd == "performance") return cmd_performance(args);
     if (cmd == "trace-gen") return cmd_trace_gen(args);
+  } catch (const UsageError&) {
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
