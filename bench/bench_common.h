@@ -10,11 +10,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/availability.h"
 #include "core/balance.h"
 #include "core/config.h"
 #include "core/performance.h"
+#include "core/trial_runner.h"
 #include "obs/metrics.h"
 #include "trace/harvard_gen.h"
 #include "trace/hp_gen.h"
@@ -43,6 +45,21 @@ inline void dump_metrics() {
   std::printf("\n-- metrics --\n%s\n", metrics().to_json().c_str());
 }
 }  // namespace detail
+
+/// Process-wide trial runner shared by every bench harness. Independent
+/// experiment runs (grid cells, repeated seeds) fan out across
+/// D2_BENCH_JOBS worker threads (default: hardware concurrency;
+/// D2_BENCH_JOBS=1 forces the serial path). Results are always collected
+/// and printed in submission order, so output is identical at any job
+/// count.
+inline const core::TrialRunner& runner() {
+  static const core::TrialRunner r = [] {
+    int jobs = 0;
+    if (const char* s = std::getenv("D2_BENCH_JOBS")) jobs = std::atoi(s);
+    return core::TrialRunner(jobs);
+  }();
+  return r;
+}
 
 inline double scale_factor() {
   if (const char* s = std::getenv("D2_BENCH_SCALE")) {
@@ -139,6 +156,49 @@ inline core::PerformanceResult perf_run(fs::KeyScheme scheme, int nodes,
   p.parallel = parallel;
   p.metrics = &metrics();
   return core::PerformanceExperiment(p).run();
+}
+
+/// One cell of a §9 performance grid; see perf_runs().
+struct PerfSpec {
+  fs::KeyScheme scheme;
+  int nodes;
+  BitRate bandwidth;
+  bool parallel;
+  std::uint64_t seed = 1;
+};
+
+/// Runs one perf_run() per spec across the shared runner()'s threads and
+/// returns the results in spec order. Each run owns its Simulator/System;
+/// they only share the (thread-safe) bench metrics registry.
+inline std::vector<core::PerformanceResult> perf_runs(
+    const std::vector<PerfSpec>& specs) {
+  return runner().map<core::PerformanceResult>(
+      static_cast<int>(specs.size()), [&](int i) {
+        const PerfSpec& s = specs[static_cast<std::size_t>(i)];
+        return perf_run(s.scheme, s.nodes, s.bandwidth, s.parallel, s.seed);
+      });
+}
+
+/// Runs one BalanceExperiment per parameter set in parallel; results come
+/// back in input order.
+inline std::vector<core::BalanceResult> balance_runs(
+    const std::vector<core::BalanceParams>& params) {
+  return runner().map<core::BalanceResult>(
+      static_cast<int>(params.size()), [&](int i) {
+        return core::BalanceExperiment(params[static_cast<std::size_t>(i)])
+            .run();
+      });
+}
+
+/// Runs one AvailabilityExperiment per parameter set in parallel; results
+/// come back in input order.
+inline std::vector<core::AvailabilityResult> availability_runs(
+    const std::vector<core::AvailabilityParams>& params) {
+  return runner().map<core::AvailabilityResult>(
+      static_cast<int>(params.size()), [&](int i) {
+        return core::AvailabilityExperiment(params[static_cast<std::size_t>(i)])
+            .run();
+      });
 }
 
 inline const char* scheme_name(fs::KeyScheme s) {

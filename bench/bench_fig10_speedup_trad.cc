@@ -9,16 +9,28 @@ int main() {
   bench::print_header("Figure 10: speedup of D2 over the traditional DHT",
                       "Fig 10, Section 9.3");
 
+  // Every grid cell is an independent run; fan the whole grid across the
+  // shared trial runner and read the results back in submission order.
+  std::vector<bench::PerfSpec> specs;
+  for (const int n : bench::performance_sizes()) {
+    for (const BitRate bw : {kbps(1500), kbps(384)}) {
+      for (const bool para : {false, true}) {
+        specs.push_back({fs::KeyScheme::kTraditionalBlock, n, bw, para});
+        specs.push_back({fs::KeyScheme::kD2, n, bw, para});
+      }
+    }
+  }
+  const std::vector<core::PerformanceResult> results = bench::perf_runs(specs);
+
   std::printf("%-8s %10s | %12s %12s\n", "nodes", "bandwidth", "seq", "para");
+  std::size_t idx = 0;
   for (const int n : bench::performance_sizes()) {
     for (const BitRate bw : {kbps(1500), kbps(384)}) {
       double speedups[2];
-      int i = 0;
-      for (const bool para : {false, true}) {
-        const auto trad =
-            bench::perf_run(fs::KeyScheme::kTraditionalBlock, n, bw, para);
-        const auto d2r = bench::perf_run(fs::KeyScheme::kD2, n, bw, para);
-        speedups[i++] = core::compute_speedup(trad, d2r).overall;
+      for (int i = 0; i < 2; ++i) {
+        const auto& trad = results[idx++];
+        const auto& d2r = results[idx++];
+        speedups[i] = core::compute_speedup(trad, d2r).overall;
       }
       std::printf("%-8d %7lld kbps | %12.2f %12.2f\n", n,
                   static_cast<long long>(bw / 1000), speedups[0], speedups[1]);

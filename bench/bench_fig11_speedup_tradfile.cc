@@ -7,16 +7,26 @@ int main() {
   bench::print_header("Figure 11: speedup of D2 over the traditional-file DHT",
                       "Fig 11, Section 9.3");
 
+  std::vector<bench::PerfSpec> specs;
+  for (const int n : bench::performance_sizes()) {
+    for (const BitRate bw : {kbps(1500), kbps(384)}) {
+      for (const bool para : {false, true}) {
+        specs.push_back({fs::KeyScheme::kTraditionalFile, n, bw, para});
+        specs.push_back({fs::KeyScheme::kD2, n, bw, para});
+      }
+    }
+  }
+  const std::vector<core::PerformanceResult> results = bench::perf_runs(specs);
+
   std::printf("%-8s %10s | %12s %12s\n", "nodes", "bandwidth", "seq", "para");
+  std::size_t idx = 0;
   for (const int n : bench::performance_sizes()) {
     for (const BitRate bw : {kbps(1500), kbps(384)}) {
       double speedups[2];
-      int i = 0;
-      for (const bool para : {false, true}) {
-        const auto base =
-            bench::perf_run(fs::KeyScheme::kTraditionalFile, n, bw, para);
-        const auto d2r = bench::perf_run(fs::KeyScheme::kD2, n, bw, para);
-        speedups[i++] = core::compute_speedup(base, d2r).overall;
+      for (int i = 0; i < 2; ++i) {
+        const auto& base = results[idx++];
+        const auto& d2r = results[idx++];
+        speedups[i] = core::compute_speedup(base, d2r).overall;
       }
       std::printf("%-8d %7lld kbps | %12.2f %12.2f\n", n,
                   static_cast<long long>(bw / 1000), speedups[0], speedups[1]);

@@ -11,16 +11,25 @@ int main() {
   const fs::KeyScheme schemes[] = {fs::KeyScheme::kTraditionalBlock,
                                    fs::KeyScheme::kTraditionalFile,
                                    fs::KeyScheme::kD2};
+  std::vector<bench::PerfSpec> specs;
+  for (const bool para : {false, true}) {
+    for (const int n : bench::performance_sizes()) {
+      for (const fs::KeyScheme scheme : schemes) {
+        specs.push_back({scheme, n, kbps(1500), para});
+      }
+    }
+  }
+  const std::vector<core::PerformanceResult> results = bench::perf_runs(specs);
+
+  std::size_t idx = 0;
   for (const bool para : {false, true}) {
     std::printf("\n--- %s ---\n", para ? "para" : "seq");
     std::printf("%-8s %16s %18s %12s\n", "nodes", "traditional",
                 "traditional-file", "d2");
     for (const int n : bench::performance_sizes()) {
       double vals[3];
-      int i = 0;
-      for (const fs::KeyScheme scheme : schemes) {
-        vals[i++] =
-            bench::perf_run(scheme, n, kbps(1500), para).mean_cache_miss_rate;
+      for (int i = 0; i < 3; ++i) {
+        vals[i] = results[idx++].mean_cache_miss_rate;
       }
       std::printf("%-8d %15.1f%% %17.1f%% %11.1f%%\n", n, 100 * vals[0],
                   100 * vals[1], 100 * vals[2]);

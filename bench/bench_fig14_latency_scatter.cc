@@ -63,10 +63,14 @@ int main() {
       "Figure 14: access-group latencies, D2 vs traditional DHT",
       "Fig 14, Section 9.3");
   const int n = bench::performance_sizes().back();
+  const std::vector<core::PerformanceResult> results = bench::perf_runs(
+      {{fs::KeyScheme::kTraditionalBlock, n, kbps(1500), false},
+       {fs::KeyScheme::kD2, n, kbps(1500), false},
+       {fs::KeyScheme::kTraditionalBlock, n, kbps(1500), true},
+       {fs::KeyScheme::kD2, n, kbps(1500), true}});
   for (const bool para : {false, true}) {
-    const auto trad =
-        bench::perf_run(fs::KeyScheme::kTraditionalBlock, n, kbps(1500), para);
-    const auto d2r = bench::perf_run(fs::KeyScheme::kD2, n, kbps(1500), para);
+    const auto& trad = results[para ? 2 : 0];
+    const auto& d2r = results[para ? 3 : 1];
     const auto pairs = core::matched_latencies(trad, d2r);
     std::printf("\n--- %s (%zu matched groups) ---\n", para ? "para" : "seq",
                 pairs.size());

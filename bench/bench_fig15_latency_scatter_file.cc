@@ -12,10 +12,14 @@ int main() {
       "Figure 15: access-group latencies, D2 vs traditional-file DHT",
       "Fig 15, Section 9.3");
   const int n = bench::performance_sizes().back();
+  const std::vector<core::PerformanceResult> results = bench::perf_runs(
+      {{fs::KeyScheme::kTraditionalFile, n, kbps(1500), false},
+       {fs::KeyScheme::kD2, n, kbps(1500), false},
+       {fs::KeyScheme::kTraditionalFile, n, kbps(1500), true},
+       {fs::KeyScheme::kD2, n, kbps(1500), true}});
   for (const bool para : {false, true}) {
-    const auto base =
-        bench::perf_run(fs::KeyScheme::kTraditionalFile, n, kbps(1500), para);
-    const auto d2r = bench::perf_run(fs::KeyScheme::kD2, n, kbps(1500), para);
+    const auto& base = results[para ? 2 : 0];
+    const auto& d2r = results[para ? 3 : 1];
     const auto pairs = core::matched_latencies(base, d2r);
 
     int faster = 0, slower = 0;

@@ -7,7 +7,7 @@ using namespace d2;
 
 namespace {
 
-core::BalanceResult run(fs::KeyScheme scheme, bool active_lb) {
+core::BalanceParams params(fs::KeyScheme scheme, bool active_lb) {
   core::BalanceParams p;
   p.system = bench::system_config(scheme, bench::availability_nodes());
   p.system.active_load_balance = active_lb;
@@ -15,7 +15,7 @@ core::BalanceResult run(fs::KeyScheme scheme, bool active_lb) {
   p.harvard = bench::harvard_workload();
   p.warmup = days(1);
   p.sample_interval = hours(4);
-  return core::BalanceExperiment(p).run();
+  return p;
 }
 
 }  // namespace
@@ -24,10 +24,15 @@ int main() {
   bench::print_header("Figure 16: load imbalance over time (Harvard)",
                       "Fig 16, Section 10");
 
-  const core::BalanceResult trad_file = run(fs::KeyScheme::kTraditionalFile, false);
-  const core::BalanceResult trad = run(fs::KeyScheme::kTraditionalBlock, false);
-  const core::BalanceResult trad_merc = run(fs::KeyScheme::kTraditionalBlock, true);
-  const core::BalanceResult d2r = run(fs::KeyScheme::kD2, true);
+  const std::vector<core::BalanceResult> results =
+      bench::balance_runs({params(fs::KeyScheme::kTraditionalFile, false),
+                           params(fs::KeyScheme::kTraditionalBlock, false),
+                           params(fs::KeyScheme::kTraditionalBlock, true),
+                           params(fs::KeyScheme::kD2, true)});
+  const core::BalanceResult& trad_file = results[0];
+  const core::BalanceResult& trad = results[1];
+  const core::BalanceResult& trad_merc = results[2];
+  const core::BalanceResult& d2r = results[3];
 
   std::printf("%-8s %12s %12s %12s %12s\n", "hours", "trad-file",
               "traditional", "trad+merc", "d2");

@@ -6,7 +6,7 @@ using namespace d2;
 
 namespace {
 
-core::BalanceResult run(fs::KeyScheme scheme, bool active_lb) {
+core::BalanceParams params(fs::KeyScheme scheme, bool active_lb) {
   core::BalanceParams p;
   p.system = bench::system_config(scheme, bench::availability_nodes());
   p.system.replicas = 2;
@@ -14,7 +14,7 @@ core::BalanceResult run(fs::KeyScheme scheme, bool active_lb) {
   p.workload = core::BalanceWorkload::kWebcache;
   p.web = bench::web_workload();
   p.sample_interval = hours(4);
-  return core::BalanceExperiment(p).run();
+  return p;
 }
 
 }  // namespace
@@ -23,9 +23,13 @@ int main() {
   bench::print_header("Figure 17: load imbalance over time (Webcache)",
                       "Fig 17, Section 10");
 
-  const core::BalanceResult trad = run(fs::KeyScheme::kTraditionalBlock, false);
-  const core::BalanceResult trad_merc = run(fs::KeyScheme::kTraditionalBlock, true);
-  const core::BalanceResult d2r = run(fs::KeyScheme::kD2, true);
+  const std::vector<core::BalanceResult> results =
+      bench::balance_runs({params(fs::KeyScheme::kTraditionalBlock, false),
+                           params(fs::KeyScheme::kTraditionalBlock, true),
+                           params(fs::KeyScheme::kD2, true)});
+  const core::BalanceResult& trad = results[0];
+  const core::BalanceResult& trad_merc = results[1];
+  const core::BalanceResult& d2r = results[2];
 
   std::printf("%-8s %12s %12s %12s\n", "hours", "traditional", "trad+merc",
               "d2");

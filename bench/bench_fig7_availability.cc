@@ -16,11 +16,9 @@ int main() {
                                    fs::KeyScheme::kD2};
   const int trials = 5;
 
-  std::printf("%-8s %-18s %12s %12s %12s\n", "inter", "system", "mean",
-              "min", "max");
+  std::vector<core::AvailabilityParams> grid;
   for (int i = 0; i < 4; ++i) {
     for (const fs::KeyScheme scheme : schemes) {
-      double sum = 0, mn = 1, mx = 0;
       for (int trial = 0; trial < trials; ++trial) {
         core::AvailabilityParams p;
         p.system = bench::system_config(scheme, nodes,
@@ -31,8 +29,21 @@ int main() {
         p.failure_seed = 900;  // same failure trace across trials (paper)
         p.warmup = days(1);
         p.inter = inters[i];
-        const core::AvailabilityResult r = core::AvailabilityExperiment(p).run();
-        const double u = r.task_unavailability();
+        grid.push_back(p);
+      }
+    }
+  }
+  const std::vector<core::AvailabilityResult> results =
+      bench::availability_runs(grid);
+
+  std::printf("%-8s %-18s %12s %12s %12s\n", "inter", "system", "mean",
+              "min", "max");
+  std::size_t idx = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (const fs::KeyScheme scheme : schemes) {
+      double sum = 0, mn = 1, mx = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        const double u = results[idx++].task_unavailability();
         sum += u;
         mn = std::min(mn, u);
         mx = std::max(mx, u);

@@ -7,14 +7,14 @@ using namespace d2;
 
 namespace {
 
-core::BalanceResult run(core::BalanceWorkload workload) {
+core::BalanceParams params(core::BalanceWorkload workload) {
   core::BalanceParams p;
   p.system = bench::system_config(fs::KeyScheme::kD2, bench::availability_nodes());
   p.workload = workload;
   p.harvard = bench::harvard_workload();
   p.web = bench::web_workload();
   p.warmup = days(1);
-  return core::BalanceExperiment(p).run();
+  return p;
 }
 
 void print_rows(const char* name, const core::BalanceResult& r) {
@@ -38,8 +38,11 @@ int main() {
                       "Table 3, Section 10");
   std::printf("%-16s %7s %7s %7s %7s %7s %7s\n", "day", "1", "2", "3", "4",
               "5", "6");
-  print_rows("Harvard", run(core::BalanceWorkload::kHarvard));
-  print_rows("Webcache", run(core::BalanceWorkload::kWebcache));
+  const std::vector<core::BalanceResult> results =
+      bench::balance_runs({params(core::BalanceWorkload::kHarvard),
+                           params(core::BalanceWorkload::kWebcache)});
+  print_rows("Harvard", results[0]);
+  print_rows("Webcache", results[1]);
   std::printf(
       "\npaper: Harvard W/T and R/T 0.10-0.22 per day; Webcache W/T up to\n"
       "13.3 (writes exceed resident data) and R/T ~1 (everything resident\n"

@@ -21,6 +21,8 @@ namespace d2::core {
 PerformanceExperiment::PerformanceExperiment(const PerformanceParams& params)
     : params_(params) {
   D2_REQUIRE(params.window_count > 0);
+  D2_REQUIRE_MSG(params.window_length > 0 && params.window_length <= hours(9),
+                 "window_length must lie in (0, 9h]");
   D2_REQUIRE(params.max_concurrent_transfers > 0);
 }
 
@@ -32,15 +34,31 @@ struct PendingGet {
   Bytes size;
 };
 
-/// Windows are chosen from the 9AM-6PM stretches of random workdays,
-/// deterministically from the workload seed so every scheme replays the
-/// same windows.
-std::vector<SimTime> pick_windows(const trace::HarvardParams& wl, int count,
-                                  SimTime length) {
+}  // namespace
+
+std::vector<SimTime> pick_performance_windows(const trace::HarvardParams& wl,
+                                              int count, SimTime length) {
+  D2_REQUIRE(count > 0);
+  D2_REQUIRE(wl.days > 0);
+  D2_REQUIRE_MSG(length > 0 && length <= hours(9),
+                 "window length must lie in (0, 9h] — windows are placed "
+                 "inside the 9:00-18:00 workday");
+  // Necessary (not sufficient) feasibility bound: the windows must fit in
+  // the trace's total workday time. Rejecting here gives a clear message
+  // for the hopeless cases instead of a budget-exhaustion error below.
+  D2_REQUIRE_MSG(static_cast<std::int64_t>(count) * length <=
+                     static_cast<std::int64_t>(wl.days) * hours(9),
+                 "requested windows exceed the trace's total workday time: " +
+                     std::to_string(count) + " x " +
+                     std::to_string(to_seconds(length)) + "s over " +
+                     std::to_string(wl.days) + " day(s)");
   Rng rng(wl.seed ^ 0x9e3779b97f4a7c15ull);
   std::vector<SimTime> starts;
+  // Rejection sampling with a generous budget; tight packings (many or
+  // long windows over few days) need more attempts than the common case.
+  const int max_attempts = count * 500;
   int attempts = 0;
-  while (static_cast<int>(starts.size()) < count && attempts < count * 50) {
+  while (static_cast<int>(starts.size()) < count && attempts < max_attempts) {
     ++attempts;
     const auto day = static_cast<std::int64_t>(
         rng.next_below(static_cast<std::uint64_t>(wl.days)));
@@ -54,11 +72,18 @@ std::vector<SimTime> pick_windows(const trace::HarvardParams& wl, int count,
     }
     if (!overlaps) starts.push_back(start);
   }
+  // A silent shortfall would under-provision every downstream statistic
+  // (fewer access groups than the experiment was asked for), so fail
+  // loudly instead.
+  D2_REQUIRE_MSG(static_cast<int>(starts.size()) == count,
+                 "window rejection-sampling budget exhausted: placed " +
+                     std::to_string(starts.size()) + " of " +
+                     std::to_string(count) + " windows after " +
+                     std::to_string(attempts) +
+                     " attempts; use fewer/shorter windows or more days");
   std::sort(starts.begin(), starts.end());
   return starts;
 }
-
-}  // namespace
 
 PerformanceResult PerformanceExperiment::run() {
   sim::Simulator sim;
@@ -128,8 +153,12 @@ PerformanceResult PerformanceExperiment::run() {
     }
   }
   const std::vector<SimTime> windows =
-      pick_windows(params_.workload, params_.window_count,
-                   params_.window_length);
+      pick_performance_windows(params_.workload, params_.window_count,
+                               params_.window_length);
+  if (params_.metrics != nullptr) {
+    params_.metrics->gauge("core.performance.windows_picked")
+        .set(static_cast<double>(windows.size()));
+  }
   auto in_window = [&](SimTime t) {
     for (SimTime w : windows) {
       if (t >= w && t < w + params_.window_length) return true;
@@ -155,7 +184,7 @@ PerformanceResult PerformanceExperiment::run() {
         params_.tracer->record(t, obs::EventType::kCacheHit, user);
       }
     } else {
-      if (cached) cache.invalidate(get.key);  // stale range
+      if (cached) cache.invalidate(t, get.key);  // stale range
       cache.record_miss();
       ++result.cache_misses;
       if (params_.tracer != nullptr) {

@@ -73,6 +73,16 @@ struct PerformanceResult {
   std::uint64_t tcp_transfers = 0;
 };
 
+/// The §9 replay windows: `count` non-overlapping stretches of `length`
+/// inside random workdays' 9:00-18:00, deterministic in `wl.seed` so
+/// every scheme replays the same windows. Requires 0 < length <= 9h and
+/// throws PreconditionError when `count` windows cannot be placed (the
+/// request exceeds the trace's workday time, or the overlap
+/// rejection-sampling budget runs out on a pathologically tight packing)
+/// — never silently returns fewer windows than asked.
+std::vector<SimTime> pick_performance_windows(const trace::HarvardParams& wl,
+                                              int count, SimTime length);
+
 class PerformanceExperiment {
  public:
   explicit PerformanceExperiment(const PerformanceParams& params);

@@ -213,12 +213,12 @@ std::optional<int> System::serving_node(const Key& k) const {
 
 void System::put(const Key& k, Bytes size) {
   D2_REQUIRE(size >= 0);
-  user_write_bytes_c_->add(size);
+  add_user_write_bytes(size);
   bool fresh_key = true;
   if (const store::BlockState* existing = map_.find(k)) {
     // In-place update (the mutable root block, or a webcache version
     // replacement): the previous version's bytes are discarded.
-    user_removed_bytes_c_->add(existing->size);
+    add_user_removed_bytes(existing->size);
     fresh_key = false;  // scatter-index entries stay valid
     if (existing->size != size) {
       map_.erase(k);
@@ -244,7 +244,7 @@ void System::put(const Key& k, Bytes size) {
 void System::remove(const Key& k) {
   sim_.schedule_after(config_.remove_delay, [this, k] {
     if (const store::BlockState* b = map_.find(k)) {
-      user_removed_bytes_c_->add(b->size);
+      add_user_removed_bytes(b->size);
       map_.erase(k);
       expiry_.erase(k);
       extended_.erase(k);
@@ -262,7 +262,7 @@ void System::refresh(const Key& k) {
     auto it = expiry_.find(k);
     if (it == expiry_.end() || it->second != deadline) return;  // refreshed
     if (const store::BlockState* b = map_.find(k)) {
-      user_removed_bytes_c_->add(b->size);
+      add_user_removed_bytes(b->size);
       if (tracer_ != nullptr) {
         tracer_->record(sim_.now(), obs::EventType::kBlockExpired, b->size);
       }
@@ -310,6 +310,7 @@ void System::try_fetch(const Key& k, int node) {
     transfer_bytes = b->size;
   }
   member->fetch_in_flight = true;
+  migration_bytes_ += transfer_bytes;
   migration_bytes_c_->add(transfer_bytes);
   replica_fetches_c_->add(1);
   if (tracer_ != nullptr) {
@@ -439,7 +440,9 @@ bool System::probe_once(int prober) {
 }
 
 void System::execute_move(const dht::MoveDecision& decision) {
+  ++lb_moves_;
   lb_moves_c_->add(1);
+  balancer_.count_applied_move();
   if (tracer_ != nullptr) {
     tracer_->record(sim_.now(), obs::EventType::kLbMove, decision.light_node,
                     decision.heavy_node);
@@ -513,6 +516,10 @@ void System::on_node_up(int node) {
 // -------------------------------------------------------------- metrics --
 
 void System::reset_traffic_counters() {
+  user_write_bytes_ = 0;
+  user_removed_bytes_ = 0;
+  migration_bytes_ = 0;
+  lb_moves_ = 0;
   user_write_bytes_c_->reset();
   user_removed_bytes_c_->reset();
   migration_bytes_c_->reset();

@@ -113,11 +113,15 @@ class System {
   /// block_expired). Pass nullptr to detach.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  // Legacy accessors — thin shims over the registry counters.
-  Bytes user_write_bytes() const { return user_write_bytes_c_->value(); }
-  Bytes user_removed_bytes() const { return user_removed_bytes_c_->value(); }
-  Bytes migration_bytes() const { return migration_bytes_c_->value(); }
-  std::int64_t lb_moves() const { return lb_moves_c_->value(); }
+  // Legacy accessors — per-instance totals. The registry carries the same
+  // quantities under `system.*`, but a registry shared across trials
+  // aggregates every bound System; these members answer "what did *this*
+  // system do", which is what per-trial experiment results need to stay
+  // identical between serial and parallel runs.
+  Bytes user_write_bytes() const { return user_write_bytes_; }
+  Bytes user_removed_bytes() const { return user_removed_bytes_; }
+  Bytes migration_bytes() const { return migration_bytes_; }
+  std::int64_t lb_moves() const { return lb_moves_; }
   void reset_traffic_counters();
 
   /// Normalized standard deviation of per-node physical storage (§10's
@@ -156,6 +160,16 @@ class System {
   void on_node_up(int node);
   std::optional<int> fetch_source(const store::BlockState& b) const;
 
+  // Per-instance accounting plus the shared-registry mirror.
+  void add_user_write_bytes(Bytes n) {
+    user_write_bytes_ += n;
+    user_write_bytes_c_->add(n);
+  }
+  void add_user_removed_bytes(Bytes n) {
+    user_removed_bytes_ += n;
+    user_removed_bytes_c_->add(n);
+  }
+
   SystemConfig config_;
   sim::Simulator& sim_;
   std::unique_ptr<obs::Registry> owned_metrics_;  // set iff none injected
@@ -175,9 +189,13 @@ class System {
   std::vector<NodeState> nodes_;
   const sim::FailureTrace* failure_trace_ = nullptr;
 
-  // Registry-backed traffic accounting (replaces the former private
-  // Bytes/int64 members). Stable instrument addresses, bound once in the
-  // constructor.
+  // Per-instance traffic totals (the accessors above) ...
+  Bytes user_write_bytes_ = 0;
+  Bytes user_removed_bytes_ = 0;
+  Bytes migration_bytes_ = 0;
+  std::int64_t lb_moves_ = 0;
+  // ... and the registry instruments that mirror them system-wide.
+  // Stable instrument addresses, bound once in the constructor.
   obs::Counter* user_write_bytes_c_;
   obs::Counter* user_removed_bytes_c_;
   obs::Counter* migration_bytes_c_;

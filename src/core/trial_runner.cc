@@ -1,0 +1,75 @@
+#include "core/trial_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace d2::core {
+
+std::uint64_t derive_trial_seed(std::uint64_t base, std::uint64_t trial) {
+  // Two SplitMix64 steps over base ^ golden-ratio-scrambled trial index.
+  // One step already decorrelates adjacent indices; the second guards
+  // against weak `base` values (0, small integers) that a single step
+  // would leave structured.
+  std::uint64_t x = base + 0x9E3779B97F4A7C15ull * (trial + 1);
+  for (int i = 0; i < 2; ++i) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    x = z ^ (z >> 31);
+  }
+  return x;
+}
+
+TrialRunner::TrialRunner(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) {
+    jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (jobs_ < 1) jobs_ = 1;
+}
+
+void TrialRunner::run(int count,
+                      const std::function<void(int trial)>& fn) const {
+  D2_REQUIRE_MSG(fn != nullptr, "trial function must be callable");
+  if (count <= 0) return;
+
+  const int workers = jobs_ < count ? jobs_ : count;
+  if (workers == 1) {
+    for (int trial = 0; trial < count; ++trial) fn(trial);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex error_mu;
+  int first_error_trial = -1;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const int trial = next.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= count) return;
+      try {
+        fn(trial);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error_trial < 0 || trial < first_error_trial) {
+          first_error_trial = trial;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace d2::core

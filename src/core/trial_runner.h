@@ -1,0 +1,68 @@
+// Parallel experiment engine: fans independent trials across a thread
+// pool with a determinism guarantee.
+//
+// The paper's evaluation replays many independent trials — multi-seed
+// availability/churn sweeps (Fig 7-8, Table 3), per-scheme performance
+// comparisons (Fig 10-15), per-scheme balance runs (Fig 16-17). Each
+// trial is a self-contained discrete-event simulation (its own Simulator,
+// System, workload generator), so trials parallelize perfectly; only the
+// shared obs::Registry they report into needs to be thread-safe (it is —
+// see obs/metrics.h).
+//
+// Determinism guarantee: a trial's behaviour depends only on its index
+// (its parameters and seed are derived from the index before it runs, and
+// it shares no mutable state with other trials), and results land in a
+// vector slot owned by that index. `jobs=1` and `jobs=N` therefore
+// produce identical per-trial results, and callers that print or merge
+// aggregates in trial order get byte-identical output. Shared-registry
+// counters and histogram reductions are also order-independent; only
+// gauges (last-set-wins) may differ under concurrency.
+//
+// Per-trial seeds come from derive_trial_seed(base, trial), a SplitMix64
+// mix of the experiment's base seed with the trial index — avoiding the
+// correlated streams that `base + trial` would feed adjacent xoshiro
+// states (see DESIGN.md, "Parallel trial runner").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace d2::core {
+
+/// Statistically independent seed for trial `trial` of an experiment
+/// seeded with `base`. Pure function: the same (base, trial) always maps
+/// to the same seed, on every thread count.
+std::uint64_t derive_trial_seed(std::uint64_t base, std::uint64_t trial);
+
+class TrialRunner {
+ public:
+  /// `jobs` <= 0 selects the hardware concurrency (at least 1).
+  explicit TrialRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs fn(trial) for every trial in [0, count), at most jobs() at a
+  /// time, and blocks until all complete. With jobs() == 1 the trials run
+  /// inline on the calling thread. If any fn throws, the exception from
+  /// the lowest-indexed failing trial is rethrown after every started
+  /// trial has finished.
+  void run(int count, const std::function<void(int trial)>& fn) const;
+
+  /// Typed fan-out: returns {fn(0), fn(1), ..., fn(count-1)} in trial
+  /// order regardless of completion order. R must be default- and
+  /// move-constructible.
+  template <typename R>
+  std::vector<R> map(int count, const std::function<R(int trial)>& fn) const {
+    std::vector<R> out(static_cast<std::size_t>(count < 0 ? 0 : count));
+    run(count, [&](int trial) {
+      out[static_cast<std::size_t>(trial)] = fn(trial);
+    });
+    return out;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace d2::core

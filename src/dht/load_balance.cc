@@ -12,11 +12,17 @@ LoadBalancer::LoadBalancer(LoadBalanceConfig config) : config_(config) {
 void LoadBalancer::bind_metrics(obs::Registry* registry) {
   if (registry == nullptr) {
     probes_counter_ = nullptr;
+    decisions_counter_ = nullptr;
     moves_counter_ = nullptr;
     return;
   }
   probes_counter_ = &registry->counter("dht.load_balancer.probes");
+  decisions_counter_ = &registry->counter("dht.load_balancer.decisions");
   moves_counter_ = &registry->counter("dht.load_balancer.moves_triggered");
+}
+
+void LoadBalancer::count_applied_move() {
+  if (moves_counter_ != nullptr) moves_counter_->add(1);
 }
 
 std::optional<MoveDecision> LoadBalancer::evaluate_probe(
@@ -45,7 +51,7 @@ std::optional<MoveDecision> LoadBalancer::evaluate_probe(
   }
   std::optional<Key> split = median_key_of(heavy);
   if (!split) return std::nullopt;
-  if (moves_counter_ != nullptr) moves_counter_->add(1);
+  if (decisions_counter_ != nullptr) decisions_counter_->add(1);
   return MoveDecision{light, heavy, *split};
 }
 

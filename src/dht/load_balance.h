@@ -48,16 +48,25 @@ class LoadBalancer {
       int a, std::int64_t load_a, int b, std::int64_t load_b,
       const std::function<std::optional<Key>(int heavy)>& median_key_of) const;
 
+  /// The caller decided to apply a MoveDecision (the ring actually
+  /// changed). Keeps `dht.load_balancer.moves_triggered` equal to real
+  /// ring changes: evaluate_probe() only counts *decisions*, because the
+  /// caller may still discard one (e.g. the light node went down between
+  /// the probe and the move).
+  void count_applied_move();
+
   const LoadBalanceConfig& config() const { return config_; }
 
-  /// Reports probe evaluations (`dht.load_balancer.probes`) and
-  /// triggered moves (`dht.load_balancer.moves_triggered`) into
+  /// Reports probe evaluations (`dht.load_balancer.probes`), positive
+  /// probe outcomes (`dht.load_balancer.decisions`) and applied moves
+  /// (`dht.load_balancer.moves_triggered`, via count_applied_move) into
   /// `registry`. Pass nullptr to unbind.
   void bind_metrics(obs::Registry* registry);
 
  private:
   LoadBalanceConfig config_;
   obs::Counter* probes_counter_ = nullptr;
+  obs::Counter* decisions_counter_ = nullptr;
   obs::Counter* moves_counter_ = nullptr;
 };
 

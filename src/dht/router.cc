@@ -1,5 +1,6 @@
 #include "dht/router.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.h"
@@ -39,11 +40,18 @@ void Router::build_tables(Rng& rng) {
     std::vector<int> links;
     links.push_back(ring_.successor(node));  // always keep the successor
     for (int i = 0; i < k; ++i) {
-      // Harmonic rank offset in [1, n-1]: d = floor(e^{u * ln n}).
+      // Harmonic rank offset in [1, n-1]: d = floor(e^{u * ln n}). The
+      // draw is always consumed (keeps tables identical for a given rng
+      // stream), but a link already present — the successor on small
+      // rings, or a re-picked offset — is not stored twice: duplicates
+      // would be rescanned on every hop of every lookup for no benefit.
       const double u = rng.next_double();
       auto d = static_cast<std::size_t>(std::floor(std::exp(u * log_n)));
       d = std::max<std::size_t>(1, std::min(d, n - 1));
-      links.push_back(ring_.nth_clockwise(node, d));
+      const int target = ring_.nth_clockwise(node, d);
+      if (std::find(links.begin(), links.end(), target) == links.end()) {
+        links.push_back(target);
+      }
     }
     links_.emplace(node, std::move(links));
   }

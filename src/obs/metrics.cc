@@ -1,9 +1,12 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <thread>
 
 #include "common/assert.h"
 
@@ -39,6 +42,50 @@ void append_key(std::string& out, const std::string& name) {
 
 }  // namespace
 
+Histogram::Shard& Histogram::shard_for_this_thread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h & (kShards - 1)];
+}
+
+void Histogram::record(double v) {
+  Shard& s = shard_for_this_thread();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats.add(v);
+}
+
+std::size_t Histogram::count() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.stats.count();
+  }
+  return n;
+}
+
+Stats Histogram::merged() const {
+  std::vector<double> all;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const std::vector<double>& v = s.stats.samples();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  // Sorting makes every reduction (including the floating-point sums
+  // behind mean/stddev) independent of shard assignment and thread
+  // interleaving.
+  std::sort(all.begin(), all.end());
+  Stats out;
+  for (double v : all) out.add(v);
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.stats = Stats{};
+  }
+}
+
 void Registry::check_name(const std::string& name, const char* kind) const {
   D2_REQUIRE_MSG(!name.empty(), "instrument name must be non-empty");
   for (char c : name) {
@@ -56,42 +103,55 @@ void Registry::check_name(const std::string& name, const char* kind) const {
 }
 
 Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   check_name(name, "counter");
   return counters_[name];
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   check_name(name, "gauge");
   return gauges_[name];
 }
 
 Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   check_name(name, "histogram");
   return histograms_[name];
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+std::size_t Registry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
 }
 
 std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -114,9 +174,9 @@ std::string Registry::to_json() const {
     if (!first) out += ',';
     first = false;
     append_key(out, name);
-    out += "{\"count\":" + std::to_string(h.count());
-    if (h.count() > 0) {
-      const Stats& s = h.stats();
+    const Stats s = h.merged();
+    out += "{\"count\":" + std::to_string(s.count());
+    if (s.count() > 0) {
       out += ",\"mean\":";
       append_double(out, s.mean());
       out += ",\"min\":";

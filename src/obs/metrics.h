@@ -22,10 +22,22 @@
 // Instrument references returned by counter()/gauge()/histogram() are
 // stable for the registry's lifetime (node-based storage), so hot paths
 // bind once and increment through a pointer.
+//
+// Thread safety: one Registry may be shared by the parallel trials of a
+// core::TrialRunner. Counter and Gauge are lock-free atomics, Histogram
+// shards its samples across per-mutex buckets (reductions merge and sort
+// the shards, so exported values are independent of which thread recorded
+// which sample), and instrument creation/lookup is serialized by a
+// registry mutex. Counter totals and Histogram reductions are therefore
+// identical whether trials run serially or concurrently; a Gauge is
+// last-set-wins, so concurrent setters race benignly (one trial's value
+// survives).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/stats.h"
@@ -35,42 +47,56 @@ namespace d2::obs {
 
 class Counter {
  public:
-  void add(std::int64_t n = 1) { value_ += n; }
+  void add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
   /// Snapshot-style assignment, for instruments mirrored from a source
   /// counter at export time (e.g. sim.events_processed when a Simulator
-  /// is bound after it already ran).
-  void set(std::int64_t v) { value_ = v; }
-  std::int64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  /// is bound after it already ran). Avoid on shared registries — it
+  /// clobbers other writers' adds.
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
-  void reset() { value_ = 0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 class Histogram {
  public:
-  void record(double v) { stats_.add(v); }
-  std::size_t count() const { return stats_.count(); }
-  const Stats& stats() const { return stats_; }
-  double percentile(double p) const { return stats_.percentile(p); }
-  void reset() { stats_ = Stats{}; }
+  void record(double v);
+  std::size_t count() const;
+  /// All samples merged across shards and sorted ascending — reductions
+  /// over the result are deterministic regardless of recording thread.
+  Stats merged() const;
+  double percentile(double p) const { return merged().percentile(p); }
+  void reset();
 
  private:
-  Stats stats_;
+  // Sharded so concurrent recorders (parallel trials) rarely contend on
+  // the same mutex. Power of two for cheap thread-id hashing.
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    Stats stats;
+  };
+  Shard& shard_for_this_thread();
+
+  Shard shards_[kShards];
 };
 
-/// Named instrument store. Not thread-safe (the simulator is
-/// single-threaded); create one Registry per experiment run.
+/// Named instrument store, safe for concurrent use (see file comment);
+/// typically one Registry per experiment run or per parallel sweep.
 class Registry {
  public:
   /// Returns the instrument named `name`, creating it on first use.
@@ -88,9 +114,7 @@ class Registry {
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
 
-  std::size_t instrument_count() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  std::size_t instrument_count() const;
 
   /// Zeroes every instrument (names and identities survive, so bound
   /// pointers stay valid). Counterpart of the legacy per-class
@@ -110,6 +134,10 @@ class Registry {
  private:
   void check_name(const std::string& name, const char* kind) const;
 
+  // Guards the instrument maps (creation, lookup, iteration). Instrument
+  // *values* have their own synchronization, so bound pointers are used
+  // without this lock.
+  mutable std::mutex mu_;
   // std::map gives stable element addresses and sorted JSON output.
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;

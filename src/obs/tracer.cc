@@ -31,18 +31,38 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
   ring_.reserve(capacity);
 }
 
-void Tracer::record(SimTime time, EventType type, std::int64_t a,
-                    std::int64_t b) {
+void Tracer::record_locked(const Event& e) {
   ++recorded_;
   if (ring_.size() < capacity_) {
-    ring_.push_back(Event{time, type, a, b});
+    ring_.push_back(e);
     return;
   }
-  ring_[next_] = Event{time, type, a, b};
+  ring_[next_] = e;
   next_ = (next_ + 1) % capacity_;
 }
 
-std::vector<Event> Tracer::events() const {
+void Tracer::record(SimTime time, EventType type, std::int64_t a,
+                    std::int64_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record_locked(Event{time, type, a, b});
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+std::vector<Event> Tracer::events_locked() const {
   std::vector<Event> out;
   out.reserve(ring_.size());
   // Once wrapped, `next_` points at the oldest retained event.
@@ -52,15 +72,33 @@ std::vector<Event> Tracer::events() const {
   return out;
 }
 
+std::vector<Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_locked();
+}
+
+void Tracer::append(const Tracer& other) {
+  D2_REQUIRE_MSG(&other != this, "cannot append a tracer to itself");
+  const std::vector<Event> incoming = other.events();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Event& e : incoming) record_locked(e);
+}
+
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
 }
 
 std::string Tracer::to_json_lines() const {
+  std::vector<Event> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = events_locked();
+  }
   std::string out;
-  for (const Event& e : events()) {
+  for (const Event& e : snapshot) {
     out += "{\"t\":" + std::to_string(e.time);
     out += ",\"type\":\"";
     out += event_type_name(e.type);

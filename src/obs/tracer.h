@@ -10,9 +10,16 @@
 // Events carry two free-form int64 operands whose meaning depends on the
 // type (documented next to each enumerator). Export is JSON lines, one
 // event per line, ready for jq / pandas.
+//
+// Thread safety: the ring is guarded by a mutex, so one Tracer may be
+// shared by the parallel trials of a core::TrialRunner. Events from
+// concurrent trials interleave in arrival order (wall-clock, not
+// simulated-time, order across trials); give each trial its own Tracer
+// and merge afterwards when a reproducible event order matters.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,11 +59,16 @@ class Tracer {
 
   std::size_t capacity() const { return capacity_; }
   /// Events currently retained (<= capacity).
-  std::size_t size() const { return ring_.size(); }
+  std::size_t size() const;
   /// Total events ever recorded.
-  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t recorded() const;
   /// Events overwritten by ring wraparound.
-  std::uint64_t dropped() const { return recorded_ - ring_.size(); }
+  std::uint64_t dropped() const;
+
+  /// Appends every retained event of `other` (oldest first) as if
+  /// record()ed here — the deterministic merge step for per-trial tracers
+  /// collected in trial order.
+  void append(const Tracer& other);
 
   /// Retained events, oldest first.
   std::vector<Event> events() const;
@@ -72,6 +84,10 @@ class Tracer {
   void write_json_lines_file(const std::string& path) const;
 
  private:
+  void record_locked(const Event& e);
+  std::vector<Event> events_locked() const;
+
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<Event> ring_;   // grows to capacity_, then circular
   std::size_t next_ = 0;      // overwrite position once full

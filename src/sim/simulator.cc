@@ -45,7 +45,12 @@ void Simulator::bind_metrics(obs::Registry* registry) {
     return;
   }
   events_counter_ = &registry->counter("sim.events_processed");
-  events_counter_->set(static_cast<std::int64_t>(events_processed_));
+  // Contribute (not overwrite) any events processed before binding, so
+  // several simulators — parallel trials — sharing one registry sum
+  // instead of clobbering each other.
+  if (events_processed_ > 0) {
+    events_counter_->add(static_cast<std::int64_t>(events_processed_));
+  }
 }
 
 void Simulator::export_metrics() {

@@ -18,9 +18,10 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Mirrors simulator accounting into `registry` under `sim.*`:
-  /// `sim.events_processed` is kept live from here on (seeded with the
-  /// current count), `sim.events_pending` / `sim.clock_seconds` gauges
-  /// are refreshed by export_metrics(). Pass nullptr to unbind.
+  /// `sim.events_processed` is kept live from here on (any events already
+  /// processed are added in, so simulators sharing a registry sum),
+  /// `sim.events_pending` / `sim.clock_seconds` gauges are refreshed by
+  /// export_metrics(). Pass nullptr to unbind.
   void bind_metrics(obs::Registry* registry);
 
   /// Snapshots the point-in-time quantities (pending events, clock) into

@@ -12,16 +12,43 @@ void LookupCache::bind_metrics(obs::Registry* registry) {
     misses_counter_ = nullptr;
     insertions_counter_ = nullptr;
     evictions_counter_ = nullptr;
+    expirations_counter_ = nullptr;
     return;
   }
   hits_counter_ = &registry->counter("store.lookup_cache.hits");
   misses_counter_ = &registry->counter("store.lookup_cache.misses");
   insertions_counter_ = &registry->counter("store.lookup_cache.insertions");
   evictions_counter_ = &registry->counter("store.lookup_cache.evictions");
+  expirations_counter_ = &registry->counter("store.lookup_cache.expirations");
+}
+
+std::size_t LookupCache::expire_entries(SimTime now) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires <= now) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0 && expirations_counter_ != nullptr) {
+    expirations_counter_->add(static_cast<std::int64_t>(dropped));
+  }
+  next_sweep_ = now + ttl_;
+  return dropped;
+}
+
+void LookupCache::maybe_sweep(SimTime now) {
+  // A full sweep per TTL interval: anything inserted before the previous
+  // sweep has expired by the next one, so the map never holds more than
+  // ~one TTL's worth of live insertions plus one interval of stale ones.
+  if (now >= next_sweep_) expire_entries(now);
 }
 
 void LookupCache::insert(SimTime now, int node, const Key& arc_from,
                          const Key& arc_to) {
+  maybe_sweep(now);
   if (arc_from == arc_to) {
     // Whole ring (single-node DHT).
     insert_piece(now, node, Key::min(), Key::max());
@@ -53,21 +80,23 @@ void LookupCache::insert_piece(SimTime now, int node, const Key& start,
 }
 
 std::optional<int> LookupCache::find(SimTime now, const Key& k) {
+  maybe_sweep(now);
   auto it = entries_.lower_bound(k);  // first end >= k
   if (it == entries_.end()) return std::nullopt;
   const Entry& e = it->second;
   if (!(e.start <= k)) return std::nullopt;
   if (e.expires <= now) {
     entries_.erase(it);
+    if (expirations_counter_ != nullptr) expirations_counter_->add(1);
     return std::nullopt;
   }
   return e.node;
 }
 
-void LookupCache::invalidate(const Key& k) {
+void LookupCache::invalidate(SimTime now, const Key& k) {
   auto it = entries_.lower_bound(k);
-  if (it == entries_.end()) return;
-  if (it->second.start <= k) entries_.erase(it);
+  if (it != entries_.end() && it->second.start <= k) entries_.erase(it);
+  maybe_sweep(now);
 }
 
 double LookupCache::miss_rate() const {

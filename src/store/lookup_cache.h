@@ -31,17 +31,29 @@ class LookupCache {
   /// nodes move and the newest observation wins.
   void insert(SimTime now, int node, const Key& arc_from, const Key& arc_to);
 
-  /// Node cached for key `k`, if a live entry covers it.
+  /// Node cached for key `k`, if a live entry covers it. Also runs the
+  /// lazy expiry sweep (below) when one is due.
   std::optional<int> find(SimTime now, const Key& k);
 
-  /// Removes the entry covering `k` (after a failed hit on a stale entry).
-  void invalidate(const Key& k);
+  /// Removes the entry covering `k` (after a failed hit on a stale
+  /// entry), expired or not, and runs the lazy expiry sweep — a stale hit
+  /// is evidence the cache's picture of the ring has aged, so expired
+  /// neighbors are dropped too instead of lingering.
+  void invalidate(SimTime now, const Key& k);
+
+  /// Drops every entry whose TTL elapsed at or before `now`; returns how
+  /// many were dropped. find()/insert()/invalidate() call this lazily (at
+  /// most once per TTL interval), bounding a long-running client's cache
+  /// at roughly one TTL's worth of insertions instead of growing without
+  /// bound on ranges that are never hit again.
+  std::size_t expire_entries(SimTime now);
 
   void clear() { entries_.clear(); }
   std::size_t size() const { return entries_.size(); }
 
   /// Aggregates this cache's activity into shared registry counters
-  /// `store.lookup_cache.{hits,misses,insertions,evictions}`; the many
+  /// `store.lookup_cache.{hits,misses,insertions,evictions,expirations}`;
+  /// the many
   /// per-user caches of an experiment all bind the same registry and sum
   /// into one system-wide figure. Per-instance hits()/misses() keep
   /// working (per-user miss rates). Pass nullptr to unbind.
@@ -76,15 +88,19 @@ class LookupCache {
   };
 
   void insert_piece(SimTime now, int node, const Key& start, const Key& end);
+  /// Runs expire_entries when the periodic sweep is due.
+  void maybe_sweep(SimTime now);
 
   std::map<Key, Entry> entries_;
   SimTime ttl_;
+  SimTime next_sweep_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   obs::Counter* hits_counter_ = nullptr;
   obs::Counter* misses_counter_ = nullptr;
   obs::Counter* insertions_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* expirations_counter_ = nullptr;
 };
 
 }  // namespace d2::store

@@ -72,6 +72,20 @@ TEST(LoadBalancer, MedianQueriedForHeavyNode) {
   EXPECT_EQ(queried, 2);
 }
 
+TEST(LoadBalancer, MovesTriggeredCountsAppliedMovesOnly) {
+  obs::Registry reg;
+  LoadBalancer lb;
+  lb.bind_metrics(&reg);
+  // Two positive decisions, but the caller only applies one of them.
+  ASSERT_TRUE(lb.evaluate_probe(0, 500, 1, 100, median_at(5)).has_value());
+  ASSERT_TRUE(lb.evaluate_probe(0, 500, 1, 100, median_at(5)).has_value());
+  EXPECT_FALSE(lb.evaluate_probe(0, 100, 1, 100, median_at(5)).has_value());
+  lb.count_applied_move();
+  EXPECT_EQ(reg.counter("dht.load_balancer.probes").value(), 3);
+  EXPECT_EQ(reg.counter("dht.load_balancer.decisions").value(), 2);
+  EXPECT_EQ(reg.counter("dht.load_balancer.moves_triggered").value(), 1);
+}
+
 TEST(LoadBalancer, ThresholdBelowTwoThrows) {
   EXPECT_THROW(LoadBalancer(LoadBalanceConfig{1.5, 4}), PreconditionError);
 }

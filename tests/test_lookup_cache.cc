@@ -67,15 +67,59 @@ TEST(LookupCache, WholeRingArc) {
 TEST(LookupCache, InvalidateRemovesCoveringEntry) {
   LookupCache c;
   c.insert(0, 7, K(100), K(200));
-  c.invalidate(K(150));
+  c.invalidate(1, K(150));
   EXPECT_EQ(c.find(1, K(150)), std::nullopt);
 }
 
 TEST(LookupCache, InvalidateMissIsNoop) {
   LookupCache c;
   c.insert(0, 7, K(100), K(200));
-  c.invalidate(K(300));
+  c.invalidate(1, K(300));
   EXPECT_EQ(c.find(1, K(150)), 7);
+}
+
+TEST(LookupCache, InvalidateDropsExpiredNeighbors) {
+  LookupCache c(seconds(10));
+  c.insert(0, 1, K(100), K(200));
+  c.insert(0, 2, K(200), K(300));
+  c.insert(seconds(9), 3, K(300), K(400));  // still fresh at t=12s
+  // Invalidating the fresh entry also sweeps the two expired neighbors.
+  c.invalidate(seconds(12), K(350));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LookupCache, ExpireEntriesDropsOnlyElapsed) {
+  LookupCache c(seconds(10));
+  c.insert(0, 1, K(100), K(200));
+  c.insert(seconds(5), 2, K(300), K(400));
+  EXPECT_EQ(c.expire_entries(seconds(12)), 1u);  // first expired at 10s
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.find(seconds(12), K(350)), 2);
+}
+
+TEST(LookupCache, LazySweepBoundsStaleEntries) {
+  // A client that keeps inserting fresh disjoint ranges but only ever
+  // queries the newest one must not accrete the old ones forever.
+  LookupCache c(seconds(10));
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const SimTime now = seconds(i);
+    c.insert(now, static_cast<int>(i), K(1000 * i), K(1000 * i + 500));
+    EXPECT_EQ(c.find(now, K(1000 * i + 100)), static_cast<int>(i));
+  }
+  // TTL is 10 s and one lazy sweep runs per TTL interval, so at most
+  // ~2 TTLs' worth of insertions can be resident at any point.
+  EXPECT_LE(c.size(), 21u);
+}
+
+TEST(LookupCache, ExpirationMetricsCount) {
+  obs::Registry r;
+  LookupCache c(seconds(10));
+  c.bind_metrics(&r);
+  c.insert(0, 1, K(100), K(200));
+  c.insert(0, 2, K(300), K(400));
+  EXPECT_EQ(c.expire_entries(seconds(30)), 2u);
+  ASSERT_NE(r.find_counter("store.lookup_cache.expirations"), nullptr);
+  EXPECT_EQ(r.find_counter("store.lookup_cache.expirations")->value(), 2);
 }
 
 TEST(LookupCache, StatsTrackHitsAndMisses) {

@@ -7,6 +7,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/assert.h"
+
 namespace d2::core {
 namespace {
 
@@ -131,6 +133,63 @@ TEST(ComputeSpeedup, PerUserGeometricMean) {
   EXPECT_DOUBLE_EQ(s.per_user.at(1), 1.0);
   // Overall = geo-mean of the per-user means = sqrt(2).
   EXPECT_NEAR(s.overall, std::sqrt(2.0), 1e-12);
+}
+
+TEST(PickPerformanceWindows, PlacesRequestedNonOverlappingWindows) {
+  trace::HarvardParams wl;
+  wl.days = 5;
+  wl.seed = 9;
+  const SimTime len = minutes(15);
+  const std::vector<SimTime> starts = pick_performance_windows(wl, 8, len);
+  ASSERT_EQ(starts.size(), 8u);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    // Inside some day's 9:00-18:00 stretch.
+    const SimTime in_day = starts[i] % days(1);
+    EXPECT_GE(in_day, hours(9));
+    EXPECT_LE(in_day + len, hours(18));
+    if (i > 0) {
+      EXPECT_GE(starts[i], starts[i - 1] + len);  // sorted, disjoint
+    }
+  }
+}
+
+TEST(PickPerformanceWindows, DeterministicInWorkloadSeed) {
+  trace::HarvardParams wl;
+  wl.days = 3;
+  wl.seed = 21;
+  const auto a = pick_performance_windows(wl, 4, minutes(15));
+  EXPECT_EQ(a, pick_performance_windows(wl, 4, minutes(15)));
+  wl.seed = 22;
+  EXPECT_NE(a, pick_performance_windows(wl, 4, minutes(15)));
+}
+
+TEST(PickPerformanceWindows, RejectsWindowsLongerThanWorkday) {
+  trace::HarvardParams wl;
+  wl.days = 7;
+  // A >9h window used to yield a negative placement span (silent garbage);
+  // now it is a precondition failure.
+  EXPECT_THROW(pick_performance_windows(wl, 1, hours(10)), PreconditionError);
+  EXPECT_THROW(pick_performance_windows(wl, 1, 0), PreconditionError);
+}
+
+TEST(PickPerformanceWindows, RejectsInfeasibleRequestLoudly) {
+  trace::HarvardParams wl;
+  wl.days = 1;
+  // 1 workday holds at most 9h of windows; asking for 10h worth must
+  // throw instead of silently returning fewer windows.
+  EXPECT_THROW(pick_performance_windows(wl, 40, minutes(15)),
+               PreconditionError);
+}
+
+TEST(PickPerformanceWindows, FullPackingStillSucceeds) {
+  trace::HarvardParams wl;
+  wl.days = 1;
+  wl.seed = 3;
+  // Exactly at the feasibility bound: a single window filling the whole
+  // workday. Rejection sampling must still land it.
+  const auto starts = pick_performance_windows(wl, 1, hours(9));
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0] % days(1), hours(9));
 }
 
 TEST(MatchedLatencies, PairsInOrder) {

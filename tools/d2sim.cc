@@ -5,10 +5,17 @@
 //   d2sim balance      [--workload=harvard|webcache] [--scheme=S] [--nodes=N]
 //                      [--no-pointers] [--threshold=T]
 //   d2sim performance  [--scheme=S] [--nodes=N] [--kbps=1500] [--para]
+//                      [--trials=T]
 //   d2sim trace-gen    [--workload=harvard|hp|web] [--out=FILE]
 //
-// Common options: --users=U --days=D --mb=ACTIVE_MB --seed=X
+// Common options: --users=U --days=D --mb=ACTIVE_MB --seed=X --jobs=N
 // Schemes: d2 (default), traditional, traditional-file, trad+merc
+//
+// Multi-trial sweeps (availability/performance --trials=T) fan the trials
+// across --jobs=N worker threads (default: hardware concurrency) via
+// core::TrialRunner. Trial seeds are derived deterministically from
+// --seed and the trial index, and results are printed in trial order, so
+// --jobs=1 and --jobs=N produce identical output.
 //
 // Observability (availability, balance, performance):
 //   --metrics-out=FILE  write a JSON snapshot of every counter, gauge and
@@ -32,6 +39,7 @@
 #include "core/balance.h"
 #include "core/locality_analysis.h"
 #include "core/performance.h"
+#include "core/trial_runner.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "trace/trace_io.h"
@@ -98,6 +106,8 @@ int usage() {
       "usage: d2sim <locality|availability|balance|performance|trace-gen> "
       "[options]\n"
       "  common: --users=N --days=N --mb=ACTIVE_MB --seed=X --nodes=N\n"
+      "          --jobs=N (worker threads for --trials sweeps; default: all "
+      "cores)\n"
       "  scheme: --scheme=d2|traditional|traditional-file|trad+merc\n"
       "  see the header of tools/d2sim.cc for per-command options\n");
   return 2;
@@ -227,13 +237,25 @@ int cmd_availability(const Args& args) {
   p.warmup = days(1);
   Sinks sinks(args);
   p.metrics = sinks.registry();
-  p.tracer = sinks.tracer_ptr();
   const int trials = static_cast<int>(args.num("trials", 1));
+  const auto base_seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const core::TrialRunner runner(static_cast<int>(args.num("jobs", 0)));
+  // Each trial records into its own tracer; the per-trial tracers are
+  // merged in trial order afterwards so --trace-out output does not
+  // depend on --jobs.
+  std::vector<obs::Tracer> tracers(
+      sinks.tracer_ptr() == nullptr ? 0 : static_cast<std::size_t>(trials));
+  const std::vector<core::AvailabilityResult> results =
+      runner.map<core::AvailabilityResult>(trials, [&](int t) {
+        core::AvailabilityParams q = p;
+        q.system.seed =
+            core::derive_trial_seed(base_seed, static_cast<std::uint64_t>(t));
+        if (!tracers.empty()) q.tracer = &tracers[static_cast<std::size_t>(t)];
+        return core::AvailabilityExperiment(q).run();
+      });
   double sum = 0;
   for (int t = 0; t < trials; ++t) {
-    p.system.seed = static_cast<std::uint64_t>(args.num("seed", 1)) + 100 +
-                    static_cast<std::uint64_t>(t);
-    const core::AvailabilityResult r = core::AvailabilityExperiment(p).run();
+    const core::AvailabilityResult& r = results[static_cast<std::size_t>(t)];
     std::printf(
         "trial=%d tasks=%llu failed=%llu unavailability=%.3e nodes/task=%.1f "
         "blocks/task=%.1f\n",
@@ -243,6 +265,7 @@ int cmd_availability(const Args& args) {
     sum += r.task_unavailability();
   }
   if (trials > 1) std::printf("mean unavailability=%.3e\n", sum / trials);
+  for (const obs::Tracer& tr : tracers) sinks.tracer.append(tr);
   sinks.write();
   return 0;
 }
@@ -305,21 +328,44 @@ int cmd_performance(const Args& args) {
   p.parallel = args.flag("para");
   Sinks sinks(args);
   p.metrics = sinks.registry();
-  p.tracer = sinks.tracer_ptr();
-  const core::PerformanceResult r = core::PerformanceExperiment(p).run();
+  const int trials = static_cast<int>(args.num("trials", 1));
+  const auto base_seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const core::TrialRunner runner(static_cast<int>(args.num("jobs", 0)));
+  std::vector<obs::Tracer> tracers(
+      sinks.tracer_ptr() == nullptr ? 0 : static_cast<std::size_t>(trials));
+  const std::vector<core::PerformanceResult> results =
+      runner.map<core::PerformanceResult>(trials, [&](int t) {
+        core::PerformanceParams q = p;
+        // A single trial keeps the historical seed (from system_config);
+        // multi-seed sweeps derive one seed per trial.
+        if (trials > 1) {
+          q.system.seed =
+              core::derive_trial_seed(base_seed, static_cast<std::uint64_t>(t));
+        }
+        if (!tracers.empty()) q.tracer = &tracers[static_cast<std::size_t>(t)];
+        return core::PerformanceExperiment(q).run();
+      });
+  const auto print_result = [](const core::PerformanceResult& r) {
+    SimTime total = 0;
+    for (const core::GroupResult& g : r.groups) total += g.latency;
+    std::printf(
+        "groups=%zu mean-latency=%.2fs lookups=%llu msgs/node=%.1f "
+        "miss-rate=%.1f%% tcp-cold=%llu/%llu\n",
+        r.groups.size(),
+        r.groups.empty()
+            ? 0.0
+            : to_seconds(total) / static_cast<double>(r.groups.size()),
+        static_cast<unsigned long long>(r.lookups), r.lookup_messages_per_node,
+        100 * r.mean_cache_miss_rate,
+        static_cast<unsigned long long>(r.tcp_cold_starts),
+        static_cast<unsigned long long>(r.tcp_transfers));
+  };
+  for (int t = 0; t < trials; ++t) {
+    if (trials > 1) std::printf("trial=%d ", t);
+    print_result(results[static_cast<std::size_t>(t)]);
+  }
+  for (const obs::Tracer& tr : tracers) sinks.tracer.append(tr);
   sinks.write();
-  SimTime total = 0;
-  for (const core::GroupResult& g : r.groups) total += g.latency;
-  std::printf(
-      "groups=%zu mean-latency=%.2fs lookups=%llu msgs/node=%.1f "
-      "miss-rate=%.1f%% tcp-cold=%llu/%llu\n",
-      r.groups.size(),
-      r.groups.empty() ? 0.0
-                       : to_seconds(total) / static_cast<double>(r.groups.size()),
-      static_cast<unsigned long long>(r.lookups), r.lookup_messages_per_node,
-      100 * r.mean_cache_miss_rate,
-      static_cast<unsigned long long>(r.tcp_cold_starts),
-      static_cast<unsigned long long>(r.tcp_transfers));
   return 0;
 }
 
