@@ -1,49 +1,100 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives: key
 // arithmetic, Fig-4 encoding, SHA-1, ring/router operations, lookup-cache
-// probes, block-map range scans and the event queue.
+// probes, block-map range scans, the event queue, and a mini end-to-end
+// System write/read trial.
+//
+// tools/bench_to_json.py wraps this binary and emits BENCH_micro.json;
+// the committed baseline/after snapshots track the perf trajectory of the
+// hot-path data layout (see DESIGN.md, "Hot-path data layout").
+//
+// The key benchmarks rotate through a pre-generated array of random keys
+// so the measured operation cannot be hoisted out of the loop as a
+// loop-invariant computation.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "common/hash.h"
 #include "common/key.h"
 #include "common/rng.h"
+#include "core/config.h"
+#include "core/system.h"
 #include "dht/consistent_hash.h"
 #include "dht/ring.h"
 #include "dht/router.h"
 #include "fs/key_encoding.h"
 #include "sim/event_queue.h"
+#include "sim/simulator.h"
 #include "store/block_map.h"
 #include "store/lookup_cache.h"
 
 namespace d2 {
 namespace {
 
+constexpr std::size_t kKeyPoolSize = 1024;  // power of two (mask indexing)
+
+std::vector<Key> key_pool(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(kKeyPoolSize);
+  for (std::size_t i = 0; i < kKeyPoolSize; ++i) keys.push_back(Key::random(rng));
+  return keys;
+}
+
 void BM_KeyCompare(benchmark::State& state) {
-  Rng rng(1);
-  const Key a = Key::random(rng);
-  const Key b = Key::random(rng);
+  const std::vector<Key> keys = key_pool(1);
+  std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(a < b);
+    const bool lt = keys[i & (kKeyPoolSize - 1)] < keys[(i + 1) & (kKeyPoolSize - 1)];
+    benchmark::DoNotOptimize(lt);
+    ++i;
   }
 }
 BENCHMARK(BM_KeyCompare);
 
 void BM_KeyAdd(benchmark::State& state) {
-  Rng rng(2);
-  const Key a = Key::random(rng);
-  const Key b = Key::random(rng);
+  const std::vector<Key> keys = key_pool(2);
+  Key acc;
+  std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(a + b);
+    acc = acc + keys[i & (kKeyPoolSize - 1)];
+    benchmark::DoNotOptimize(acc);
+    ++i;
   }
 }
 BENCHMARK(BM_KeyAdd);
 
-void BM_KeyInArc(benchmark::State& state) {
-  Rng rng(3);
-  const Key a = Key::random(rng);
-  const Key b = Key::random(rng);
-  const Key k = Key::random(rng);
+void BM_KeySub(benchmark::State& state) {
+  const std::vector<Key> keys = key_pool(12);
+  Key acc = Key::max();
+  std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Key::in_arc(k, a, b));
+    acc = acc - keys[i & (kKeyPoolSize - 1)];
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+}
+BENCHMARK(BM_KeySub);
+
+void BM_KeyMidpoint(benchmark::State& state) {
+  const std::vector<Key> keys = key_pool(13);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Key::midpoint(keys[i & (kKeyPoolSize - 1)],
+                                           keys[(i + 1) & (kKeyPoolSize - 1)]));
+    ++i;
+  }
+}
+BENCHMARK(BM_KeyMidpoint);
+
+void BM_KeyInArc(benchmark::State& state) {
+  const std::vector<Key> keys = key_pool(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Key::in_arc(keys[i & (kKeyPoolSize - 1)],
+                                         keys[(i + 1) & (kKeyPoolSize - 1)],
+                                         keys[(i + 2) & (kKeyPoolSize - 1)]));
+    ++i;
   }
 }
 BENCHMARK(BM_KeyInArc);
@@ -95,6 +146,28 @@ void BM_RingOwner(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RingOwner)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RingReplicaSet(benchmark::State& state) {
+  // The per-block-op hot loop of System::put / reassign_block: resolve the
+  // r successors of a key.
+  Rng rng(14);
+  dht::Ring ring;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    Key id = dht::random_node_id(rng);
+    while (ring.id_taken(id)) id = dht::random_node_id(rng);
+    ring.add(i, id);
+  }
+  const std::vector<Key> keys = key_pool(15);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::vector<int> set = ring.replica_set(keys[i & (kKeyPoolSize - 1)], 4);
+    benchmark::DoNotOptimize(set.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingReplicaSet)->Arg(100)->Arg(1000);
 
 void BM_RouterLookup(benchmark::State& state) {
   Rng rng(5);
@@ -151,6 +224,33 @@ void BM_BlockMapArcScan(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockMapArcScan);
 
+void BM_BlockMapRangeScan(benchmark::State& state) {
+  // The load balancer's owned-arc walk: narrow arcs (~1/64 of the ring,
+  // one node's share), visiting every block key in range. This is the
+  // per-probe cost of median_primary_key / readjust_arc.
+  store::BlockMap map(64);
+  Rng rng(16);
+  const int blocks = static_cast<int>(state.range(0));
+  for (int i = 0; i < blocks; ++i) {
+    map.insert(Key::random(rng), kBlockSize, {i % 64});
+  }
+  // Arc width ~= 2^512 / 64: walk from a random key for that span.
+  Key span = Key::max();
+  for (int i = 0; i < 6; ++i) span = span.half();
+  Bytes touched = 0;
+  for (auto _ : state) {
+    const Key from = Key::random(rng);
+    const Key to = from + span;
+    const_cast<store::BlockMap&>(map).for_each_in_arc(
+        from, to,
+        [&touched](const Key&, store::BlockState& b) { touched += b.size; });
+    benchmark::DoNotOptimize(touched);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (blocks / 64));
+}
+BENCHMARK(BM_BlockMapRangeScan)->Arg(20000)->Arg(100000);
+
 void BM_EventQueue(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;
@@ -162,6 +262,62 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
 }
 BENCHMARK(BM_EventQueue);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  // Steady-state simulator loop with cancellations: a warm queue where
+  // each iteration pushes a batch, cancels a third of it (timer churn:
+  // fetch retries, TTL refreshes), and pops a batch. The queue never
+  // drains, so slot recycling (not first-touch growth) is measured.
+  sim::EventQueue q;
+  sim::EventId ids[256];
+  std::uint64_t t = 0;
+  for (int i = 0; i < 4096; ++i) q.push(t + (i * 7919) % 4096, [] {});
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      ids[i] = q.push(t + 1 + (i * 127) % 1024, [] {});
+    }
+    for (int i = 0; i < 256; i += 3) q.cancel(ids[i]);
+    for (int i = 0; i < 170; ++i) {
+      sim::EventQueue::Event ev = q.pop();
+      t = ev.time;
+      benchmark::DoNotOptimize(ev.id);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SystemWriteRead(benchmark::State& state) {
+  // Mini end-to-end trial: one System per iteration, a burst of block
+  // writes (ring replica resolution + block-map insert), availability
+  // checks for every block, and a few load-balance probes (owned-arc
+  // median scans + readjustment). This is the put/get/probe hot path every
+  // experiment drives millions of times.
+  const int blocks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    core::SystemConfig cfg;
+    cfg.node_count = 32;
+    cfg.replicas = 3;
+    cfg.seed = 1234;
+    core::System sys(cfg, sim);
+    Rng rng(17);
+    std::vector<Key> keys;
+    keys.reserve(static_cast<std::size_t>(blocks));
+    for (int i = 0; i < blocks; ++i) keys.push_back(Key::random(rng));
+    for (const Key& k : keys) sys.put(k, kBlockSize);
+    int available = 0;
+    for (const Key& k : keys) {
+      if (sys.block_available(k)) ++available;
+    }
+    for (int p = 0; p < 32; ++p) sys.probe_once(p % 32);
+    sim.run();
+    benchmark::DoNotOptimize(available);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          blocks);
+}
+BENCHMARK(BM_SystemWriteRead)->Arg(2000);
 
 }  // namespace
 }  // namespace d2

@@ -2,108 +2,24 @@
 
 #include <ostream>
 
-#include "common/assert.h"
 #include "common/rng.h"
 
 namespace d2 {
 
-Key Key::from_bytes(const std::array<std::uint8_t, kBytes>& b) {
-  Key k;
-  k.bytes_ = b;
-  return k;
-}
-
-Key Key::from_uint64(std::uint64_t v) {
-  Key k;
-  for (int i = 0; i < 8; ++i) {
-    k.bytes_[kBytes - 1 - i] = static_cast<std::uint8_t>(v >> (8 * i));
-  }
-  return k;
-}
-
 Key Key::random(Rng& rng) {
+  // One rng word per limb; identical key values to the historical
+  // byte-filling implementation (which wrote each word big-endian).
   Key k;
-  for (std::size_t i = 0; i < kBytes; i += 8) {
-    std::uint64_t w = rng.next_u64();
-    for (int j = 0; j < 8; ++j) {
-      k.bytes_[i + j] = static_cast<std::uint8_t>(w >> (8 * (7 - j)));
-    }
-  }
+  for (std::size_t i = 0; i < kLimbs; ++i) k.limbs_[i] = rng.next_u64();
   return k;
-}
-
-Key Key::min() { return Key{}; }
-
-Key Key::max() {
-  Key k;
-  k.bytes_.fill(0xff);
-  return k;
-}
-
-std::uint64_t Key::low64() const {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v = (v << 8) | bytes_[kBytes - 8 + i];
-  }
-  return v;
-}
-
-Key Key::operator+(const Key& o) const {
-  Key r;
-  unsigned carry = 0;
-  for (int i = static_cast<int>(kBytes) - 1; i >= 0; --i) {
-    unsigned s = static_cast<unsigned>(bytes_[i]) + o.bytes_[i] + carry;
-    r.bytes_[i] = static_cast<std::uint8_t>(s & 0xff);
-    carry = s >> 8;
-  }
-  return r;
-}
-
-Key Key::operator-(const Key& o) const {
-  Key r;
-  int borrow = 0;
-  for (int i = static_cast<int>(kBytes) - 1; i >= 0; --i) {
-    int d = static_cast<int>(bytes_[i]) - static_cast<int>(o.bytes_[i]) - borrow;
-    if (d < 0) {
-      d += 256;
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    r.bytes_[i] = static_cast<std::uint8_t>(d);
-  }
-  return r;
-}
-
-Key Key::half() const {
-  Key r;
-  unsigned carry = 0;
-  for (std::size_t i = 0; i < kBytes; ++i) {
-    unsigned cur = bytes_[i];
-    r.bytes_[i] = static_cast<std::uint8_t>((cur >> 1) | (carry << 7));
-    carry = cur & 1;
-  }
-  return r;
-}
-
-Key Key::next() const { return *this + Key::from_uint64(1); }
-
-Key Key::midpoint(const Key& from, const Key& to) {
-  return from + distance(from, to).half();
-}
-
-bool Key::in_arc(const Key& k, const Key& from, const Key& to) {
-  if (from == to) return true;  // whole ring
-  if (from < to) return from < k && k <= to;
-  // Arc wraps through zero.
-  return k > from || k <= to;
 }
 
 std::string Key::hex() const {
   static const char* digits = "0123456789abcdef";
   std::string s;
   s.reserve(kBytes * 2);
-  for (std::uint8_t b : bytes_) {
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    const std::uint8_t b = byte(i);
     s.push_back(digits[b >> 4]);
     s.push_back(digits[b & 0xf]);
   }
@@ -113,9 +29,7 @@ std::string Key::hex() const {
 std::string Key::short_hex() const { return hex().substr(0, 8); }
 
 double Key::ring_position() const {
-  std::uint64_t top = 0;
-  for (int i = 0; i < 8; ++i) top = (top << 8) | bytes_[i];
-  return static_cast<double>(top) / 18446744073709551616.0;  // 2^64
+  return static_cast<double>(limbs_[0]) / 18446744073709551616.0;  // 2^64
 }
 
 std::ostream& operator<<(std::ostream& os, const Key& k) {
@@ -123,11 +37,15 @@ std::ostream& operator<<(std::ostream& os, const Key& k) {
 }
 
 std::size_t KeyHash::operator()(const Key& k) const {
-  // FNV-1a over the bytes; good enough for hash-map bucketing.
+  // FNV-1a over the big-endian bytes (same values as the historical
+  // byte-array implementation), processed a limb at a time.
   std::size_t h = 1469598103934665603ull;
-  for (std::uint8_t b : k.bytes()) {
-    h ^= b;
-    h *= 1099511628211ull;
+  for (std::size_t i = 0; i < Key::kLimbs; ++i) {
+    const std::uint64_t w = k.limb(i);
+    for (std::size_t j = 0; j < 8; ++j) {
+      h ^= static_cast<std::size_t>((w >> (8 * (7 - j))) & 0xff);
+      h *= 1099511628211ull;
+    }
   }
   return h;
 }

@@ -71,7 +71,7 @@ Key System::scatter_position(const Key& k, int i) {
   return dht::hashed_key(k.hex() + "#scatter" + std::to_string(i));
 }
 
-std::vector<int> System::target_replica_set(const Key& k) const {
+void System::target_replica_set(const Key& k, std::vector<int>& out) const {
   // Successor-order replica set for `k` under the current up/down state:
   // the canonical successors, extended past down nodes until enough up
   // members are included (bounded by scan_cap). With hybrid placement,
@@ -79,7 +79,7 @@ std::vector<int> System::target_replica_set(const Key& k) const {
   const int scatter =
       erasure() ? 0 : std::min(config_.scatter_replicas, config_.replicas - 1);
   const int r = effective_replicas() - scatter;
-  std::vector<int> out;
+  out.clear();
   const int cap = std::min<int>(static_cast<int>(ring_.size()), scan_cap(r));
   int node = ring_.owner(k);
   int up_count = 0;
@@ -110,7 +110,6 @@ std::vector<int> System::target_replica_set(const Key& k) const {
       if (static_cast<std::size_t>(out.size()) >= ring_.size()) break;
     }
   }
-  return out;
 }
 
 void System::register_scatter(const Key& k) {
@@ -227,7 +226,8 @@ void System::put(const Key& k, Bytes size) {
       return;
     }
   }
-  const std::vector<int> set = target_replica_set(k);
+  std::vector<int>& set = replica_set_scratch_;
+  target_replica_set(k, set);
   const Bytes member_bytes =
       erasure() ? (size + config_.ec_data_fragments - 1) / config_.ec_data_fragments
                 : size;
@@ -347,7 +347,8 @@ void System::note_set_shape(const Key& k, std::size_t set_size) {
 }
 
 void System::reassign_block(const Key& k, SimTime fetch_delay) {
-  const std::vector<int> set = target_replica_set(k);
+  std::vector<int>& set = replica_set_scratch_;
+  target_replica_set(k, set);
   note_set_shape(k, set.size());
   map_.reassign_replicas(k, set, sim_.now());
   const store::BlockState* b = map_.find(k);

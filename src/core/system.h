@@ -140,7 +140,9 @@ class System {
   bool erasure() const;
   /// Up nodes currently holding a data copy/fragment of `b`.
   int up_data_holders(const store::BlockState& b) const;
-  std::vector<int> target_replica_set(const Key& k) const;
+  /// Fills `out` (cleared first) with the successor-order replica set for
+  /// `k`. Out-param so hot callers can reuse a scratch buffer.
+  void target_replica_set(const Key& k, std::vector<int>& out) const;
   /// Ring position of the i-th scattered replica of key `k`.
   static Key scatter_position(const Key& k, int i);
   void register_scatter(const Key& k);
@@ -187,6 +189,9 @@ class System {
   std::set<Key> extended_;
   dht::LoadBalancer balancer_;
   std::vector<NodeState> nodes_;
+  /// Scratch for target_replica_set results on the put/reassign hot path
+  /// (avoids a heap allocation per block write / replica adjustment).
+  mutable std::vector<int> replica_set_scratch_;
   const sim::FailureTrace* failure_trace_ = nullptr;
 
   // Per-instance traffic totals (the accessors above) ...

@@ -37,10 +37,16 @@ int Ring::owner(const Key& k) const {
 }
 
 std::vector<int> Ring::replica_set(const Key& k, int r) const {
-  D2_REQUIRE(!empty());
-  D2_REQUIRE(r > 0);
   std::vector<int> out;
   out.reserve(static_cast<std::size_t>(r));
+  replica_set(k, r, out);
+  return out;
+}
+
+void Ring::replica_set(const Key& k, int r, std::vector<int>& out) const {
+  D2_REQUIRE(!empty());
+  D2_REQUIRE(r > 0);
+  out.clear();
   auto it = by_id_.lower_bound(k);
   if (it == by_id_.end()) it = by_id_.begin();
   const std::size_t n = by_id_.size();
@@ -50,7 +56,6 @@ std::vector<int> Ring::replica_set(const Key& k, int r) const {
     ++it;
     if (it == by_id_.end()) it = by_id_.begin();
   }
-  return out;
 }
 
 std::map<Key, int>::const_iterator Ring::iter_of(int node) const {

@@ -42,6 +42,10 @@ class Ring {
   /// Returns fewer than r if the ring is smaller than r.
   std::vector<int> replica_set(const Key& k, int r) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the replica
+  /// set, reusing its capacity (the hot path in System's put/reassign).
+  void replica_set(const Key& k, int r, std::vector<int>& out) const;
+
   /// Ring neighbours of a node.
   int successor(int node) const;
   int predecessor(int node) const;

@@ -5,50 +5,63 @@
 namespace d2::sim {
 
 EventId EventQueue::push(SimTime t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    D2_REQUIRE_MSG(slot < (1u << 24), "event queue slot space exhausted");
+    slots_.emplace_back();
+  }
+  const std::uint64_t seq = next_seq_++;
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = seq;
+  s.live = true;
+  heap_.push(Entry{t, make_tag(slot, seq)});
+  ++live_;
+  return make_id(slot, seq);
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);  // heap entry removed lazily
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> kSeqBits);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || (s.seq & kSeqMask) != (id & kSeqMask)) return false;
+  s.fn = nullptr;  // release the closure now; the heap entry dies lazily
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+  drop_dead_top();
   return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && !entry_live(heap_.top())) heap_.pop();
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
-  D2_REQUIRE(!heap_.empty());
-  return heap_.top().time;
+  D2_REQUIRE(live_ != 0);
+  return heap_.top().time;  // invariant: top is live when live_ > 0
 }
 
 EventQueue::Event EventQueue::pop() {
-  drop_cancelled();
-  D2_REQUIRE(!heap_.empty());
+  D2_REQUIRE(live_ != 0);
   const Entry top = heap_.top();
+  D2_ASSERT(entry_live(top));
   heap_.pop();
-  auto it = callbacks_.find(top.id);
-  D2_ASSERT(it != callbacks_.end());
-  Event ev{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
+  const std::uint32_t slot = tag_slot(top.tag);
+  Slot& s = slots_[slot];
+  Event ev{top.time, make_id(slot, s.seq), std::move(s.fn)};
+  s.fn = nullptr;
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+  drop_dead_top();
   return ev;
 }
-
-std::size_t EventQueue::pending() const { return callbacks_.size(); }
 
 }  // namespace d2::sim

@@ -1,18 +1,27 @@
 // Priority queue of timestamped events with stable FIFO ordering for ties
-// and O(log n) lazy cancellation.
+// and O(log n) cancellation.
+//
+// Layout: a binary heap of lightweight {time, seq, slot} entries plus a
+// slab of callback slots recycled through a free list. push/cancel/pop do
+// no per-event heap allocation beyond the callback's own closure (the
+// heap vector and the slab grow to the high-water mark and stay there).
+// Cancellation frees the slot immediately and drops dead heap entries
+// when they surface at the top, so `empty()`/`next_time()`/`pending()`
+// are genuinely const O(1) reads (invariant: the heap top is live, or the
+// heap is empty).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
 
 namespace d2::sim {
 
+/// Opaque handle: slot index in the high 24 bits, a sequence tag in the
+/// low 40 (distinguishes generations of a recycled slot).
 using EventId = std::uint64_t;
 
 class EventQueue {
@@ -25,7 +34,7 @@ class EventQueue {
   /// a no-op (returns false).
   bool cancel(EventId id);
 
-  bool empty() const;
+  bool empty() const { return live_ == 0; }
   SimTime next_time() const;
 
   /// Pops and returns the earliest event. Requires !empty().
@@ -36,26 +45,59 @@ class EventQueue {
   };
   Event pop();
 
-  std::size_t pending() const;
+  std::size_t pending() const { return live_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr int kSeqBits = 40;
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+  static constexpr std::uint64_t kSlotMask =
+      (std::uint64_t{1} << kSlotBits) - 1;
+
+  /// 16-byte heap entry: the seq tag (insertion order, for the FIFO
+  /// tie-break) in the high 40 bits and the slab slot in the low 24, so
+  /// comparing `tag` compares seq first and sift steps move one cache
+  /// line's worth of entries.
   struct Entry {
     SimTime time;
-    EventId id;
+    std::uint64_t tag;  // (seq & kSeqMask) << kSlotBits | slot
   };
+  static std::uint64_t make_tag(std::uint32_t slot, std::uint64_t seq) {
+    return ((seq & kSeqMask) << kSlotBits) | slot;
+  }
+  static std::uint32_t tag_slot(std::uint64_t tag) {
+    return static_cast<std::uint32_t>(tag & kSlotMask);
+  }
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // insertion order for ties
+      return a.tag > b.tag;  // seq (high bits): insertion order for ties
     }
   };
+  struct Slot {
+    std::function<void()> fn;
+    std::uint64_t seq = 0;           // seq of the current occupant
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
 
-  void drop_cancelled() const;
+  static EventId make_id(std::uint32_t slot, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(slot) << kSeqBits) | (seq & kSeqMask);
+  }
+  bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[tag_slot(e.tag)];
+    return s.live && make_tag(tag_slot(e.tag), s.seq) == e.tag;
+  }
+  /// Restores the invariant after cancel/pop: discard heap entries whose
+  /// slot was already freed until a live one (or nothing) is on top.
+  void drop_dead_top();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
-  mutable std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace d2::sim

@@ -1,0 +1,244 @@
+// Sorted contiguous index of Key -> BlockState.
+//
+// The load balancer's probe/readjust cycle is dominated by ordered range
+// scans over block keys (owned-arc walks, median splits). A red-black
+// tree walks one heap node per block — a cache miss per step. This index
+// keeps keys in sorted chunks of contiguous memory (a two-level B+-tree:
+// a flat directory of per-chunk max keys over leaf chunks of up to
+// kMaxChunk entries), so point lookups are two binary searches over
+// contiguous arrays and range scans stream cache lines.
+//
+// Iteration order is exactly key order — identical to the std::map this
+// replaced — so every seeded experiment output is unchanged.
+//
+// Mutation during iteration is not allowed (callers snapshot keys first,
+// as System::readjust_arc does). Pointers returned by find() are
+// invalidated by insert/erase, like any vector-backed container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/key.h"
+
+namespace d2::store {
+
+template <class Value>
+class SortedKeyIndex {
+ public:
+  /// Split threshold: chunks hold at most this many entries. 128 keys =
+  /// two 4 KB pages of contiguous key data per chunk.
+  static constexpr std::size_t kMaxChunk = 128;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(const Key& k) const { return find(k) != nullptr; }
+
+  const Value* find(const Key& k) const {
+    return const_cast<SortedKeyIndex*>(this)->find(k);
+  }
+
+  Value* find(const Key& k) {
+    const std::size_t ci = chunk_for(k);
+    if (ci == chunks_.size()) return nullptr;
+    Chunk& c = *chunks_[ci];
+    const std::size_t pos = lower_bound_in(c, k);
+    if (pos == c.keys.size() || !(c.keys[pos] == k)) return nullptr;
+    return &c.vals[pos];
+  }
+
+  /// Inserts a new key (REQUIREs it is absent) and returns its value slot.
+  Value& insert(const Key& k, Value&& v) {
+    if (chunks_.empty()) {
+      chunks_.push_back(std::make_unique<Chunk>());
+      last_.push_back(k);
+      Chunk& c = *chunks_.back();
+      c.keys.push_back(k);
+      c.vals.push_back(std::move(v));
+      ++size_;
+      return c.vals.back();
+    }
+    std::size_t ci = chunk_for(k);
+    if (ci == chunks_.size()) ci = chunks_.size() - 1;  // append past max
+    Chunk& c = *chunks_[ci];
+    const std::size_t pos = lower_bound_in(c, k);
+    D2_REQUIRE_MSG(pos == c.keys.size() || !(c.keys[pos] == k),
+                   "duplicate block key");
+    c.keys.insert(c.keys.begin() + static_cast<std::ptrdiff_t>(pos), k);
+    c.vals.insert(c.vals.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(v));
+    if (pos == c.keys.size() - 1) last_[ci] = k;  // new chunk maximum
+    ++size_;
+    if (c.keys.size() > kMaxChunk) {
+      split(ci);
+      if (!(k <= last_[ci])) ++ci;  // value landed in the upper half
+      Chunk& after = *chunks_[ci];
+      return after.vals[lower_bound_in(after, k)];
+    }
+    return c.vals[pos];
+  }
+
+  /// Removes a key (REQUIREs it is present).
+  void erase(const Key& k) {
+    const std::size_t ci = chunk_for(k);
+    D2_REQUIRE_MSG(ci != chunks_.size(), "erasing unknown block");
+    Chunk& c = *chunks_[ci];
+    const std::size_t pos = lower_bound_in(c, k);
+    D2_REQUIRE_MSG(pos != c.keys.size() && c.keys[pos] == k,
+                   "erasing unknown block");
+    c.keys.erase(c.keys.begin() + static_cast<std::ptrdiff_t>(pos));
+    c.vals.erase(c.vals.begin() + static_cast<std::ptrdiff_t>(pos));
+    --size_;
+    if (c.keys.empty()) {
+      chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(ci));
+      last_.erase(last_.begin() + static_cast<std::ptrdiff_t>(ci));
+    } else if (pos == c.keys.size()) {
+      last_[ci] = c.keys.back();
+    }
+  }
+
+  /// Visits every entry in key order. `fn(const Key&, Value&)`.
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (const auto& c : chunks_) {
+      for (std::size_t i = 0; i < c->keys.size(); ++i) fn(c->keys[i], c->vals[i]);
+    }
+  }
+
+  /// Early-exit walk over the clockwise arc (from, to] (whole index when
+  /// from == to, wrapping when from > to). `fn(const Key&, Value&)` returns
+  /// false to stop; walk_in_arc returns false iff it was stopped.
+  template <class Fn>
+  bool walk_in_arc(const Key& from, const Key& to, Fn&& fn) {
+    if (empty()) return true;
+    if (from == to) return walk_all(fn);  // whole ring
+    if (from < to) return walk_range(from, to, fn);
+    // Wrapped arc: (from, MAX] then [MIN, to].
+    if (!walk_range(from, Key::max(), fn)) return false;
+    return walk_from_start(to, fn);
+  }
+
+  /// Visits every entry in the arc (no early exit).
+  template <class Fn>
+  void for_each_in_arc(const Key& from, const Key& to, Fn&& fn) {
+    walk_in_arc(from, to, [&fn](const Key& k, Value& v) {
+      fn(k, v);
+      return true;
+    });
+  }
+
+ private:
+  struct Chunk {
+    std::vector<Key> keys;  // sorted
+    std::vector<Value> vals;  // parallel to keys
+  };
+
+  /// Index of the first chunk whose max key is >= k (chunks_.size() when
+  /// k is greater than every stored key). Binary search over the
+  /// contiguous per-chunk maxima.
+  std::size_t chunk_for(const Key& k) const {
+    std::size_t lo = 0, hi = last_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (last_[mid] < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  static std::size_t lower_bound_in(const Chunk& c, const Key& k) {
+    std::size_t lo = 0, hi = c.keys.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (c.keys[mid] < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Splits chunk `ci` in half; the lower half stays in place.
+  void split(std::size_t ci) {
+    Chunk& c = *chunks_[ci];
+    const std::size_t half = c.keys.size() / 2;
+    auto upper = std::make_unique<Chunk>();
+    upper->keys.assign(c.keys.begin() + static_cast<std::ptrdiff_t>(half),
+                       c.keys.end());
+    upper->vals.reserve(c.vals.size() - half);
+    for (std::size_t i = half; i < c.vals.size(); ++i) {
+      upper->vals.push_back(std::move(c.vals[i]));
+    }
+    c.keys.resize(half);
+    c.vals.resize(half);
+    last_.insert(last_.begin() + static_cast<std::ptrdiff_t>(ci) + 1,
+                 upper->keys.back());
+    last_[ci] = c.keys.back();
+    chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(ci) + 1,
+                   std::move(upper));
+  }
+
+  template <class Fn>
+  bool walk_all(Fn&& fn) {
+    for (const auto& c : chunks_) {
+      for (std::size_t i = 0; i < c->keys.size(); ++i) {
+        if (!fn(c->keys[i], c->vals[i])) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Walks keys in (from, to], from < to.
+  template <class Fn>
+  bool walk_range(const Key& from, const Key& to, Fn&& fn) {
+    for (std::size_t ci = chunk_for(from); ci < chunks_.size(); ++ci) {
+      Chunk& c = *chunks_[ci];
+      // First key strictly greater than `from` (only relevant in the
+      // first candidate chunk; later chunks start past it).
+      std::size_t i = upper_bound_in(c, from);
+      for (; i < c.keys.size(); ++i) {
+        if (to < c.keys[i]) return true;
+        if (!fn(c.keys[i], c.vals[i])) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Walks keys in [MIN, to].
+  template <class Fn>
+  bool walk_from_start(const Key& to, Fn&& fn) {
+    for (const auto& cp : chunks_) {
+      Chunk& c = *cp;
+      for (std::size_t i = 0; i < c.keys.size(); ++i) {
+        if (to < c.keys[i]) return true;
+        if (!fn(c.keys[i], c.vals[i])) return false;
+      }
+    }
+    return true;
+  }
+
+  static std::size_t upper_bound_in(const Chunk& c, const Key& k) {
+    std::size_t lo = 0, hi = c.keys.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (!(k < c.keys[mid])) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;  // ordered by key range
+  std::vector<Key> last_;  // last_[i] == chunks_[i]->keys.back()
+  std::size_t size_ = 0;
+};
+
+}  // namespace d2::store

@@ -59,42 +59,33 @@ void BlockMap::account_remove_primary(int node, Bytes size) {
 void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
                       Bytes member_bytes) {
   D2_REQUIRE(!nodes.empty());
-  D2_REQUIRE_MSG(blocks_.count(k) == 0, "duplicate block key");
+  for (int n : nodes) D2_REQUIRE(n >= 0 && n < node_count_);
   BlockState b;
   b.size = size;
   b.member_bytes = member_bytes < 0 ? size : member_bytes;
   b.replicas.reserve(nodes.size());
-  for (int n : nodes) {
-    D2_REQUIRE(n >= 0 && n < node_count_);
-    b.replicas.push_back(Replica{n, true, 0, false});
-    account_add_data(n, b.member_bytes);
+  for (int n : nodes) b.replicas.push_back(Replica{n, true, 0, false});
+  // Insert first: it REQUIREs the key is new, and the accounting below
+  // must not run for a rejected duplicate.
+  const BlockState& stored = blocks_.insert(k, std::move(b));
+  for (const Replica& r : stored.replicas) {
+    account_add_data(r.node, stored.member_bytes);
   }
   account_add_primary(nodes.front(), size);
   total_bytes_ += size;
-  blocks_.emplace(k, std::move(b));
 }
 
 void BlockMap::erase(const Key& k) {
-  auto it = blocks_.find(k);
-  D2_REQUIRE_MSG(it != blocks_.end(), "erasing unknown block");
-  BlockState& b = it->second;
+  BlockState* bp = blocks_.find(k);
+  D2_REQUIRE_MSG(bp != nullptr, "erasing unknown block");
+  BlockState& b = *bp;
   for (const Replica& r : b.replicas) {
     if (r.has_data) account_remove_data(r.node, b.member_bytes);
   }
   for (int n : b.stale_holders) account_remove_data(n, b.member_bytes);
   account_remove_primary(b.replicas.front().node, b.size);
   total_bytes_ -= b.size;
-  blocks_.erase(it);
-}
-
-const BlockState* BlockMap::find(const Key& k) const {
-  auto it = blocks_.find(k);
-  return it == blocks_.end() ? nullptr : &it->second;
-}
-
-BlockState* BlockMap::find_mutable(const Key& k) {
-  auto it = blocks_.find(k);
-  return it == blocks_.end() ? nullptr : &it->second;
+  blocks_.erase(k);
 }
 
 std::int64_t BlockMap::primary_count(int node) const {
@@ -114,11 +105,27 @@ Bytes BlockMap::physical_bytes(int node) const {
 
 std::optional<Key> BlockMap::median_primary_key(const Key& from,
                                                 const Key& to) const {
-  std::vector<Key> keys = keys_in_arc(from, to);
-  if (keys.size() < 2) return std::nullopt;
+  // Two allocation-free walks: count, then select the median element.
+  auto& idx = const_cast<SortedKeyIndex<BlockState>&>(blocks_);
+  std::size_t n = 0;
+  idx.walk_in_arc(from, to, [&n](const Key&, BlockState&) {
+    ++n;
+    return true;
+  });
+  if (n < 2) return std::nullopt;
   // The light node's new ID is the key of the last block in the first
   // half, so it takes ceil(half) blocks: keys (from, new_id].
-  const Key mid = keys[keys.size() / 2 - 1];
+  const std::size_t target = n / 2 - 1;
+  std::size_t i = 0;
+  Key mid;
+  idx.walk_in_arc(from, to, [&](const Key& k, BlockState&) {
+    if (i == target) {
+      mid = k;
+      return false;
+    }
+    ++i;
+    return true;
+  });
   if (mid == to) return std::nullopt;  // would collide with the heavy node
   return mid;
 }
@@ -126,40 +133,27 @@ std::optional<Key> BlockMap::median_primary_key(const Key& from,
 void BlockMap::for_each_in_arc(
     const Key& from, const Key& to,
     const std::function<void(const Key&, BlockState&)>& fn) {
-  if (blocks_.empty()) return;
-  if (from == to) {  // whole ring
-    for (auto& [k, b] : blocks_) fn(k, b);
-    return;
-  }
-  if (from < to) {
-    for (auto it = blocks_.upper_bound(from); it != blocks_.end() && it->first <= to;
-         ++it) {
-      fn(it->first, it->second);
-    }
-    return;
-  }
-  // Wrapped arc: (from, MAX] then [MIN, to].
-  for (auto it = blocks_.upper_bound(from); it != blocks_.end(); ++it) {
-    fn(it->first, it->second);
-  }
-  for (auto it = blocks_.begin(); it != blocks_.end() && it->first <= to; ++it) {
-    fn(it->first, it->second);
-  }
+  blocks_.for_each_in_arc(from, to, fn);
 }
 
 std::vector<Key> BlockMap::keys_in_arc(const Key& from, const Key& to) const {
   std::vector<Key> out;
-  const_cast<BlockMap*>(this)->for_each_in_arc(
+  const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each_in_arc(
       from, to, [&out](const Key& k, BlockState&) { out.push_back(k); });
   return out;
+}
+
+void BlockMap::for_each_block(
+    const std::function<void(const Key&, const BlockState&)>& fn) const {
+  const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each(fn);
 }
 
 void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
                                  SimTime now) {
   D2_REQUIRE(!nodes.empty());
-  auto it = blocks_.find(k);
-  D2_REQUIRE_MSG(it != blocks_.end(), "reassigning unknown block");
-  BlockState& b = it->second;
+  BlockState* bp = blocks_.find(k);
+  D2_REQUIRE_MSG(bp != nullptr, "reassigning unknown block");
+  BlockState& b = *bp;
 
   const int old_primary = b.replicas.front().node;
   const int new_primary = nodes.front();
@@ -218,9 +212,9 @@ void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
 }
 
 void BlockMap::mark_data(const Key& k, int node) {
-  auto it = blocks_.find(k);
-  D2_REQUIRE_MSG(it != blocks_.end(), "mark_data on unknown block");
-  BlockState& b = it->second;
+  BlockState* bp = blocks_.find(k);
+  D2_REQUIRE_MSG(bp != nullptr, "mark_data on unknown block");
+  BlockState& b = *bp;
   for (Replica& r : b.replicas) {
     if (r.node == node) {
       D2_REQUIRE_MSG(!r.has_data, "replica already has data");
@@ -235,9 +229,9 @@ void BlockMap::mark_data(const Key& k, int node) {
 }
 
 void BlockMap::mark_missing(const Key& k, int node) {
-  auto it = blocks_.find(k);
-  D2_REQUIRE_MSG(it != blocks_.end(), "mark_missing on unknown block");
-  BlockState& b = it->second;
+  BlockState* bp = blocks_.find(k);
+  D2_REQUIRE_MSG(bp != nullptr, "mark_missing on unknown block");
+  BlockState& b = *bp;
   for (Replica& r : b.replicas) {
     if (r.node == node) {
       D2_REQUIRE_MSG(r.has_data, "replica already missing data");

@@ -11,15 +11,20 @@
 // primary replica count (the load-balancing metric), primary bytes, and
 // physical bytes (for the §10 imbalance figures), all updated
 // incrementally.
+//
+// Blocks live in a SortedKeyIndex (chunked sorted arrays) rather than a
+// std::map, so the load balancer's owned-arc range scans walk contiguous
+// cache lines instead of tree nodes; iteration order (key order) and thus
+// every seeded experiment output is unchanged.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/key.h"
 #include "common/units.h"
+#include "store/block_index.h"
 
 namespace d2::store {
 
@@ -63,9 +68,9 @@ class BlockMap {
   /// Removes a block entirely.
   void erase(const Key& k);
 
-  bool contains(const Key& k) const { return blocks_.count(k) > 0; }
-  const BlockState* find(const Key& k) const;
-  BlockState* find_mutable(const Key& k);
+  bool contains(const Key& k) const { return blocks_.contains(k); }
+  const BlockState* find(const Key& k) const { return blocks_.find(k); }
+  BlockState* find_mutable(const Key& k) { return blocks_.find(k); }
 
   std::size_t block_count() const { return blocks_.size(); }
   Bytes total_bytes() const { return total_bytes_; }
@@ -106,8 +111,10 @@ class BlockMap {
   /// reach it — e.g. the node is down). Inverse of mark_data.
   void mark_missing(const Key& k, int node);
 
-  /// All blocks, in key order (for iteration by experiments).
-  const std::map<Key, BlockState>& blocks() const { return blocks_; }
+  /// Visits all blocks in key order (for iteration by experiments). The
+  /// callback must not insert or erase blocks.
+  void for_each_block(
+      const std::function<void(const Key&, const BlockState&)>& fn) const;
 
  private:
   void account_add_data(int node, Bytes size);
@@ -117,7 +124,7 @@ class BlockMap {
   void prune_stale(const Key& k, BlockState& b);
 
   int node_count_;
-  std::map<Key, BlockState> blocks_;
+  SortedKeyIndex<BlockState> blocks_;
   Bytes total_bytes_ = 0;
   std::vector<std::int64_t> primary_count_;
   std::vector<Bytes> primary_bytes_;

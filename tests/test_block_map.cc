@@ -216,7 +216,7 @@ TEST_P(BlockMapInvariantSweep, AccountingMatchesRecount) {
   std::vector<Bytes> phys(nodes, 0), prim_bytes(nodes, 0);
   std::vector<std::int64_t> prim_count(nodes, 0);
   Bytes total = 0;
-  for (const auto& [k, b] : m.blocks()) {
+  m.for_each_block([&](const Key&, const BlockState& b) {
     total += b.size;
     prim_count[static_cast<std::size_t>(b.replicas.front().node)] += 1;
     prim_bytes[static_cast<std::size_t>(b.replicas.front().node)] += b.size;
@@ -224,7 +224,7 @@ TEST_P(BlockMapInvariantSweep, AccountingMatchesRecount) {
       if (r.has_data) phys[static_cast<std::size_t>(r.node)] += b.size;
     }
     for (int n : b.stale_holders) phys[static_cast<std::size_t>(n)] += b.size;
-  }
+  });
   EXPECT_EQ(m.total_bytes(), total);
   for (int n = 0; n < nodes; ++n) {
     EXPECT_EQ(m.physical_bytes(n), phys[static_cast<std::size_t>(n)]) << n;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace d2 {
@@ -182,6 +185,158 @@ TEST_P(KeyArcProperty, InArcMatchesDistance) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KeyArcProperty,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// --- differential tests: limb arithmetic vs a byte-wise reference ---
+//
+// Key stores eight uint64 limbs; these checks pin its arithmetic to the
+// straightforward big-endian byte-loop implementation it replaced.
+
+using ByteArray = std::array<std::uint8_t, Key::kBytes>;
+
+ByteArray ref_add(const ByteArray& a, const ByteArray& b) {
+  ByteArray out{};
+  int carry = 0;
+  for (std::size_t i = Key::kBytes; i-- > 0;) {
+    const int s = int{a[i]} + int{b[i]} + carry;
+    out[i] = static_cast<std::uint8_t>(s & 0xff);
+    carry = s >> 8;
+  }
+  return out;
+}
+
+ByteArray ref_sub(const ByteArray& a, const ByteArray& b) {
+  ByteArray out{};
+  int borrow = 0;
+  for (std::size_t i = Key::kBytes; i-- > 0;) {
+    int d = int{a[i]} - int{b[i]} - borrow;
+    borrow = d < 0 ? 1 : 0;
+    if (d < 0) d += 256;
+    out[i] = static_cast<std::uint8_t>(d);
+  }
+  return out;
+}
+
+ByteArray ref_half(const ByteArray& a) {
+  ByteArray out{};
+  int carry = 0;
+  for (std::size_t i = 0; i < Key::kBytes; ++i) {
+    out[i] = static_cast<std::uint8_t>((a[i] >> 1) | (carry << 7));
+    carry = a[i] & 1;
+  }
+  return out;
+}
+
+ByteArray ref_next(const ByteArray& a) {
+  ByteArray out = a;
+  for (std::size_t i = Key::kBytes; i-- > 0;) {
+    if (++out[i] != 0) break;
+  }
+  return out;
+}
+
+int ref_compare(const ByteArray& a, const ByteArray& b) {
+  for (std::size_t i = 0; i < Key::kBytes; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// Interesting values around limb boundaries plus random keys.
+std::vector<Key> differential_corpus(std::uint64_t seed) {
+  std::vector<Key> keys = {Key::min(), Key::max(), Key::from_uint64(1),
+                           Key::from_uint64(UINT64_MAX)};
+  // All-ones / lone-one patterns at each of the eight limb boundaries.
+  for (std::size_t limb = 0; limb < Key::kLimbs; ++limb) {
+    ByteArray ones{}, lone{};
+    for (std::size_t i = 0; i <= limb; ++i) {
+      for (std::size_t b = 0; b < 8; ++b) {
+        ones[(Key::kLimbs - 1 - i) * 8 + b] = 0xff;
+      }
+    }
+    lone[limb * 8 + 7] = 1;  // lowest byte of limb `limb`
+    keys.push_back(Key::from_bytes(ones));
+    keys.push_back(Key::from_bytes(lone));
+    keys.push_back(Key::from_bytes(ones).next());
+  }
+  Rng rng(seed);
+  for (int i = 0; i < 64; ++i) keys.push_back(Key::random(rng));
+  return keys;
+}
+
+class KeyDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KeyDifferential, ArithmeticMatchesByteReference) {
+  const std::vector<Key> keys = differential_corpus(GetParam());
+  for (const Key& a : keys) {
+    const ByteArray ab = a.bytes();
+    EXPECT_EQ(a.half().bytes(), ref_half(ab)) << a.hex();
+    EXPECT_EQ(a.next().bytes(), ref_next(ab)) << a.hex();
+    for (const Key& b : keys) {
+      const ByteArray bb = b.bytes();
+      EXPECT_EQ((a + b).bytes(), ref_add(ab, bb))
+          << a.hex() << " + " << b.hex();
+      EXPECT_EQ((a - b).bytes(), ref_sub(ab, bb))
+          << a.hex() << " - " << b.hex();
+      const int rc = ref_compare(ab, bb);
+      EXPECT_EQ(a < b, rc < 0);
+      EXPECT_EQ(a == b, rc == 0);
+      EXPECT_EQ(a > b, rc > 0);
+    }
+  }
+}
+
+TEST_P(KeyDifferential, MidpointAndArcMatchByteReference) {
+  const std::vector<Key> keys = differential_corpus(GetParam() + 1000);
+  for (std::size_t i = 0; i + 2 < keys.size(); i += 3) {
+    const Key& from = keys[i];
+    const Key& to = keys[i + 1];
+    const Key& k = keys[i + 2];
+    // midpoint(a, b) == a + half(b - a), built from reference byte ops.
+    const ByteArray expect_mid =
+        ref_add(from.bytes(), ref_half(ref_sub(to.bytes(), from.bytes())));
+    EXPECT_EQ(Key::midpoint(from, to).bytes(), expect_mid);
+    // in_arc(k, from, to) == k != from && dist(from, k) <= dist(from, to),
+    // with from == to meaning the whole ring.
+    const ByteArray dk = ref_sub(k.bytes(), from.bytes());
+    const ByteArray dt = ref_sub(to.bytes(), from.bytes());
+    const bool expect_in =
+        (from == to) || (!(k == from) && ref_compare(dk, dt) <= 0);
+    EXPECT_EQ(Key::in_arc(k, from, to), expect_in)
+        << k.hex() << " in (" << from.hex() << ", " << to.hex() << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyDifferential,
+                         ::testing::Values(101, 202, 303));
+
+TEST(Key, BytesRoundTripAtLimbBoundaries) {
+  // Every per-byte pattern survives bytes() -> from_bytes() -> bytes().
+  for (std::size_t pos = 0; pos < Key::kBytes; ++pos) {
+    for (std::uint8_t v : {std::uint8_t{0x01}, std::uint8_t{0x80},
+                           std::uint8_t{0xff}}) {
+      ByteArray b{};
+      b[pos] = v;
+      const Key k = Key::from_bytes(b);
+      EXPECT_EQ(k.bytes(), b);
+      EXPECT_EQ(k.byte(pos), v);
+      // The byte lands in the right limb at the right shift.
+      EXPECT_EQ(k.limb(pos / 8),
+                static_cast<std::uint64_t>(v) << (8 * (7 - (pos % 8))));
+    }
+  }
+}
+
+TEST(Key, Low64ReadsLastLimb) {
+  ByteArray b{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    b[Key::kBytes - 8 + i] = static_cast<std::uint8_t>(0x10 + i);
+  }
+  EXPECT_EQ(Key::from_bytes(b).low64(), 0x1011121314151617ull);
+  EXPECT_EQ(Key::from_uint64(0xdeadbeefcafef00dull).low64(),
+            0xdeadbeefcafef00dull);
+  // from_uint64 touches only the low limb.
+  EXPECT_EQ(Key::from_uint64(UINT64_MAX).limb(Key::kLimbs - 2), 0u);
+}
 
 }  // namespace
 }  // namespace d2

@@ -48,8 +48,10 @@ TEST(VolumeSet, DifferentVolumesDifferentKeyPrefixes) {
   std::string rel;
   const Key root1 = vs.volume_for("home/u1/f", &rel).root_key();
   const Key root2 = vs.volume_for("home/u2/f", &rel).root_key();
-  std::copy(root1.bytes().begin(), root1.bytes().begin() + 20, vol1.begin());
-  std::copy(root2.bytes().begin(), root2.bytes().begin() + 20, vol2.begin());
+  const auto bytes1 = root1.bytes();
+  const auto bytes2 = root2.bytes();
+  std::copy(bytes1.begin(), bytes1.begin() + 20, vol1.begin());
+  std::copy(bytes2.begin(), bytes2.begin() + 20, vol2.begin());
   got1 = got2 = true;
   EXPECT_TRUE(got1 && got2);
   EXPECT_NE(vol1, vol2);

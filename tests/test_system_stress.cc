@@ -20,7 +20,8 @@ void expect_canonical_state(System& sys) {
   const int r = sys.config().redundancy == SystemConfig::Redundancy::kErasure
                     ? sys.config().ec_total_fragments
                     : sys.config().replicas;
-  for (const auto& [key, block] : sys.block_map().blocks()) {
+  sys.block_map().for_each_block([&](const Key& key,
+                                     const store::BlockState& block) {
     ASSERT_EQ(static_cast<int>(block.replicas.size()), r)
         << "block " << key.short_hex();
     if (sys.config().scatter_replicas == 0) {
@@ -35,7 +36,7 @@ void expect_canonical_state(System& sys) {
     }
     EXPECT_TRUE(block.stale_holders.empty()) << "block " << key.short_hex();
     EXPECT_TRUE(sys.block_available(key));
-  }
+  });
 }
 
 struct StressOptions {

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Run bench_micro and emit a compact BENCH_micro.json snapshot.
+
+Wraps the google-benchmark binary (--benchmark_format=json), keeps only the
+fields that matter for trend tracking (real/cpu time per iteration, items
+per second), and optionally:
+
+  * times an end-to-end `d2sim performance` trial (wall clock), and
+  * computes per-benchmark speedups against a previously committed
+    baseline snapshot.
+
+Usage:
+  tools/bench_to_json.py --bench build/bench/bench_micro \
+      [--out BENCH_micro.json] [--label after] [--min-time 0.1] \
+      [--d2sim build/tools/d2sim] [--baseline BENCH_micro_baseline.json] \
+      [--filter REGEX]
+
+Exit status is non-zero if the benchmark binary fails.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+
+def run_benchmarks(bench, min_time, bench_filter):
+    # Older google-benchmark releases want a bare double for min_time;
+    # newer ones also accept it (interpreted as seconds).
+    cmd = [
+        bench,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    raw = json.loads(proc.stdout)
+    out = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "real_time_ns": to_ns(b["real_time"], b["time_unit"]),
+            "cpu_time_ns": to_ns(b["cpu_time"], b["time_unit"]),
+            "iterations": b["iterations"],
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        if "bytes_per_second" in b:
+            entry["bytes_per_second"] = b["bytes_per_second"]
+        out[b["name"]] = entry
+    return {"context": slim_context(raw.get("context", {})), "benchmarks": out}
+
+
+def slim_context(ctx):
+    return {
+        k: ctx[k]
+        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        if k in ctx
+    }
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return value * scale
+
+
+def time_d2sim(d2sim):
+    """Wall-clock one seeded end-to-end performance trial (2 trials, 1 job:
+    measures per-trial cost, not parallelism)."""
+    cmd = [
+        d2sim, "performance", "--scheme=d2", "--nodes=48",
+        "--trials=2", "--jobs=1", "--seed=1",
+    ]
+    start = time.monotonic()
+    subprocess.run(cmd, stdout=subprocess.DEVNULL, check=True)
+    elapsed = time.monotonic() - start
+    return {"command": " ".join(cmd[1:]), "wall_seconds": round(elapsed, 3)}
+
+
+def speedups(baseline, current):
+    out = {}
+    base = baseline.get("benchmarks", {})
+    for name, entry in current["benchmarks"].items():
+        if name in base and entry["real_time_ns"] > 0:
+            out[name] = round(base[name]["real_time_ns"] / entry["real_time_ns"], 3)
+    base_e2e = baseline.get("e2e_d2sim_performance")
+    cur_e2e = current.get("e2e_d2sim_performance")
+    if base_e2e and cur_e2e and cur_e2e["wall_seconds"] > 0:
+        out["e2e_d2sim_performance"] = round(
+            base_e2e["wall_seconds"] / cur_e2e["wall_seconds"], 3)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True, help="path to bench_micro binary")
+    ap.add_argument("--out", default="BENCH_micro.json")
+    ap.add_argument("--label", default="run")
+    ap.add_argument("--min-time", type=float, default=0.1)
+    ap.add_argument("--filter", default="", help="benchmark name regex")
+    ap.add_argument("--d2sim", default="", help="also wall-clock a d2sim trial")
+    ap.add_argument("--baseline", default="",
+                    help="previous snapshot to compute speedups against")
+    args = ap.parse_args()
+
+    result = run_benchmarks(args.bench, args.min_time, args.filter)
+    result["label"] = args.label
+    if args.d2sim:
+        result["e2e_d2sim_performance"] = time_d2sim(args.d2sim)
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        result["baseline_label"] = baseline.get("label", "?")
+        result["speedup_vs_baseline"] = speedups(baseline, result)
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {len(result['benchmarks'])} benchmarks to {args.out}")
+    if "speedup_vs_baseline" in result:
+        for name, s in sorted(result["speedup_vs_baseline"].items()):
+            print(f"  {name}: {s}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
