@@ -27,6 +27,7 @@
 #include "sim/simulator.h"
 #include "store/block_map.h"
 #include "store/lookup_cache.h"
+#include "store/retrieval_cache.h"
 
 namespace d2 {
 namespace {
@@ -286,6 +287,64 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EventQueuePushPopClosure(benchmark::State& state) {
+  // The same steady-state churn loop as BM_EventQueuePushPop, but with
+  // capture-heavy closures shaped like the real schedule sites: System's
+  // TTL-refresh timer captures {this, Key, deadline} = 80 bytes. A
+  // type-erased std::function heap-allocates such a capture on every
+  // push; the event queue is only truly allocation-free if the callback
+  // storage is inline.
+  sim::EventQueue q;
+  sim::EventId ids[256];
+  const std::vector<Key> keys = key_pool(19);
+  std::uint64_t sink = 0;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 4096; ++i) {
+    q.push(t + (i * 7919) % 4096,
+           [p = &sink, k = keys[static_cast<std::size_t>(i) & (kKeyPoolSize - 1)],
+            d = t] { *p += k.low64() + static_cast<std::uint64_t>(d); });
+  }
+  std::size_t n = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      ids[i] = q.push(
+          t + 1 + (i * 127) % 1024,
+          [p = &sink, k = keys[n++ & (kKeyPoolSize - 1)],
+           d = t] { *p += k.low64() + static_cast<std::uint64_t>(d); });
+    }
+    for (int i = 0; i < 256; i += 3) q.cancel(ids[i]);
+    for (int i = 0; i < 170; ++i) {
+      sim::EventQueue::Event ev = q.pop();
+      t = ev.time;
+      ev.fn();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_EventQueuePushPopClosure);
+
+void BM_RetrievalCacheLookupInsert(benchmark::State& state) {
+  // Steady-state PAST-style read cache at capacity: a hot working set
+  // that mostly hits (LRU splice) interleaved with a cold cycling scan
+  // that misses, inserts, and evicts. Exercises the lookup, insert and
+  // eviction paths in the mix a Zipf-ish read workload produces.
+  store::RetrievalCache cache(512 * kBlockSize);
+  const std::vector<Key> keys = key_pool(18);
+  for (std::size_t i = 0; i < 512; ++i) cache.insert(keys[i], kBlockSize);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Key& k = (i & 3) != 0 ? keys[i & 255] : keys[i & (kKeyPoolSize - 1)];
+    if (!cache.lookup(k)) cache.insert(k, kBlockSize);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["hit_rate"] = benchmark::Counter(
+      static_cast<double>(cache.hits()) /
+      static_cast<double>(cache.hits() + cache.misses()));
+}
+BENCHMARK(BM_RetrievalCacheLookupInsert);
 
 void BM_SystemWriteRead(benchmark::State& state) {
   // Mini end-to-end trial: one System per iteration, a burst of block

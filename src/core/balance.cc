@@ -25,6 +25,27 @@ double BalanceResult::mean_max_over_mean() const {
 BalanceExperiment::BalanceExperiment(const BalanceParams& params)
     : params_(params) {}
 
+namespace {
+/// Self-rescheduling imbalance sampler. A plain functor (five words of
+/// pointers/times) rather than a recursive std::function closure: it
+/// fits the event queue's inline capture budget, so the periodic sample
+/// chain schedules without heap allocation.
+struct ImbalanceSampler {
+  sim::Simulator* sim;
+  System* system;
+  BalanceResult* result;
+  SimTime workload_start;
+  SimTime interval;
+
+  void operator()() const {
+    result->imbalance.emplace_back(sim->now() - workload_start,
+                                   system->load_imbalance());
+    result->max_over_mean.push_back(system->max_over_mean_load());
+    sim->schedule_after(interval, *this);
+  }
+};
+}  // namespace
+
 BalanceResult BalanceExperiment::run() {
   sim::Simulator sim;
   sim.bind_metrics(params_.metrics);
@@ -38,12 +59,8 @@ BalanceResult BalanceExperiment::run() {
       harvard ? params_.harvard.days : params_.web.days;
 
   // Imbalance sampling, relative to workload start.
-  std::function<void()> sample = [&] {
-    result.imbalance.emplace_back(sim.now() - workload_start,
-                                  system.load_imbalance());
-    result.max_over_mean.push_back(system.max_over_mean_load());
-    sim.schedule_after(params_.sample_interval, sample);
-  };
+  const ImbalanceSampler sample{&sim, &system, &result, workload_start,
+                                params_.sample_interval};
 
   // Day accounting: snapshot counters at each day boundary.
   std::vector<Bytes> w_marks, r_marks, l_marks, totals;

@@ -16,7 +16,6 @@
 // balancing disabled.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <set>

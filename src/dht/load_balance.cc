@@ -25,34 +25,4 @@ void LoadBalancer::count_applied_move() {
   if (moves_counter_ != nullptr) moves_counter_->add(1);
 }
 
-std::optional<MoveDecision> LoadBalancer::evaluate_probe(
-    int a, std::int64_t load_a, int b, std::int64_t load_b,
-    const std::function<std::optional<Key>(int heavy)>& median_key_of) const {
-  if (probes_counter_ != nullptr) probes_counter_->add(1);
-  if (a == b) return std::nullopt;
-  int heavy, light;
-  std::int64_t heavy_load, light_load;
-  if (load_a >= load_b) {
-    heavy = a;
-    heavy_load = load_a;
-    light = b;
-    light_load = load_b;
-  } else {
-    heavy = b;
-    heavy_load = load_b;
-    light = a;
-    light_load = load_a;
-  }
-  if (heavy_load < config_.min_split_load) return std::nullopt;
-  // Act when heavy > t * light. (light_load may be 0: always imbalanced.)
-  if (static_cast<double>(heavy_load) <=
-      config_.threshold * static_cast<double>(light_load)) {
-    return std::nullopt;
-  }
-  std::optional<Key> split = median_key_of(heavy);
-  if (!split) return std::nullopt;
-  if (decisions_counter_ != nullptr) decisions_counter_->add(1);
-  return MoveDecision{light, heavy, *split};
-}
-
 }  // namespace d2::dht

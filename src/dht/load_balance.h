@@ -12,7 +12,6 @@
 // store layer's job, keeping the DHT component independent of storage.
 #pragma once
 
-#include <functional>
 #include <optional>
 
 #include "common/key.h"
@@ -40,13 +39,44 @@ class LoadBalancer {
   explicit LoadBalancer(LoadBalanceConfig config = {});
 
   /// Evaluates one probe between nodes `a` and `b` with primary loads
-  /// `load_a`, `load_b`. `median_key_of` must return the key splitting the
-  /// given node's primary blocks in half (the light node's new ID), or
-  /// nullopt if the node cannot be split. Either node may turn out to be
-  /// the heavy one. Returns nullopt when balanced.
-  std::optional<MoveDecision> evaluate_probe(
-      int a, std::int64_t load_a, int b, std::int64_t load_b,
-      const std::function<std::optional<Key>(int heavy)>& median_key_of) const;
+  /// `load_a`, `load_b`. `median_key_of(int heavy)` must return the key
+  /// splitting the given node's primary blocks in half (the light node's
+  /// new ID), or nullopt if the node cannot be split. Either node may
+  /// turn out to be the heavy one. Returns nullopt when balanced.
+  ///
+  /// Templated on the callback so the caller's median lambda (which walks
+  /// the block index) is invoked directly instead of through an
+  /// std::function box; it is only called on the imbalanced path.
+  template <class MedianKeyOf>
+  std::optional<MoveDecision> evaluate_probe(int a, std::int64_t load_a, int b,
+                                             std::int64_t load_b,
+                                             MedianKeyOf&& median_key_of) const {
+    if (probes_counter_ != nullptr) probes_counter_->add(1);
+    if (a == b) return std::nullopt;
+    int heavy, light;
+    std::int64_t heavy_load, light_load;
+    if (load_a >= load_b) {
+      heavy = a;
+      heavy_load = load_a;
+      light = b;
+      light_load = load_b;
+    } else {
+      heavy = b;
+      heavy_load = load_b;
+      light = a;
+      light_load = load_a;
+    }
+    if (heavy_load < config_.min_split_load) return std::nullopt;
+    // Act when heavy > t * light. (light_load may be 0: always imbalanced.)
+    if (static_cast<double>(heavy_load) <=
+        config_.threshold * static_cast<double>(light_load)) {
+      return std::nullopt;
+    }
+    std::optional<Key> split = median_key_of(heavy);
+    if (!split) return std::nullopt;
+    if (decisions_counter_ != nullptr) decisions_counter_->add(1);
+    return MoveDecision{light, heavy, *split};
+  }
 
   /// The caller decided to apply a MoveDecision (the ring actually
   /// changed). Keeps `dht.load_balancer.moves_triggered` equal to real

@@ -4,36 +4,42 @@
 
 namespace d2::sim {
 
-EventId EventQueue::push(SimTime t, std::function<void()> fn) {
-  std::uint32_t slot;
+std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kNoSlot) {
-    slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    D2_REQUIRE_MSG(slot < (1u << 24), "event queue slot space exhausted");
-    slots_.emplace_back();
+    const std::uint32_t slot = free_head_;
+    free_head_ = static_cast<std::uint32_t>(meta_[slot] & kSlotMask);
+    return slot;
   }
+  const std::uint32_t slot = static_cast<std::uint32_t>(fns_.size());
+  D2_REQUIRE_MSG(slot < kLiveMark, "event queue slot space exhausted");
+  fns_.emplace_back();
+  meta_.push_back(0);
+  return slot;
+}
+
+EventId EventQueue::commit(SimTime t, std::uint32_t slot) {
   const std::uint64_t seq = next_seq_++;
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  s.seq = seq;
-  s.live = true;
+  meta_[slot] = live_meta(make_tag(slot, seq));
   heap_.push(Entry{t, make_tag(slot, seq)});
   ++live_;
   return make_id(slot, seq);
 }
 
-bool EventQueue::cancel(EventId id) {
-  const std::uint32_t slot = static_cast<std::uint32_t>(id >> kSeqBits);
-  if (slot >= slots_.size()) return false;
-  Slot& s = slots_[slot];
-  if (!s.live || (s.seq & kSeqMask) != (id & kSeqMask)) return false;
-  s.fn = nullptr;  // release the closure now; the heap entry dies lazily
-  s.live = false;
-  s.next_free = free_head_;
+void EventQueue::release_slot(std::uint32_t slot, std::uint64_t meta) {
+  // Keep the seq bits, swap the live mark for the free-list link: any
+  // heap entry still pointing here no longer matches live_meta. The
+  // closure slab is left as-is (captures are trivially destructible).
+  meta_[slot] = (meta & ~kSlotMask) | free_head_;
   free_head_ = slot;
   --live_;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> kSeqBits);
+  if (slot >= meta_.size()) return false;
+  const std::uint64_t meta = meta_[slot];
+  if (meta != live_meta(make_tag(slot, id & kSeqMask))) return false;
+  release_slot(slot, meta);
   drop_dead_top();
   return true;
 }
@@ -53,13 +59,9 @@ EventQueue::Event EventQueue::pop() {
   D2_ASSERT(entry_live(top));
   heap_.pop();
   const std::uint32_t slot = tag_slot(top.tag);
-  Slot& s = slots_[slot];
-  Event ev{top.time, make_id(slot, s.seq), std::move(s.fn)};
-  s.fn = nullptr;
-  s.live = false;
-  s.next_free = free_head_;
-  free_head_ = slot;
-  --live_;
+  const std::uint64_t seq = top.tag >> kSlotBits;
+  Event ev{top.time, make_id(slot, seq), fns_[slot]};
+  release_slot(slot, meta_[slot]);
   drop_dead_top();
   return ev;
 }

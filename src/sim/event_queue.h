@@ -1,21 +1,28 @@
 // Priority queue of timestamped events with stable FIFO ordering for ties
 // and O(log n) cancellation.
 //
-// Layout: a binary heap of lightweight {time, seq, slot} entries plus a
-// slab of callback slots recycled through a free list. push/cancel/pop do
-// no per-event heap allocation beyond the callback's own closure (the
-// heap vector and the slab grow to the high-water mark and stay there).
-// Cancellation frees the slot immediately and drops dead heap entries
-// when they surface at the top, so `empty()`/`next_time()`/`pending()`
-// are genuinely const O(1) reads (invariant: the heap top is live, or the
-// heap is empty).
+// Layout: a priority queue of lightweight {time, seq} entries over two
+// parallel slot arrays — a hot 8-byte metadata word per slot (sequence
+// tag, free-list link, liveness mark packed together, so a liveness
+// check is one load and one compare) and a wide closure slab the heap
+// machinery never touches. Callbacks are InlineFunctions — closures live
+// inside their slab slot, not behind a std::function heap cell — and
+// push() constructs the closure directly in the slot (writing only the
+// capture's footprint), so push/cancel/pop perform no heap allocation at
+// all in steady state (both arrays grow to the high-water mark and stay
+// there; tests/test_alloc_guard.cc enforces this). Cancellation flips
+// the metadata word — it never touches the closure slab — and dead heap
+// entries are dropped when they surface at the top, so
+// `empty()`/`next_time()`/`pending()` are genuinely const O(1) reads
+// (invariant: the heap top is live, or the heap is empty).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/units.h"
 
 namespace d2::sim {
@@ -24,11 +31,37 @@ namespace d2::sim {
 /// low 40 (distinguishes generations of a recycled slot).
 using EventId = std::uint64_t;
 
+/// Inline capture budget for event callbacks. Audit of the schedule
+/// sites (DESIGN.md §5c): the largest steady-state closures are System's
+/// TTL-refresh timer capturing {this, Key, SimTime} and the fetch timers
+/// capturing {this, Key, int} — 80 bytes with padding; a 512-bit Key
+/// capture alone is 64, so most block-addressed events sit at 72-80.
+/// Raising this widens every slot in the slab; shrink closures before
+/// shrinking budgets.
+inline constexpr std::size_t kEventCaptureBytes = 80;
+
+/// A scheduled callback: non-allocating, captures stored inline.
+using EventFn = common::InlineFunction<void(), kEventCaptureBytes>;
+
 class EventQueue {
  public:
-  /// Schedules `fn` at time `t`. Events at equal times fire in insertion
-  /// order. Returns an id usable with cancel().
-  EventId push(SimTime t, std::function<void()> fn);
+  /// Schedules callable `f` at time `t`. Events at equal times fire in
+  /// insertion order. Returns an id usable with cancel(). The closure is
+  /// built in place in its slab slot (no intermediate EventFn copy); its
+  /// captures must satisfy EventFn's budget and triviality static_asserts.
+  template <class F>
+  EventId push(SimTime t, F&& f) {
+    const std::uint32_t slot = acquire_slot();
+    fns_[slot].rebind(std::forward<F>(f));
+    return commit(t, slot);
+  }
+
+  /// Overload for a prebuilt EventFn (copied whole into the slot).
+  EventId push(SimTime t, const EventFn& fn) {
+    const std::uint32_t slot = acquire_slot();
+    fns_[slot] = fn;  // trivially copyable: a straight memcpy
+    return commit(t, slot);
+  }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is
   /// a no-op (returns false).
@@ -41,14 +74,15 @@ class EventQueue {
   struct Event {
     SimTime time;
     EventId id;
-    std::function<void()> fn;
+    EventFn fn;
   };
   Event pop();
 
   std::size_t pending() const { return live_; }
 
  private:
-  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::uint32_t kNoSlot = 0xffffffu;    // free-list end
+  static constexpr std::uint32_t kLiveMark = 0xfffffeu;  // occupied slot
   static constexpr int kSeqBits = 40;
   static constexpr int kSlotBits = 24;
   static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
@@ -69,32 +103,47 @@ class EventQueue {
   static std::uint32_t tag_slot(std::uint64_t tag) {
     return static_cast<std::uint32_t>(tag & kSlotMask);
   }
+  /// Orders the priority queue: earliest time first, then insertion
+  /// order (seq occupies the tag's high bits, so comparing tags compares
+  /// seq first).
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.tag > b.tag;  // seq (high bits): insertion order for ties
+      return a.tag > b.tag;
     }
   };
-  struct Slot {
-    std::function<void()> fn;
-    std::uint64_t seq = 0;           // seq of the current occupant
-    std::uint32_t next_free = kNoSlot;
-    bool live = false;
-  };
+
+  /// Slot metadata word: current occupant's seq in the high 40 bits, and
+  /// in the low 24 either kLiveMark (occupied) or the free-list link.
+  /// A heap entry is live iff its slot's word is exactly
+  /// `seq << kSlotBits | kLiveMark` — seq and tag share the same shift,
+  /// so the whole check is one load and one 64-bit compare against a
+  /// value derived from the entry's tag by masking.
+  static std::uint64_t live_meta(std::uint64_t tag) {
+    return (tag & ~kSlotMask) | kLiveMark;
+  }
 
   static EventId make_id(std::uint32_t slot, std::uint64_t seq) {
     return (static_cast<std::uint64_t>(slot) << kSeqBits) | (seq & kSeqMask);
   }
   bool entry_live(const Entry& e) const {
-    const Slot& s = slots_[tag_slot(e.tag)];
-    return s.live && make_tag(tag_slot(e.tag), s.seq) == e.tag;
+    return meta_[tag_slot(e.tag)] == live_meta(e.tag);
   }
+
+  /// Pops a free-list slot (or grows the arrays); the caller fills its fn.
+  std::uint32_t acquire_slot();
+  /// Marks `slot` live at time `t`, inserts its heap entry, returns the id.
+  EventId commit(SimTime t, std::uint32_t slot);
+  /// Returns `slot` (whose current meta word is `meta`) to the free list.
+  void release_slot(std::uint32_t slot, std::uint64_t meta);
+
   /// Restores the invariant after cancel/pop: discard heap entries whose
   /// slot was already freed until a live one (or nothing) is on top.
   void drop_dead_top();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<Slot> slots_;
+  std::vector<EventFn> fns_;          // wide slab: only push/pop touch it
+  std::vector<std::uint64_t> meta_;   // hot: seq | live-or-free-link
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;

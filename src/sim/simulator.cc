@@ -4,16 +4,6 @@
 
 namespace d2::sim {
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
-  D2_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
-  return queue_.push(t, std::move(fn));
-}
-
-EventId Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
-  D2_REQUIRE(delay >= 0);
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
 void Simulator::run() {
   while (step()) {
   }

@@ -5,8 +5,9 @@
 // the clock only advances by draining scheduled events.
 #pragma once
 
-#include <functional>
+#include <utility>
 
+#include "common/assert.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
@@ -28,11 +29,22 @@ class Simulator {
   /// the bound registry; call before dumping. No-op when unbound.
   void export_metrics();
 
-  /// Schedules `fn` at absolute simulated time `t` (>= now).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedules `f` at absolute simulated time `t` (>= now). The callback
+  /// becomes an EventFn built in place in its queue slot: its captures
+  /// must fit the inline budget (kEventCaptureBytes) and be trivially
+  /// copyable — scheduling never heap-allocates.
+  template <class F>
+  EventId schedule_at(SimTime t, F&& f) {
+    D2_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+    return queue_.push(t, std::forward<F>(f));
+  }
 
-  /// Schedules `fn` `delay` microseconds from now (delay >= 0).
-  EventId schedule_after(SimTime delay, std::function<void()> fn);
+  /// Schedules `f` `delay` microseconds from now (delay >= 0).
+  template <class F>
+  EventId schedule_after(SimTime delay, F&& f) {
+    D2_REQUIRE(delay >= 0);
+    return queue_.push(now_ + delay, std::forward<F>(f));
+  }
 
   /// Cancels a pending event; no-op if already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }

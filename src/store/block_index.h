@@ -1,11 +1,12 @@
-// Sorted contiguous index of Key -> BlockState.
+// Sorted contiguous index of Key -> Value (block states, cache entries).
 //
 // The load balancer's probe/readjust cycle is dominated by ordered range
-// scans over block keys (owned-arc walks, median splits). A red-black
-// tree walks one heap node per block — a cache miss per step. This index
-// keeps keys in sorted chunks of contiguous memory (a two-level B+-tree:
-// a flat directory of per-chunk max keys over leaf chunks of up to
-// kMaxChunk entries), so point lookups are two binary searches over
+// scans over block keys (owned-arc walks, median splits), and the client
+// lookup cache's range probe is an ordered lower_bound per find. A
+// red-black tree walks one heap node per step — a cache miss each. This
+// index keeps keys in sorted chunks of contiguous memory (a two-level
+// B+-tree: a flat directory of per-chunk max keys over leaf chunks of up
+// to kMaxChunk entries), so point lookups are two binary searches over
 // contiguous arrays and range scans stream cache lines.
 //
 // Iteration order is exactly key order — identical to the std::map this
@@ -34,7 +35,31 @@ class SortedKeyIndex {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  void clear() {
+    chunks_.clear();
+    last_.clear();
+    size_ = 0;
+  }
+
   bool contains(const Key& k) const { return find(k) != nullptr; }
+
+  /// The entry with the smallest key >= k (lower_bound), or {nullptr,
+  /// nullptr} when every stored key is < k. One binary search over the
+  /// chunk directory plus one in-chunk binary search; no allocation.
+  /// Pointers are invalidated by insert/erase like find()'s.
+  struct Entry {
+    const Key* key;
+    Value* value;
+  };
+  Entry first_ge(const Key& k) {
+    const std::size_t ci = chunk_for(k);
+    if (ci == chunks_.size()) return {nullptr, nullptr};
+    Chunk& c = *chunks_[ci];
+    const std::size_t pos = lower_bound_in(c, k);
+    // chunk_for guarantees this chunk's max key is >= k.
+    D2_ASSERT(pos < c.keys.size());
+    return {&c.keys[pos], &c.vals[pos]};
+  }
 
   const Value* find(const Key& k) const {
     return const_cast<SortedKeyIndex*>(this)->find(k);
@@ -99,6 +124,43 @@ class SortedKeyIndex {
     }
   }
 
+  /// Removes every entry for which `pred(const Key&, Value&)` is true;
+  /// returns how many were removed. One in-place compaction pass per
+  /// chunk (no per-entry binary searches, no allocation), so bulk drops —
+  /// the lookup cache's TTL sweep — are O(n) regardless of how many
+  /// entries go.
+  template <class Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::size_t dropped = 0;
+    std::size_t ci = 0;
+    while (ci < chunks_.size()) {
+      Chunk& c = *chunks_[ci];
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < c.keys.size(); ++i) {
+        if (pred(c.keys[i], c.vals[i])) {
+          ++dropped;
+          continue;
+        }
+        if (kept != i) {
+          c.keys[kept] = c.keys[i];
+          c.vals[kept] = std::move(c.vals[i]);
+        }
+        ++kept;
+      }
+      if (kept == 0) {
+        chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(ci));
+        last_.erase(last_.begin() + static_cast<std::ptrdiff_t>(ci));
+        continue;  // the next chunk slid into position ci
+      }
+      c.keys.resize(kept);
+      c.vals.resize(kept);
+      last_[ci] = c.keys.back();
+      ++ci;
+    }
+    size_ -= dropped;
+    return dropped;
+  }
+
   /// Visits every entry in key order. `fn(const Key&, Value&)`.
   template <class Fn>
   void for_each(Fn&& fn) {
@@ -137,8 +199,17 @@ class SortedKeyIndex {
 
   /// Index of the first chunk whose max key is >= k (chunks_.size() when
   /// k is greater than every stored key). Binary search over the
-  /// contiguous per-chunk maxima.
+  /// contiguous per-chunk maxima, short-circuited by a locality memo:
+  /// consecutive operations usually target the same chunk (D2 keys are
+  /// locality-preserving, so a client's next key tends to land beside
+  /// the last one), and verifying the memoized chunk still covers `k`
+  /// costs two key compares against the live directory — always correct,
+  /// even right after an insert/erase reshaped the chunks.
   std::size_t chunk_for(const Key& k) const {
+    if (hint_ < last_.size() && !(last_[hint_] < k) &&
+        (hint_ == 0 || last_[hint_ - 1] < k)) {
+      return hint_;
+    }
     std::size_t lo = 0, hi = last_.size();
     while (lo < hi) {
       const std::size_t mid = (lo + hi) / 2;
@@ -148,6 +219,7 @@ class SortedKeyIndex {
         hi = mid;
       }
     }
+    hint_ = lo;
     return lo;
   }
 
@@ -239,6 +311,11 @@ class SortedKeyIndex {
   std::vector<std::unique_ptr<Chunk>> chunks_;  // ordered by key range
   std::vector<Key> last_;  // last_[i] == chunks_[i]->keys.back()
   std::size_t size_ = 0;
+  /// chunk_for's locality memo — a guess, revalidated on every use, so
+  /// it never needs invalidating. Mutable: updating it from const point
+  /// lookups is what makes read-heavy scans benefit. (Instances are not
+  /// shared across threads; each trial owns its maps.)
+  mutable std::size_t hint_ = 0;
 };
 
 }  // namespace d2::store

@@ -130,22 +130,11 @@ std::optional<Key> BlockMap::median_primary_key(const Key& from,
   return mid;
 }
 
-void BlockMap::for_each_in_arc(
-    const Key& from, const Key& to,
-    const std::function<void(const Key&, BlockState&)>& fn) {
-  blocks_.for_each_in_arc(from, to, fn);
-}
-
 std::vector<Key> BlockMap::keys_in_arc(const Key& from, const Key& to) const {
   std::vector<Key> out;
   const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each_in_arc(
       from, to, [&out](const Key& k, BlockState&) { out.push_back(k); });
   return out;
-}
-
-void BlockMap::for_each_block(
-    const std::function<void(const Key&, const BlockState&)>& fn) const {
-  const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each(fn);
 }
 
 void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,

@@ -18,8 +18,8 @@
 // every seeded experiment output is unchanged.
 #pragma once
 
-#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/key.h"
@@ -85,9 +85,13 @@ class BlockMap {
   std::optional<Key> median_primary_key(const Key& from, const Key& to) const;
 
   /// Visits blocks with keys in the clockwise arc (from, to]; handles wrap.
-  /// The callback must not insert or erase blocks.
-  void for_each_in_arc(const Key& from, const Key& to,
-                       const std::function<void(const Key&, BlockState&)>& fn);
+  /// `fn(const Key&, BlockState&)` must not insert or erase blocks. A
+  /// template (not std::function) so the per-block call is direct — these
+  /// walks are the load balancer's inner loop.
+  template <class Fn>
+  void for_each_in_arc(const Key& from, const Key& to, Fn&& fn) {
+    blocks_.for_each_in_arc(from, to, std::forward<Fn>(fn));
+  }
 
   /// Keys in the arc (from, to].
   std::vector<Key> keys_in_arc(const Key& from, const Key& to) const;
@@ -111,10 +115,25 @@ class BlockMap {
   /// reach it — e.g. the node is down). Inverse of mark_data.
   void mark_missing(const Key& k, int node);
 
-  /// Visits all blocks in key order (for iteration by experiments). The
-  /// callback must not insert or erase blocks.
-  void for_each_block(
-      const std::function<void(const Key&, const BlockState&)>& fn) const;
+  /// Visits all blocks in key order (for iteration by experiments).
+  /// `fn(const Key&, const BlockState&)` must not insert or erase blocks.
+  template <class Fn>
+  void for_each_block(Fn&& fn) const {
+    const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each(
+        [&fn](const Key& k, BlockState& b) {
+          fn(k, static_cast<const BlockState&>(b));
+        });
+  }
+
+  /// Mutable variant for callers that adjust per-replica state in bulk
+  /// (e.g. failure injection flipping has_data). `fn(const Key&,
+  /// BlockState&)` must not insert or erase blocks, and must keep the
+  /// per-node accounting consistent via mark_data/mark_missing rather
+  /// than flipping Replica fields directly.
+  template <class Fn>
+  void for_each_block_mut(Fn&& fn) {
+    blocks_.for_each(std::forward<Fn>(fn));
+  }
 
  private:
   void account_add_data(int node, Bytes size);

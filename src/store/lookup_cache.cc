@@ -23,15 +23,8 @@ void LookupCache::bind_metrics(obs::Registry* registry) {
 }
 
 std::size_t LookupCache::expire_entries(SimTime now) {
-  std::size_t dropped = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expires <= now) {
-      it = entries_.erase(it);
-      ++dropped;
-    } else {
-      ++it;
-    }
-  }
+  const std::size_t dropped = entries_.erase_if(
+      [now](const Key&, const Entry& e) { return e.expires <= now; });
   if (dropped > 0 && expirations_counter_ != nullptr) {
     expirations_counter_->add(static_cast<std::int64_t>(dropped));
   }
@@ -69,33 +62,39 @@ void LookupCache::insert_piece(SimTime now, int node, const Key& start,
                                const Key& end) {
   D2_ASSERT(start <= end);
   // Evict everything overlapping [start, end]: entries with end >= start
-  // and start <= end.
-  auto it = entries_.lower_bound(start);
-  while (it != entries_.end() && it->second.start <= end) {
-    it = entries_.erase(it);
+  // and start <= end. Each erase invalidates index pointers, so re-probe;
+  // overlaps per insert are few (ranges partition the ring).
+  while (true) {
+    const auto e = entries_.first_ge(start);  // first entry-end >= start
+    if (e.key == nullptr || !(e.value->start <= end)) break;
+    const Key victim = *e.key;  // *e.key lives in the index being mutated
+    entries_.erase(victim);
     if (evictions_counter_ != nullptr) evictions_counter_->add(1);
   }
-  entries_.emplace(end, Entry{node, start, end, now + ttl_});
+  entries_.insert(end, Entry{node, start, now + ttl_});
   if (insertions_counter_ != nullptr) insertions_counter_->add(1);
 }
 
 std::optional<int> LookupCache::find(SimTime now, const Key& k) {
   maybe_sweep(now);
-  auto it = entries_.lower_bound(k);  // first end >= k
-  if (it == entries_.end()) return std::nullopt;
-  const Entry& e = it->second;
-  if (!(e.start <= k)) return std::nullopt;
-  if (e.expires <= now) {
-    entries_.erase(it);
+  const auto e = entries_.first_ge(k);  // first entry-end >= k
+  if (e.key == nullptr) return std::nullopt;
+  if (!(e.value->start <= k)) return std::nullopt;
+  if (e.value->expires <= now) {
+    const Key victim = *e.key;
+    entries_.erase(victim);
     if (expirations_counter_ != nullptr) expirations_counter_->add(1);
     return std::nullopt;
   }
-  return e.node;
+  return e.value->node;
 }
 
 void LookupCache::invalidate(SimTime now, const Key& k) {
-  auto it = entries_.lower_bound(k);
-  if (it != entries_.end() && it->second.start <= k) entries_.erase(it);
+  const auto e = entries_.first_ge(k);
+  if (e.key != nullptr && e.value->start <= k) {
+    const Key victim = *e.key;
+    entries_.erase(victim);
+  }
   maybe_sweep(now);
 }
 

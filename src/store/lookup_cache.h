@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 
 #include "common/key.h"
 #include "common/units.h"
 #include "obs/metrics.h"
+#include "store/block_index.h"
 
 namespace d2::store {
 
@@ -79,11 +79,15 @@ class LookupCache {
  private:
   // Entries are closed intervals [start, end] on key order (never
   // wrapping; a wrapping ring arc is split into two entries), keyed by
-  // `end`, so map order == key order and coverage is two comparisons.
+  // `end` in a chunked sorted index (the same SortedKeyIndex machinery as
+  // the block map), so a find is one directory probe plus an in-chunk
+  // binary search over contiguous keys — no tree-node pointer chasing —
+  // and coverage is two comparisons. Iteration order matches the std::map
+  // this replaced, so hit/miss sequences (and therefore seeded experiment
+  // outputs) are unchanged.
   struct Entry {
     int node;
-    Key start;  // inclusive
-    Key end;    // inclusive
+    Key start;  // inclusive; the index key is the inclusive end
     SimTime expires;
   };
 
@@ -91,7 +95,7 @@ class LookupCache {
   /// Runs expire_entries when the periodic sweep is due.
   void maybe_sweep(SimTime now);
 
-  std::map<Key, Entry> entries_;
+  SortedKeyIndex<Entry> entries_;
   SimTime ttl_;
   SimTime next_sweep_ = 0;
   std::uint64_t hits_ = 0;

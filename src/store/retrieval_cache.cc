@@ -1,8 +1,19 @@
 #include "store/retrieval_cache.h"
 
 #include "common/assert.h"
+#include "common/hash.h"
 
 namespace d2::store {
+
+namespace {
+constexpr std::size_t kMinTable = 16;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = kMinTable;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
 
 RetrievalCache::RetrievalCache(Bytes capacity) : capacity_(capacity) {
   D2_REQUIRE(capacity >= 0);
@@ -20,14 +31,115 @@ void RetrievalCache::bind_metrics(obs::Registry* registry) {
   evictions_counter_ = &registry->counter("store.retrieval_cache.evictions");
 }
 
+std::size_t RetrievalCache::probe(const Key& k) const {
+  std::size_t pos = KeyHash{}(k) & mask_;
+  while (table_[pos] != kNull && !(slab_[table_[pos]].key == k)) {
+    pos = (pos + 1) & mask_;
+  }
+  return pos;
+}
+
+void RetrievalCache::table_remove(std::size_t pos) {
+  // Backward-shift deletion (Knuth 6.4 R): pull every displaced entry in
+  // the probe run back over the hole instead of leaving a tombstone, so
+  // table occupancy equals the live count and steady-state churn never
+  // degrades probe runs or forces a cleanup rehash.
+  std::size_t hole = pos;
+  std::size_t j = pos;
+  while (true) {
+    table_[hole] = kNull;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (table_[j] == kNull) return;
+      const std::size_t home = KeyHash{}(slab_[table_[j]].key) & mask_;
+      // Entry at j can fill the hole unless its home lies cyclically in
+      // (hole, j] — moving it would put it before its probe start.
+      const bool skip = hole <= j ? (hole < home && home <= j)
+                                  : (hole < home || home <= j);
+      if (!skip) break;
+    }
+    table_[hole] = table_[j];
+    hole = j;
+  }
+}
+
+void RetrievalCache::rehash(std::size_t need) {
+  // Max load factor 1/2: probe runs stay short even for adversarial key
+  // clusters, and the 4-byte-per-bucket table is cheap to overprovision.
+  const std::size_t buckets = next_pow2(need * 2);
+  table_.assign(buckets, kNull);
+  mask_ = buckets - 1;
+  for (std::uint32_t s = lru_head_; s != kNull; s = slab_[s].next) {
+    std::size_t pos = KeyHash{}(slab_[s].key) & mask_;
+    while (table_[pos] != kNull) pos = (pos + 1) & mask_;
+    table_[pos] = s;
+  }
+}
+
+void RetrievalCache::lru_unlink(std::uint32_t s) {
+  Node& n = slab_[s];
+  if (n.prev != kNull) {
+    slab_[n.prev].next = n.next;
+  } else {
+    lru_head_ = n.next;
+  }
+  if (n.next != kNull) {
+    slab_[n.next].prev = n.prev;
+  } else {
+    lru_tail_ = n.prev;
+  }
+}
+
+void RetrievalCache::lru_push_front(std::uint32_t s) {
+  Node& n = slab_[s];
+  n.prev = kNull;
+  n.next = lru_head_;
+  if (lru_head_ != kNull) slab_[lru_head_].prev = s;
+  lru_head_ = s;
+  if (lru_tail_ == kNull) lru_tail_ = s;
+}
+
+std::uint32_t RetrievalCache::alloc_slot() {
+  if (free_head_ != kNull) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slab_[s].next;
+    return s;
+  }
+  const std::uint32_t s = static_cast<std::uint32_t>(slab_.size());
+  D2_REQUIRE_MSG(s < kNull, "retrieval cache slab exhausted");
+  slab_.emplace_back();
+  return s;
+}
+
+void RetrievalCache::evict_lru() {
+  const std::uint32_t victim = lru_tail_;
+  D2_ASSERT(victim != kNull);
+  used_ -= slab_[victim].size;
+  table_remove(probe(slab_[victim].key));
+  lru_unlink(victim);
+  slab_[victim].next = free_head_;
+  free_head_ = victim;
+  --size_;
+  if (evictions_counter_ != nullptr) evictions_counter_->add(1);
+}
+
 bool RetrievalCache::lookup(const Key& k) {
-  auto it = map_.find(k);
-  if (it == map_.end()) {
+  if (table_.empty()) {
     ++misses_;
     if (misses_counter_ != nullptr) misses_counter_->add(1);
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  const std::size_t pos = probe(k);
+  if (table_[pos] == kNull) {
+    ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->add(1);
+    return false;
+  }
+  const std::uint32_t s = table_[pos];
+  if (s != lru_head_) {  // move to front
+    lru_unlink(s);
+    lru_push_front(s);
+  }
   ++hits_;
   if (hits_counter_ != nullptr) hits_counter_->add(1);
   return true;
@@ -36,31 +148,47 @@ bool RetrievalCache::lookup(const Key& k) {
 void RetrievalCache::insert(const Key& k, Bytes size) {
   D2_REQUIRE(size >= 0);
   if (size > capacity_) return;
-  auto it = map_.find(k);
-  if (it != map_.end()) {
-    used_ += size - it->second->size;
-    it->second->size = size;
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (table_.empty()) rehash(kMinTable / 2);
+  std::size_t pos = probe(k);
+  if (table_[pos] != kNull) {
+    // Refresh in place (a re-retrieved block, possibly a new size).
+    const std::uint32_t s = table_[pos];
+    used_ += size - slab_[s].size;
+    slab_[s].size = size;
+    if (s != lru_head_) {
+      lru_unlink(s);
+      lru_push_front(s);
+    }
   } else {
-    lru_.push_front(Entry{k, size});
-    map_.emplace(k, lru_.begin());
+    // Grow before inserting so the table never exceeds half full. In
+    // steady state (slab at high-water) this never triggers: evictions
+    // backward-shift their table run, so occupancy tracks live entries.
+    if ((size_ + 1) * 2 > table_.size()) {
+      rehash(size_ + 1);
+      pos = probe(k);
+    }
+    const std::uint32_t s = alloc_slot();
+    slab_[s].key = k;
+    slab_[s].size = size;
+    table_[pos] = s;
+    lru_push_front(s);
+    ++size_;
     used_ += size;
   }
-  while (used_ > capacity_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    used_ -= victim.size;
-    map_.erase(victim.key);
-    lru_.pop_back();
-    if (evictions_counter_ != nullptr) evictions_counter_->add(1);
-  }
+  while (used_ > capacity_ && size_ > 0) evict_lru();
 }
 
 void RetrievalCache::erase(const Key& k) {
-  auto it = map_.find(k);
-  if (it == map_.end()) return;
-  used_ -= it->second->size;
-  lru_.erase(it->second);
-  map_.erase(it);
+  if (table_.empty()) return;
+  const std::size_t pos = probe(k);
+  if (table_[pos] == kNull) return;
+  const std::uint32_t s = table_[pos];
+  used_ -= slab_[s].size;
+  table_remove(pos);
+  lru_unlink(s);
+  slab_[s].next = free_head_;
+  free_head_ = s;
+  --size_;
 }
 
 }  // namespace d2::store

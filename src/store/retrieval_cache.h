@@ -9,11 +9,18 @@
 // This is a byte-capacity LRU keyed by block key. Entries are copies of
 // immutable blocks, so invalidation is only needed for removal (version
 // keys change on every write).
+//
+// Layout: entries live in a contiguous slab, linked into an intrusive
+// LRU list by 32-bit slot indices, and found through an open-addressed
+// (linear probing, backward-shift deletion) table of slot indices. A hit
+// is one probe run over a contiguous index array plus four index writes
+// to splice the LRU — no list-node churn, and in steady state (slab at
+// its high-water mark, table sized for it) lookup/insert/evict touch the
+// heap zero times (tests/test_alloc_guard.cc enforces this).
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "common/key.h"
 #include "common/units.h"
@@ -37,7 +44,7 @@ class RetrievalCache {
 
   Bytes used() const { return used_; }
   Bytes capacity() const { return capacity_; }
-  std::size_t entries() const { return map_.size(); }
+  std::size_t entries() const { return size_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -48,15 +55,41 @@ class RetrievalCache {
   void bind_metrics(obs::Registry* registry);
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  /// Slab entry: block metadata plus intrusive LRU links. Free slots are
+  /// chained through `next`.
+  struct Node {
     Key key;
-    Bytes size;
+    Bytes size = 0;
+    std::uint32_t prev = kNull;  // toward MRU
+    std::uint32_t next = kNull;  // toward LRU / next free slot
   };
+
+  /// Table position of `k`'s slot, or the position it would occupy
+  /// (table_[pos] == kNull) if absent.
+  std::size_t probe(const Key& k) const;
+  /// Clears table position `pos`, backward-shifting the rest of the
+  /// probe run so lookups never need tombstones.
+  void table_remove(std::size_t pos);
+  /// Grows/initializes the table to hold `need` entries under the max
+  /// load factor and reindexes every live slab slot.
+  void rehash(std::size_t need);
+
+  void lru_unlink(std::uint32_t s);
+  void lru_push_front(std::uint32_t s);
+  void evict_lru();
+  std::uint32_t alloc_slot();
 
   Bytes capacity_;
   Bytes used_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  std::size_t size_ = 0;             // live entries
+  std::vector<Node> slab_;           // grows to high-water, then stable
+  std::uint32_t free_head_ = kNull;  // free-slot chain through Node::next
+  std::uint32_t lru_head_ = kNull;   // most recently used
+  std::uint32_t lru_tail_ = kNull;   // least recently used
+  std::vector<std::uint32_t> table_;  // open-addressed: slab slot or kNull
+  std::size_t mask_ = 0;              // table_.size() - 1 (power of two)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   obs::Counter* hits_counter_ = nullptr;

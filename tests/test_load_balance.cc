@@ -7,8 +7,8 @@
 namespace d2::dht {
 namespace {
 
-std::function<std::optional<Key>(int)> median_at(std::uint64_t v) {
-  return [v](int) { return Key::from_uint64(v); };
+auto median_at(std::uint64_t v) {
+  return [v](int) -> std::optional<Key> { return Key::from_uint64(v); };
 }
 
 TEST(LoadBalancer, NoActionWhenBalanced) {

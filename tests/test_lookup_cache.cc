@@ -141,6 +141,101 @@ TEST(LookupCache, RefreshedEntryGetsNewTtl) {
   EXPECT_TRUE(c.find(seconds(15), K(150)).has_value());
 }
 
+// --- Edge cases pinned before the flat (chunked-index) rewrite: the
+// rewrite must preserve each of these behaviours exactly, because cache
+// hit/miss sequences feed the seeded experiment outputs. ---
+
+TEST(LookupCache, WrapFromMaxKeyInsertsOnlyLowPiece) {
+  LookupCache c;
+  // arc_from == MAX: the wrapping arc (MAX, 50] is just [MIN, 50] — there
+  // is no (MAX, MAX] piece to insert.
+  c.insert(0, 4, Key::max(), K(50));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.find(1, K(0)), 4);
+  EXPECT_EQ(c.find(1, K(50)), 4);
+  EXPECT_EQ(c.find(1, K(51)), std::nullopt);
+  EXPECT_EQ(c.find(1, Key::max()), std::nullopt);  // exclusive start
+}
+
+TEST(LookupCache, WrappingArcEvictsOverlapInBothPieces) {
+  LookupCache c;
+  c.insert(0, 1, Key::max() - K(200), Key::max() - K(100));  // high piece
+  c.insert(0, 2, K(10), K(20));                              // low piece
+  c.insert(0, 3, K(500), K(600));                            // untouched
+  // (MAX-150, 15] wraps: evicts the high entry (overlap near MAX) and the
+  // low entry (overlap at [MIN, 15]) but not the disjoint middle one.
+  c.insert(1, 9, Key::max() - K(150), K(15));
+  EXPECT_EQ(c.find(2, Key::max() - K(120)), 9);
+  EXPECT_EQ(c.find(2, K(12)), 9);
+  EXPECT_EQ(c.find(2, K(18)), std::nullopt);  // old low entry evicted
+  EXPECT_EQ(c.find(2, K(550)), 3);
+  EXPECT_EQ(c.size(), 3u);  // two wrap pieces + the middle entry
+}
+
+TEST(LookupCache, WholeRingEntryEvictsEverything) {
+  LookupCache c;
+  c.insert(0, 1, K(100), K(200));
+  c.insert(0, 2, K(300), K(400));
+  c.insert(1, 5, K(42), K(42));  // whole ring: overlaps every entry
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.find(2, K(150)), 5);
+  EXPECT_EQ(c.find(2, K(350)), 5);
+  EXPECT_EQ(c.find(2, Key::min()), 5);
+  EXPECT_EQ(c.find(2, Key::max()), 5);
+}
+
+TEST(LookupCache, WholeRingEntryIsEvictedByAnyInsert) {
+  LookupCache c;
+  c.insert(0, 5, K(42), K(42));  // whole ring
+  c.insert(1, 7, K(100), K(200));
+  EXPECT_EQ(c.size(), 1u);       // whole-ring entry overlapped -> evicted
+  EXPECT_EQ(c.find(2, K(150)), 7);
+  EXPECT_EQ(c.find(2, K(300)), std::nullopt);
+}
+
+TEST(LookupCache, AdjacentArcsDoNotEvictEachOther) {
+  LookupCache c;
+  // (100, 200] then (200, 300]: they share only the boundary point 200,
+  // which belongs to the first arc, so both survive.
+  c.insert(0, 1, K(100), K(200));
+  c.insert(0, 2, K(200), K(300));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.find(1, K(200)), 1);
+  EXPECT_EQ(c.find(1, K(201)), 2);
+}
+
+TEST(LookupCache, OneKeyOverlapAtLowBoundaryEvicts) {
+  LookupCache c;
+  c.insert(0, 1, K(100), K(200));
+  // (199, 300] covers key 200 = the existing entry's inclusive end.
+  c.insert(1, 2, K(199), K(300));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.find(2, K(150)), std::nullopt);
+  EXPECT_EQ(c.find(2, K(200)), 2);
+}
+
+TEST(LookupCache, OneKeyOverlapAtHighBoundaryEvicts) {
+  LookupCache c;
+  c.insert(0, 1, K(200), K(300));
+  // (100, 201] covers key 201 = the existing entry's first key.
+  c.insert(1, 2, K(100), K(201));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.find(2, K(250)), std::nullopt);
+  EXPECT_EQ(c.find(2, K(201)), 2);
+}
+
+TEST(LookupCache, InsertCoveringSeveralEntriesEvictsAll) {
+  LookupCache c;
+  c.insert(0, 1, K(100), K(200));
+  c.insert(0, 2, K(200), K(300));
+  c.insert(0, 3, K(300), K(400));
+  c.insert(0, 4, K(500), K(600));
+  c.insert(1, 9, K(150), K(450));  // spans entries 1-3 (partially or fully)
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.find(2, K(250)), 9);
+  EXPECT_EQ(c.find(2, K(550)), 4);
+}
+
 TEST(LookupCache, ManyArcsRingOrder) {
   // Simulate caching a full ring of 100 node arcs and querying each.
   LookupCache c;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <list>
+#include <map>
+
+#include "common/rng.h"
 #include "core/request_load.h"
 
 namespace d2 {
@@ -10,6 +14,82 @@ namespace {
 using store::RetrievalCache;
 
 Key K(std::uint64_t v) { return Key::from_uint64(v); }
+
+/// The node-based LRU the flat cache replaced, kept as an executable
+/// spec: byte-capacity LRU with refresh-on-hit and refresh-on-reinsert.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(Bytes capacity) : capacity_(capacity) {}
+
+  bool lookup(const Key& k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  void insert(const Key& k, Bytes size) {
+    if (size > capacity_) return;
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      used_ += size - it->second->second;
+      it->second->second = size;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.emplace_front(k, size);
+      map_.emplace(k, lru_.begin());
+      used_ += size;
+    }
+    while (used_ > capacity_ && !lru_.empty()) {
+      used_ -= lru_.back().second;
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  void erase(const Key& k) {
+    auto it = map_.find(k);
+    if (it == map_.end()) return;
+    used_ -= it->second->second;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+
+  Bytes used() const { return used_; }
+  std::size_t entries() const { return map_.size(); }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<std::pair<Key, Bytes>> lru_;
+  std::map<Key, std::list<std::pair<Key, Bytes>>::iterator> map_;
+};
+
+TEST(RetrievalCache, ChurnDifferentialAgainstReferenceLru) {
+  // Randomized op mix over a key space ~4x the capacity: constant
+  // evictions, slot recycling, table growth, and backward-shift deletes.
+  // Every lookup outcome and the exact used/entries accounting must match
+  // the node-based reference at every step.
+  RetrievalCache cache(kB(8) * 64);
+  ReferenceLru ref(kB(8) * 64);
+  Rng rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const Key k = K(rng.next_below(256));
+    const std::uint64_t kind = rng.next_below(10);
+    if (kind < 5) {
+      EXPECT_EQ(cache.lookup(k), ref.lookup(k)) << "op " << op;
+    } else if (kind < 9) {
+      const Bytes size = kB(1) * static_cast<Bytes>(1 + rng.next_below(12));
+      cache.insert(k, size);
+      ref.insert(k, size);
+    } else {
+      cache.erase(k);
+      ref.erase(k);
+    }
+    ASSERT_EQ(cache.used(), ref.used()) << "op " << op;
+    ASSERT_EQ(cache.entries(), ref.entries()) << "op " << op;
+  }
+}
 
 TEST(RetrievalCache, MissThenHit) {
   RetrievalCache c(kB(64));

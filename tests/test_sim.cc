@@ -1,12 +1,53 @@
 #include <gtest/gtest.h>
 
 #include "common/assert.h"
+#include "common/key.h"
 #include "sim/bandwidth.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace d2::sim {
 namespace {
+
+TEST(InlineFunction, WrapsCapturesUpToBudget) {
+  int hits = 0;
+  std::uint64_t payload[8] = {7, 0, 0, 0, 0, 0, 0, 35};  // Key-sized capture
+  EventFn fn = [&hits, payload] { hits += static_cast<int>(payload[0] + payload[7]); };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 84);
+}
+
+TEST(InlineFunction, DefaultIsEmptyAndResetClears) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [] {};
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, CopiesAreIndependentInvocables) {
+  int count = 0;
+  EventFn a = [&count] { ++count; };
+  EventFn b = a;  // trivially copyable: slab-style memcpy semantics
+  a();
+  b();
+  EXPECT_EQ(count, 2);
+  a.reset();
+  b();  // resetting one copy must not disturb another
+  EXPECT_EQ(count, 3);
+}
+
+TEST(InlineFunction, CapacityMatchesAuditedBudget) {
+  // The budget is load-bearing: System::refresh captures
+  // {this, Key, SimTime} = 80 bytes. If Key grows or the budget shrinks,
+  // this fails before an opaque static_assert does.
+  static_assert(EventFn::capacity() >= sizeof(void*) + sizeof(Key) +
+                                           sizeof(SimTime));
+  SUCCEED();
+}
 
 TEST(EventQueue, FiresInTimeOrder) {
   EventQueue q;
@@ -90,13 +131,21 @@ TEST(Simulator, PastSchedulingThrows) {
   EXPECT_THROW(sim.schedule_after(-1, [] {}), d2::PreconditionError);
 }
 
+// Recurring chains use a self-rescheduling functor (as the balance
+// experiment's sampler does): a recursive std::function would both
+// heap-allocate and fail EventFn's trivially-copyable capture gate.
+struct Ticker {
+  Simulator* sim;
+  int* fires;
+  void operator()() const {
+    if (++*fires < 5) sim->schedule_after(10, *this);
+  }
+};
+
 TEST(Simulator, RecurringEventChain) {
   Simulator sim;
   int fires = 0;
-  std::function<void()> tick = [&] {
-    if (++fires < 5) sim.schedule_after(10, tick);
-  };
-  sim.schedule_after(10, tick);
+  sim.schedule_after(10, Ticker{&sim, &fires});
   sim.run();
   EXPECT_EQ(fires, 5);
   EXPECT_EQ(sim.now(), 50);

@@ -5,17 +5,21 @@ Wraps the google-benchmark binary (--benchmark_format=json), keeps only the
 fields that matter for trend tracking (real/cpu time per iteration, items
 per second), and optionally:
 
-  * times an end-to-end `d2sim performance` trial (wall clock), and
+  * times an end-to-end `d2sim performance` trial (wall clock),
   * computes per-benchmark speedups against a previously committed
-    baseline snapshot.
+    baseline snapshot (--baseline: informational only), and
+  * gates against a snapshot (--compare: prints a per-benchmark ratio
+    table and exits non-zero when any benchmark regressed more than
+    REGRESSION_FACTOR vs the comparison file — CI runs this report-only).
 
 Usage:
   tools/bench_to_json.py --bench build/bench/bench_micro \
       [--out BENCH_micro.json] [--label after] [--min-time 0.1] \
       [--d2sim build/tools/d2sim] [--baseline BENCH_micro_baseline.json] \
-      [--filter REGEX]
+      [--compare BENCH_micro.json] [--filter REGEX]
 
-Exit status is non-zero if the benchmark binary fails.
+Exit status is non-zero if the benchmark binary fails, or if --compare
+found a regression beyond the threshold.
 """
 
 import argparse
@@ -94,6 +98,39 @@ def speedups(baseline, current):
     return out
 
 
+# --compare fails only on >2x slowdowns: shared CI runners are noisy
+# enough that small ratios are meaningless, but a halved throughput is a
+# real regression (or a baseline that needs re-recording — see
+# DESIGN.md §5c).
+REGRESSION_FACTOR = 2.0
+
+
+def compare_report(reference, current):
+    """Prints a per-benchmark ratio table vs `reference`; returns the
+    names that regressed more than REGRESSION_FACTOR."""
+    ref = reference.get("benchmarks", {})
+    regressed = []
+    rows = []
+    for name, entry in sorted(current["benchmarks"].items()):
+        if name not in ref or ref[name]["real_time_ns"] <= 0:
+            rows.append((name, None))
+            continue
+        ratio = entry["real_time_ns"] / ref[name]["real_time_ns"]
+        rows.append((name, ratio))
+        if ratio > REGRESSION_FACTOR:
+            regressed.append(name)
+    width = max((len(n) for n, _ in rows), default=0)
+    print(f"compare vs '{reference.get('label', '?')}' "
+          f"(ratio = current/reference real time; > {REGRESSION_FACTOR}x fails)")
+    for name, ratio in rows:
+        if ratio is None:
+            print(f"  {name:<{width}}  (not in reference)")
+        else:
+            flag = "  << REGRESSION" if ratio > REGRESSION_FACTOR else ""
+            print(f"  {name:<{width}}  {ratio:6.3f}x{flag}")
+    return regressed
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", required=True, help="path to bench_micro binary")
@@ -104,6 +141,9 @@ def main():
     ap.add_argument("--d2sim", default="", help="also wall-clock a d2sim trial")
     ap.add_argument("--baseline", default="",
                     help="previous snapshot to compute speedups against")
+    ap.add_argument("--compare", default="",
+                    help="snapshot to gate against: print ratio table, exit "
+                         f"non-zero on a > {REGRESSION_FACTOR}x regression")
     args = ap.parse_args()
 
     result = run_benchmarks(args.bench, args.min_time, args.filter)
@@ -123,6 +163,14 @@ def main():
     if "speedup_vs_baseline" in result:
         for name, s in sorted(result["speedup_vs_baseline"].items()):
             print(f"  {name}: {s}x")
+    if args.compare:
+        with open(args.compare) as f:
+            reference = json.load(f)
+        regressed = compare_report(reference, result)
+        if regressed:
+            print(f"FAIL: {len(regressed)} benchmark(s) regressed beyond "
+                  f"{REGRESSION_FACTOR}x: {', '.join(regressed)}")
+            return 1
     return 0
 
 
