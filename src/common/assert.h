@@ -5,8 +5,14 @@
 // D2_ASSERT is for internal invariants: violations also throw, carrying
 // file/line, so simulation bugs surface immediately instead of corrupting
 // long experiment runs.
+// D2_DCHECK is the paranoid tier: checks too hot for release builds
+// (per-element loop assertions, full-structure audits). They compile to
+// nothing unless D2_PARANOID is defined (cmake -DD2_PARANOID=ON), in
+// which case they behave exactly like D2_ASSERT. The condition is never
+// evaluated in non-paranoid builds, but stays parsed so it cannot rot.
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -41,6 +47,33 @@ namespace detail {
 }
 }  // namespace detail
 
+/// True in paranoid builds (-DD2_PARANOID=ON): D2_DCHECK fires and the
+/// containers audit themselves on their mutation paths.
+#ifdef D2_PARANOID
+inline constexpr bool kParanoid = true;
+#else
+inline constexpr bool kParanoid = false;
+#endif
+
+/// Amortizes full-structure audits on hot mutation paths: an O(n) audit
+/// runs roughly every n/16 mutations (every mutation while the structure
+/// is small), capping paranoid overhead at a constant factor instead of
+/// turning every push into an O(n) pass. Purely counter-based, so audit
+/// points are deterministic.
+class ParanoidGate {
+ public:
+  /// True when an audit is due for a structure currently holding `size`
+  /// elements. Call once per mutation.
+  bool due(std::size_t size) {
+    if (++ticks_ < size / 16) return false;
+    ticks_ = 0;
+    return true;
+  }
+
+ private:
+  std::size_t ticks_ = 0;
+};
+
 }  // namespace d2
 
 #define D2_REQUIRE(expr)                                              \
@@ -62,3 +95,29 @@ namespace detail {
   do {                                                                  \
     if (!(expr)) ::d2::detail::fail_assert(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+#ifdef D2_PARANOID
+#define D2_DCHECK(expr) D2_ASSERT(expr)
+#define D2_DCHECK_MSG(expr, msg) D2_ASSERT_MSG(expr, msg)
+// Runs `stmt` (typically `check_invariants()` behind a ParanoidGate) on a
+// mutation path in paranoid builds; vanishes entirely otherwise.
+#define D2_PARANOID_AUDIT(stmt) \
+  do {                          \
+    stmt;                       \
+  } while (0)
+#else
+// `(void)sizeof(...)` keeps the condition parsed and its names odr-quiet
+// without evaluating anything at runtime.
+#define D2_DCHECK(expr)     \
+  do {                      \
+    (void)sizeof((expr));   \
+  } while (0)
+#define D2_DCHECK_MSG(expr, msg) \
+  do {                           \
+    (void)sizeof((expr));        \
+    (void)sizeof((msg));         \
+  } while (0)
+#define D2_PARANOID_AUDIT(stmt) \
+  do {                          \
+  } while (0)
+#endif

@@ -1,7 +1,6 @@
 #include "core/availability.h"
 
 #include <set>
-#include <unordered_set>
 
 #include "common/assert.h"
 #include "core/replay.h"

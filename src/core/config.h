@@ -71,6 +71,12 @@ struct SystemConfig {
   /// next successor.
   SimTime regen_delay = minutes(30);
 
+  /// Run full-structure invariant audits (ring + block map cross-checks)
+  /// after topology changes and sampled mutations, in any build. Paranoid
+  /// builds (-DD2_PARANOID=ON) audit unconditionally; this flag lets
+  /// `d2sim --paranoid` opt a release binary in at runtime.
+  bool paranoid_audits = false;
+
   std::uint64_t seed = 1;
 };
 

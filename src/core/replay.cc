@@ -96,6 +96,7 @@ void VolumeSet::insert_initial(const std::vector<trace::FileSpec>& files,
                                SimTime now, std::vector<fs::StoreOp>& out) {
   std::string rel;
   for (const trace::FileSpec& f : files) {
+    D2_REQUIRE_MSG(f.size >= 0, "initial file with negative size");
     fs::Volume& v = volume_for(f.path, &rel);
     v.write(rel, 0, f.size, now, out);
   }

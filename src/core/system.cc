@@ -239,6 +239,7 @@ void System::put(const Key& k, Bytes size) {
   }
   if (fresh_key && config_.scatter_replicas > 0) register_scatter(k);
   refresh(k);
+  maybe_audit(/*sampled=*/true);
 }
 
 void System::remove(const Key& k) {
@@ -249,6 +250,7 @@ void System::remove(const Key& k) {
       expiry_.erase(k);
       extended_.erase(k);
       if (config_.scatter_replicas > 0) forget_scatter(k);
+      maybe_audit(/*sampled=*/true);
     }
   });
 }
@@ -458,6 +460,7 @@ void System::execute_move(const dht::MoveDecision& decision) {
   // node's range).
   readjust_arc(old_successor, fetch_delay);
   readjust_arc(light, fetch_delay);
+  maybe_audit(/*sampled=*/false);
 }
 
 // -------------------------------------------------------------- failures --
@@ -489,8 +492,10 @@ void System::on_node_down(int node) {
   sim_.schedule_after(config_.regen_delay, [this, node] {
     if (!nodes_[static_cast<std::size_t>(node)].up) {
       readjust_arc(node, 0);
+      maybe_audit(/*sampled=*/false);
     }
   });
+  maybe_audit(/*sampled=*/false);
 }
 
 void System::on_node_up(int node) {
@@ -512,6 +517,7 @@ void System::on_node_up(int node) {
       extended_.erase(k);
     }
   }
+  maybe_audit(/*sampled=*/false);
 }
 
 // -------------------------------------------------------------- metrics --
@@ -545,6 +551,33 @@ double System::max_over_mean_load() const {
   }
   if (s.mean() == 0) return 0.0;
   return s.max() / s.mean();
+}
+
+// ------------------------------------------------------------- auditing --
+
+void System::check_invariants() const {
+  ring_.check_invariants();
+  map_.check_invariants();
+  D2_ASSERT_MSG(ring_.size() == static_cast<std::size_t>(config_.node_count),
+                "system: ring membership disagrees with node count");
+  map_.for_each_block([this](const Key& k, const store::BlockState& b) {
+    // §3 placement: the primary is always the ring owner of the key.
+    // Readjustment restores this synchronously after every ID change,
+    // so it holds whenever control returns to the event loop.
+    D2_ASSERT_MSG(!b.replicas.empty() &&
+                      b.replicas.front().node == ring_.owner(k),
+                  "system: block primary is not the ring owner of its key");
+  });
+  for (const Key& k : extended_) {
+    D2_ASSERT_MSG(map_.contains(k),
+                  "system: extended-set entry for a removed block");
+  }
+}
+
+void System::maybe_audit(bool sampled) {
+  if (!kParanoid && !config_.paranoid_audits) return;
+  if (sampled && !audit_gate_.due(map_.block_count())) return;
+  check_invariants();
 }
 
 }  // namespace d2::core

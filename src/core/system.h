@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/key.h"
 #include "common/rng.h"
 #include "core/config.h"
@@ -128,6 +129,16 @@ class System {
   double load_imbalance() const;
   double max_over_mean_load() const;
 
+  /// Full cross-layer audit; throws InvariantError naming the violated
+  /// invariant. Audits the ring and block map individually, then the
+  /// system-level invariant tying them together: the ring holds exactly
+  /// node_count members and every block's primary is the ring owner of
+  /// its key (§3's successor placement, re-established by readjustment
+  /// after every ID change). Wired into execute_move / on_node_down /
+  /// on_node_up and sampled put/remove paths when built with D2_PARANOID
+  /// or running with config.paranoid_audits; callable from tests always.
+  void check_invariants() const;
+
  private:
   struct NodeState {
     sim::BandwidthLink migration_link;
@@ -161,6 +172,12 @@ class System {
   void on_node_up(int node);
   std::optional<int> fetch_source(const store::BlockState& b) const;
 
+  /// Runs check_invariants() when auditing is on (D2_PARANOID build or
+  /// config.paranoid_audits). Topology changes audit unconditionally;
+  /// `sampled` callers (put/remove — far more frequent) are paced by
+  /// audit_gate_ to keep the amortized cost linear.
+  void maybe_audit(bool sampled);
+
   // Per-instance accounting plus the shared-registry mirror.
   void add_user_write_bytes(Bytes n) {
     user_write_bytes_ += n;
@@ -179,7 +196,9 @@ class System {
   Rng rng_;
   dht::Ring ring_;
   store::BlockMap map_;
-  std::unordered_map<Key, SimTime, KeyHash> expiry_;  // block TTLs
+  /// Block TTL deadlines. Keyed lookup/erase only; never iterated, so the
+  /// hash order cannot leak into event order.
+  std::unordered_map<Key, SimTime, KeyHash> expiry_;  // d2-lint: allow(unordered-container)
   /// scatter position -> block key, for hybrid placement readjustment.
   std::multimap<Key, Key> scatter_index_;
   /// Blocks whose replica set is currently extended past the canonical
@@ -191,6 +210,7 @@ class System {
   /// Scratch for target_replica_set results on the put/reassign hot path
   /// (avoids a heap allocation per block write / replica adjustment).
   mutable std::vector<int> replica_set_scratch_;
+  ParanoidGate audit_gate_;  // paces sampled audits
   const sim::FailureTrace* failure_trace_ = nullptr;
 
   // Per-instance traffic totals (the accessors above) ...

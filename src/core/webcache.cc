@@ -1,5 +1,6 @@
 #include "core/webcache.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/assert.h"
@@ -94,9 +95,15 @@ void WebCache::schedule_sweep() {
 void WebCache::sweep() {
   const SimTime now = system_.simulator().now();
   std::vector<Key> expired;
+  // d2-lint: allow(unordered-iter) — hash-order walk is collected into
+  // `expired` and sorted below before any side effect, so removal (and
+  // therefore event) order is key order, not hash order.
   for (const auto& [key, entry] : entries_) {
     if (now - entry.last_access >= config_.eviction_ttl) expired.push_back(key);
   }
+  // remove() schedules simulator events; sort so their order (and every
+  // downstream event sequence number) is independent of hash layout.
+  std::sort(expired.begin(), expired.end());
   for (const Key& k : expired) {
     if (system_.has(k)) system_.remove(k);
     entries_.erase(k);

@@ -70,7 +70,9 @@ class WebCache {
   fs::KeyScheme scheme_;
   WebCacheConfig config_;
   fs::VolumeId web_volume_id_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
+  /// Keyed lookups on the request path; the only iteration (sweep) sorts
+  /// its victims before acting, so hash order never reaches the simulator.
+  std::unordered_map<Key, Entry, KeyHash> entries_;  // d2-lint: allow(unordered-container)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t version_replacements_ = 0;

@@ -1,5 +1,7 @@
 #include "dht/ring.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace d2::dht {
@@ -9,6 +11,7 @@ void Ring::add(int node, const Key& id) {
   D2_REQUIRE_MSG(!id_taken(id), "ID collision");
   by_id_.emplace(id, node);
   ids_.emplace(node, id);
+  D2_PARANOID_AUDIT(check_invariants());
 }
 
 void Ring::remove(int node) {
@@ -16,8 +19,11 @@ void Ring::remove(int node) {
   D2_REQUIRE_MSG(it != ids_.end(), "node not on ring");
   by_id_.erase(it->second);
   ids_.erase(it);
+  D2_PARANOID_AUDIT(check_invariants());
 }
 
+// Preconditions (membership, ID uniqueness) are enforced by remove() and
+// add().  d2-lint: allow(unguarded-mutator)
 void Ring::move(int node, const Key& new_id) {
   remove(node);
   add(node, new_id);
@@ -107,6 +113,41 @@ std::vector<int> Ring::nodes_in_order() const {
   out.reserve(by_id_.size());
   for (const auto& [id, node] : by_id_) out.push_back(node);
   return out;
+}
+
+void Ring::check_invariants() const {
+  D2_ASSERT_MSG(by_id_.size() == ids_.size(),
+                "ring: id maps disagree in size");
+  for (const auto& [id, node] : by_id_) {
+    const auto it = ids_.find(node);
+    D2_ASSERT_MSG(it != ids_.end() && it->second == id,
+                  "ring: id maps are not inverse bijections");
+  }
+  if (by_id_.empty()) return;
+
+  // Successor / owner / replica-set consistency against clockwise order.
+  const std::vector<int> order = nodes_in_order();
+  const int r = static_cast<int>(std::min<std::size_t>(order.size(), 3));
+  std::vector<int> replicas;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int node = order[i];
+    const int succ = order[(i + 1) % order.size()];
+    D2_ASSERT_MSG(successor(node) == succ,
+                  "ring: successor disagrees with clockwise order");
+    D2_ASSERT_MSG(predecessor(succ) == node,
+                  "ring: predecessor is not successor's inverse");
+    D2_ASSERT_MSG(owner(id_of(node)) == node,
+                  "ring: node does not own its own ID");
+    replica_set(id_of(node), r, replicas);
+    D2_ASSERT_MSG(replicas.size() == static_cast<std::size_t>(r),
+                  "ring: replica set has wrong cardinality");
+    for (int j = 0; j < r; ++j) {
+      D2_ASSERT_MSG(
+          replicas[static_cast<std::size_t>(j)] ==
+              order[(i + static_cast<std::size_t>(j)) % order.size()],
+          "ring: replica set disagrees with successor chain");
+    }
+  }
 }
 
 std::size_t Ring::rank_distance(int a, int b) const {

@@ -66,9 +66,21 @@ class Ring {
   /// Clockwise rank distance from node a to node b (0 if a == b).
   std::size_t rank_distance(int a, int b) const;
 
+  /// Full-structure audit; throws InvariantError naming the violated
+  /// invariant. Checks that by_id_ and ids_ are inverse bijections and
+  /// that successor/predecessor/owner/replica_set agree with the clockwise
+  /// ID order. O(n log n); wired into add/remove/move in paranoid builds
+  /// and callable from tests in any build.
+  void check_invariants() const;
+
  private:
+  /// Corruption-injection hook for tests (tests/test_invariants.cc).
+  friend struct RingTestPeer;
+
   std::map<Key, int> by_id_;
-  std::unordered_map<int, Key> ids_;
+  /// Node -> ID lookup only; never iterated (iteration would be
+  /// hash-order, i.e. nondeterministic across platforms).
+  std::unordered_map<int, Key> ids_;  // d2-lint: allow(unordered-container)
 
   std::map<Key, int>::const_iterator iter_of(int node) const;
 };

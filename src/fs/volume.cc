@@ -403,6 +403,7 @@ void Volume::read(const std::string& path, Bytes offset, Bytes len, SimTime now,
 }
 
 void Volume::remove_node_blocks(Node* n, SimTime now, std::vector<StoreOp>& out) {
+  D2_REQUIRE_MSG(n != nullptr, "removing a null tree node");
   if (n->is_dir) {
     for (auto& [name, child] : n->children) {
       remove_node_blocks(child.get(), now, out);

@@ -53,6 +53,9 @@ bool WritebackCache::is_fresh(const Key& key, SimTime now) const {
 }
 
 void WritebackCache::mark_clean(const Key& key, SimTime now) {
+  // Dirty data is in memory and fresh by definition; the read path only
+  // reaches here after is_fresh() returned false, which rules dirty out.
+  D2_DCHECK_MSG(dirty_.count(key) == 0, "marking a dirty key clean");
   clean_[key] = now;
   heap_.push(HeapEntry{now + ttl_, key, false});
 }

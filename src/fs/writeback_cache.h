@@ -93,7 +93,8 @@ class WritebackCache {
 
   SimTime ttl_;
   std::map<Key, Pending> dirty_;
-  std::unordered_map<Key, SimTime, KeyHash> clean_;
+  /// Keyed find/insert/erase only; never iterated.
+  std::unordered_map<Key, SimTime, KeyHash> clean_;  // d2-lint: allow(unordered-container)
 
   struct HeapEntry {
     SimTime expires;

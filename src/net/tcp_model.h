@@ -64,7 +64,8 @@ class TcpModel {
   }
 
   TcpConfig config_;
-  std::unordered_map<std::uint64_t, Conn> conns_;
+  /// Keyed find/emplace only; never iterated.
+  std::unordered_map<std::uint64_t, Conn> conns_;  // d2-lint: allow(unordered-container)
   std::uint64_t cold_starts_ = 0;
   std::uint64_t transfers_ = 0;
 };

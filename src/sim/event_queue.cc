@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace d2::sim {
@@ -22,6 +24,7 @@ EventId EventQueue::commit(SimTime t, std::uint32_t slot) {
   meta_[slot] = live_meta(make_tag(slot, seq));
   heap_.push(Entry{t, make_tag(slot, seq)});
   ++live_;
+  D2_PARANOID_AUDIT(if (audit_gate_.due(meta_.size())) check_invariants());
   return make_id(slot, seq);
 }
 
@@ -41,6 +44,7 @@ bool EventQueue::cancel(EventId id) {
   if (meta != live_meta(make_tag(slot, id & kSeqMask))) return false;
   release_slot(slot, meta);
   drop_dead_top();
+  D2_PARANOID_AUDIT(if (audit_gate_.due(meta_.size())) check_invariants());
   return true;
 }
 
@@ -63,7 +67,67 @@ EventQueue::Event EventQueue::pop() {
   Event ev{top.time, make_id(slot, seq), fns_[slot]};
   release_slot(slot, meta_[slot]);
   drop_dead_top();
+  D2_PARANOID_AUDIT(if (audit_gate_.due(meta_.size())) check_invariants());
   return ev;
+}
+
+void EventQueue::check_invariants() const {
+  const std::size_t slots = meta_.size();
+  D2_ASSERT_MSG(fns_.size() == slots,
+                "event queue: slab arrays out of sync");
+
+  // Free list: in-range links, no cycles.
+  std::vector<char> on_free(slots, 0);
+  std::size_t free_count = 0;
+  for (std::uint32_t s = free_head_; s != kNoSlot;
+       s = static_cast<std::uint32_t>(meta_[s] & kSlotMask)) {
+    D2_ASSERT_MSG(s < slots, "event queue: free-list link out of range");
+    D2_ASSERT_MSG(on_free[s] == 0, "event queue: free-list cycle");
+    on_free[s] = 1;
+    ++free_count;
+  }
+
+  // Live marks: every slot is either live or on the free list, and the
+  // live-mark population matches the live counter.
+  std::size_t live_count = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::uint64_t low = meta_[s] & kSlotMask;
+    if (low == kLiveMark) {
+      D2_ASSERT_MSG(on_free[s] == 0, "event queue: slot both live and free");
+      ++live_count;
+    } else {
+      D2_ASSERT_MSG(on_free[s] == 1,
+                    "event queue: orphaned slot (neither live nor free)");
+    }
+  }
+  D2_ASSERT_MSG(live_count == live_,
+                "event queue: live-mark count disagrees with live_");
+  D2_ASSERT_MSG(free_count + live_count == slots,
+                "event queue: slot accounting does not cover the slab");
+
+  // Heap: ordering property holds, exactly the live slots have a live
+  // entry, and a dead entry never sits on top.
+  struct HeapAccess : std::priority_queue<Entry, std::vector<Entry>, Later> {
+    static const std::vector<Entry>& container(
+        const std::priority_queue<Entry, std::vector<Entry>, Later>& q) {
+      return q.*(&HeapAccess::c);
+    }
+  };
+  const std::vector<Entry>& entries = HeapAccess::container(heap_);
+  D2_ASSERT_MSG(std::is_heap(entries.begin(), entries.end(), Later{}),
+                "event queue: heap property violated");
+  std::size_t live_entries = 0;
+  for (const Entry& e : entries) {
+    D2_ASSERT_MSG(tag_slot(e.tag) < slots,
+                  "event queue: heap entry slot out of range");
+    if (entry_live(e)) ++live_entries;
+  }
+  D2_ASSERT_MSG(live_entries == live_,
+                "event queue: live heap entries disagree with live_");
+  if (live_ != 0) {
+    D2_ASSERT_MSG(entry_live(heap_.top()),
+                  "event queue: dead entry on heap top");
+  }
 }
 
 }  // namespace d2::sim

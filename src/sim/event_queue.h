@@ -22,10 +22,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/inline_function.h"
 #include "common/units.h"
 
 namespace d2::sim {
+
+struct EventQueueTestPeer;
 
 /// Opaque handle: slot index in the high 24 bits, a sequence tag in the
 /// low 40 (distinguishes generations of a recycled slot).
@@ -80,7 +83,17 @@ class EventQueue {
 
   std::size_t pending() const { return live_; }
 
+  /// Full-structure audit; throws InvariantError naming the violated
+  /// invariant. Checks the heap property, the slab free list (no cycles,
+  /// in-range links, no orphaned slots), live-mark consistency (live
+  /// slot count == live_ == live heap entries) and the live-top
+  /// invariant. O(n); wired into push/cancel/pop in paranoid builds and
+  /// callable from tests in any build.
+  void check_invariants() const;
+
  private:
+  /// Corruption-injection hook for tests (tests/test_invariants.cc).
+  friend struct EventQueueTestPeer;
   static constexpr std::uint32_t kNoSlot = 0xffffffu;    // free-list end
   static constexpr std::uint32_t kLiveMark = 0xfffffeu;  // occupied slot
   static constexpr int kSeqBits = 40;
@@ -147,6 +160,7 @@ class EventQueue {
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  ParanoidGate audit_gate_;  // paces paranoid-build audits
 };
 
 }  // namespace d2::sim

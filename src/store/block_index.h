@@ -25,6 +25,8 @@
 
 namespace d2::store {
 
+struct SortedKeyIndexTestPeer;
+
 template <class Value>
 class SortedKeyIndex {
  public:
@@ -39,6 +41,7 @@ class SortedKeyIndex {
     chunks_.clear();
     last_.clear();
     size_ = 0;
+    hint_ = 0;
   }
 
   bool contains(const Key& k) const { return find(k) != nullptr; }
@@ -100,8 +103,10 @@ class SortedKeyIndex {
       split(ci);
       if (!(k <= last_[ci])) ++ci;  // value landed in the upper half
       Chunk& after = *chunks_[ci];
+      D2_PARANOID_AUDIT(if (audit_gate_.due(size_)) check_invariants());
       return after.vals[lower_bound_in(after, k)];
     }
+    D2_PARANOID_AUDIT(if (audit_gate_.due(size_)) check_invariants());
     return c.vals[pos];
   }
 
@@ -119,9 +124,11 @@ class SortedKeyIndex {
     if (c.keys.empty()) {
       chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(ci));
       last_.erase(last_.begin() + static_cast<std::ptrdiff_t>(ci));
+      if (hint_ > last_.size()) hint_ = 0;  // memo past the shrunk directory
     } else if (pos == c.keys.size()) {
       last_[ci] = c.keys.back();
     }
+    D2_PARANOID_AUDIT(if (audit_gate_.due(size_)) check_invariants());
   }
 
   /// Removes every entry for which `pred(const Key&, Value&)` is true;
@@ -158,6 +165,8 @@ class SortedKeyIndex {
       ++ci;
     }
     size_ -= dropped;
+    if (hint_ > last_.size()) hint_ = 0;  // memo past the shrunk directory
+    D2_PARANOID_AUDIT(check_invariants());
     return dropped;
   }
 
@@ -191,7 +200,44 @@ class SortedKeyIndex {
     });
   }
 
+  /// Full-structure audit; throws InvariantError naming the violated
+  /// invariant. Checks per-chunk strict sortedness, chunk occupancy
+  /// bounds, directory consistency (last_[i] == chunks_[i]->keys.back(),
+  /// strictly increasing across chunks), parallel-array sync, the size
+  /// counter and the locality memo's range. O(n); wired into
+  /// insert/erase/erase_if in paranoid builds and callable from tests in
+  /// any build.
+  void check_invariants() const {
+    D2_ASSERT_MSG(last_.size() == chunks_.size(),
+                  "sorted index: directory size disagrees with chunk count");
+    D2_ASSERT_MSG(hint_ <= last_.size(),
+                  "sorted index: locality memo hint out of range");
+    std::size_t total = 0;
+    for (std::size_t ci = 0; ci < chunks_.size(); ++ci) {
+      const Chunk& c = *chunks_[ci];
+      D2_ASSERT_MSG(!c.keys.empty(), "sorted index: empty chunk");
+      D2_ASSERT_MSG(c.keys.size() <= kMaxChunk, "sorted index: oversize chunk");
+      D2_ASSERT_MSG(c.keys.size() == c.vals.size(),
+                    "sorted index: keys/vals arrays out of sync");
+      for (std::size_t i = 1; i < c.keys.size(); ++i) {
+        D2_ASSERT_MSG(c.keys[i - 1] < c.keys[i],
+                      "sorted index: chunk not strictly sorted");
+      }
+      D2_ASSERT_MSG(last_[ci] == c.keys.back(),
+                    "sorted index: directory max out of date");
+      if (ci > 0) {
+        D2_ASSERT_MSG(last_[ci - 1] < c.keys.front(),
+                      "sorted index: chunk bounds not monotone");
+      }
+      total += c.keys.size();
+    }
+    D2_ASSERT_MSG(total == size_,
+                  "sorted index: size counter disagrees with contents");
+  }
+
  private:
+  /// Corruption-injection hook for tests (tests/test_invariants.cc).
+  friend struct SortedKeyIndexTestPeer;
   struct Chunk {
     std::vector<Key> keys;  // sorted
     std::vector<Value> vals;  // parallel to keys
@@ -312,10 +358,12 @@ class SortedKeyIndex {
   std::vector<Key> last_;  // last_[i] == chunks_[i]->keys.back()
   std::size_t size_ = 0;
   /// chunk_for's locality memo — a guess, revalidated on every use, so
-  /// it never needs invalidating. Mutable: updating it from const point
-  /// lookups is what makes read-heavy scans benefit. (Instances are not
-  /// shared across threads; each trial owns its maps.)
+  /// it never needs invalidating beyond clamping when the directory
+  /// shrinks. Mutable: updating it from const point lookups is what makes
+  /// read-heavy scans benefit. (Instances are not shared across threads;
+  /// each trial owns its maps.)
   mutable std::size_t hint_ = 0;
+  ParanoidGate audit_gate_;  // paces paranoid-build audits
 };
 
 }  // namespace d2::store

@@ -59,6 +59,8 @@ void BlockMap::account_remove_primary(int node, Bytes size) {
 void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
                       Bytes member_bytes) {
   D2_REQUIRE(!nodes.empty());
+  D2_REQUIRE_MSG(size >= 0, "negative block size");
+  D2_REQUIRE_MSG(member_bytes <= size, "member bytes exceed block size");
   for (int n : nodes) D2_REQUIRE(n >= 0 && n < node_count_);
   BlockState b;
   b.size = size;
@@ -73,6 +75,7 @@ void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
   }
   account_add_primary(nodes.front(), size);
   total_bytes_ += size;
+  D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
 }
 
 void BlockMap::erase(const Key& k) {
@@ -86,6 +89,7 @@ void BlockMap::erase(const Key& k) {
   account_remove_primary(b.replicas.front().node, b.size);
   total_bytes_ -= b.size;
   blocks_.erase(k);
+  D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
 }
 
 std::int64_t BlockMap::primary_count(int node) const {
@@ -198,6 +202,7 @@ void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
     account_add_primary(new_primary, b.size);
   }
   prune_stale(k, b);
+  D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
 }
 
 void BlockMap::mark_data(const Key& k, int node) {
@@ -211,6 +216,7 @@ void BlockMap::mark_data(const Key& k, int node) {
       r.fetch_in_flight = false;
       account_add_data(node, b.member_bytes);
       prune_stale(k, b);
+      D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
       return;
     }
   }
@@ -227,6 +233,7 @@ void BlockMap::mark_missing(const Key& k, int node) {
       r.has_data = false;
       r.fetch_in_flight = false;
       account_remove_data(node, b.member_bytes);
+      D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
       return;
     }
   }
@@ -240,6 +247,68 @@ void BlockMap::prune_stale(const Key&, BlockState& b) {
   }
   for (int n : b.stale_holders) account_remove_data(n, b.member_bytes);
   b.stale_holders.clear();
+}
+
+void BlockMap::check_invariants() const {
+  blocks_.check_invariants();
+
+  const auto n = static_cast<std::size_t>(node_count_);
+  std::vector<std::int64_t> primary_count(n, 0);
+  std::vector<Bytes> primary_bytes(n, 0);
+  std::vector<Bytes> physical_bytes(n, 0);
+  Bytes total = 0;
+
+  const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each([&](const Key& k,
+                                                                BlockState& b) {
+    (void)k;
+    D2_ASSERT_MSG(b.size >= 0 && b.member_bytes >= 0,
+                  "block map: negative block size");
+    D2_ASSERT_MSG(!b.replicas.empty(), "block map: block with no replicas");
+    bool all_have_data = true;
+    for (std::size_t i = 0; i < b.replicas.size(); ++i) {
+      const Replica& r = b.replicas[i];
+      D2_ASSERT_MSG(r.node >= 0 && r.node < node_count_,
+                    "block map: replica node out of range");
+      for (std::size_t j = 0; j < i; ++j) {
+        D2_ASSERT_MSG(b.replicas[j].node != r.node,
+                      "block map: duplicate node in replica set");
+      }
+      if (r.has_data) {
+        physical_bytes[static_cast<std::size_t>(r.node)] += b.member_bytes;
+      } else {
+        all_have_data = false;
+      }
+    }
+    for (std::size_t i = 0; i < b.stale_holders.size(); ++i) {
+      const int s = b.stale_holders[i];
+      D2_ASSERT_MSG(s >= 0 && s < node_count_,
+                    "block map: stale holder out of range");
+      D2_ASSERT_MSG(!b.is_replica(s),
+                    "block map: stale holder also in replica set");
+      for (std::size_t j = 0; j < i; ++j) {
+        D2_ASSERT_MSG(b.stale_holders[j] != s,
+                      "block map: duplicate stale holder");
+      }
+      physical_bytes[static_cast<std::size_t>(s)] += b.member_bytes;
+    }
+    D2_ASSERT_MSG(b.stale_holders.empty() || !all_have_data,
+                  "block map: stale holders outlived their fetch sources");
+    const auto primary = static_cast<std::size_t>(b.replicas.front().node);
+    primary_count[primary] += 1;
+    primary_bytes[primary] += b.size;
+    total += b.size;
+  });
+
+  D2_ASSERT_MSG(total == total_bytes_,
+                "block map: total bytes counter out of sync");
+  for (std::size_t i = 0; i < n; ++i) {
+    D2_ASSERT_MSG(primary_count[i] == primary_count_[i],
+                  "block map: primary count accounting out of sync");
+    D2_ASSERT_MSG(primary_bytes[i] == primary_bytes_[i],
+                  "block map: primary bytes accounting out of sync");
+    D2_ASSERT_MSG(physical_bytes[i] == physical_bytes_[i],
+                  "block map: physical bytes accounting out of sync");
+  }
 }
 
 }  // namespace d2::store

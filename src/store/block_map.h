@@ -28,6 +28,8 @@
 
 namespace d2::store {
 
+struct BlockMapTestPeer;
+
 /// One member of a block's responsible replica set.
 struct Replica {
   int node = -1;
@@ -135,7 +137,18 @@ class BlockMap {
     blocks_.for_each(std::forward<Fn>(fn));
   }
 
+  /// Full-structure audit; throws InvariantError naming the violated
+  /// invariant. Audits the underlying sorted index, every block's replica
+  /// set (non-empty, in-range, duplicate-free, stale holders disjoint and
+  /// only present while a replica lacks data) and recomputes the per-node
+  /// primary/physical accounting from scratch against the incremental
+  /// counters. O(blocks x replicas); wired into the mutators in paranoid
+  /// builds and callable from tests in any build.
+  void check_invariants() const;
+
  private:
+  /// Corruption-injection hook for tests (tests/test_invariants.cc).
+  friend struct BlockMapTestPeer;
   void account_add_data(int node, Bytes size);
   void account_remove_data(int node, Bytes size);
   void account_add_primary(int node, Bytes size);
@@ -148,6 +161,7 @@ class BlockMap {
   std::vector<std::int64_t> primary_count_;
   std::vector<Bytes> primary_bytes_;
   std::vector<Bytes> physical_bytes_;
+  ParanoidGate audit_gate_;  // paces paranoid-build audits
 };
 
 }  // namespace d2::store

@@ -41,6 +41,7 @@ void LookupCache::maybe_sweep(SimTime now) {
 
 void LookupCache::insert(SimTime now, int node, const Key& arc_from,
                          const Key& arc_to) {
+  D2_REQUIRE_MSG(node >= 0, "caching a negative node index");
   maybe_sweep(now);
   if (arc_from == arc_to) {
     // Whole ring (single-node DHT).
@@ -73,6 +74,7 @@ void LookupCache::insert_piece(SimTime now, int node, const Key& start,
   }
   entries_.insert(end, Entry{node, start, now + ttl_});
   if (insertions_counter_ != nullptr) insertions_counter_->add(1);
+  D2_PARANOID_AUDIT(check_invariants());
 }
 
 std::optional<int> LookupCache::find(SimTime now, const Key& k) {
@@ -96,6 +98,7 @@ void LookupCache::invalidate(SimTime now, const Key& k) {
     entries_.erase(victim);
   }
   maybe_sweep(now);
+  D2_PARANOID_AUDIT(check_invariants());
 }
 
 double LookupCache::miss_rate() const {
@@ -107,6 +110,15 @@ double LookupCache::miss_rate() const {
 void LookupCache::reset_stats() {
   hits_ = 0;
   misses_ = 0;
+}
+
+void LookupCache::check_invariants() const {
+  entries_.check_invariants();
+  const_cast<SortedKeyIndex<Entry>&>(entries_).for_each(
+      [](const Key& end, Entry& e) {
+        D2_ASSERT_MSG(e.start <= end,
+                      "lookup cache: range start past its end key");
+      });
 }
 
 }  // namespace d2::store

@@ -21,6 +21,8 @@
 
 namespace d2::store {
 
+struct LookupCacheTestPeer;
+
 class LookupCache {
  public:
   explicit LookupCache(SimTime ttl = hours(1) + minutes(15));
@@ -76,7 +78,16 @@ class LookupCache {
 
   SimTime ttl() const { return ttl_; }
 
+  /// Full-structure audit; throws InvariantError naming the violated
+  /// invariant. Audits the underlying sorted index plus the range
+  /// entries themselves (start <= end, nothing scheduled to never
+  /// expire). Wired into insert/invalidate/expire in paranoid builds and
+  /// callable from tests in any build.
+  void check_invariants() const;
+
  private:
+  /// Corruption-injection hook for tests (tests/test_invariants.cc).
+  friend struct LookupCacheTestPeer;
   // Entries are closed intervals [start, end] on key order (never
   // wrapping; a wrapping ring arc is split into two entries), keyed by
   // `end` in a chunked sorted index (the same SortedKeyIndex machinery as

@@ -142,6 +142,7 @@ bool RetrievalCache::lookup(const Key& k) {
   }
   ++hits_;
   if (hits_counter_ != nullptr) hits_counter_->add(1);
+  D2_PARANOID_AUDIT(if (audit_gate_.due(slab_.size())) check_invariants());
   return true;
 }
 
@@ -176,6 +177,7 @@ void RetrievalCache::insert(const Key& k, Bytes size) {
     used_ += size;
   }
   while (used_ > capacity_ && size_ > 0) evict_lru();
+  D2_PARANOID_AUDIT(if (audit_gate_.due(slab_.size())) check_invariants());
 }
 
 void RetrievalCache::erase(const Key& k) {
@@ -189,6 +191,73 @@ void RetrievalCache::erase(const Key& k) {
   slab_[s].next = free_head_;
   free_head_ = s;
   --size_;
+  D2_PARANOID_AUDIT(if (audit_gate_.due(slab_.size())) check_invariants());
+}
+
+void RetrievalCache::check_invariants() const {
+  const std::size_t slots = slab_.size();
+
+  // LRU list: a closed chain from head to tail whose prev/next links
+  // mirror each other and which visits exactly size_ slots.
+  std::vector<char> live(slots, 0);
+  std::size_t lru_count = 0;
+  Bytes used = 0;
+  std::uint32_t prev = kNull;
+  for (std::uint32_t s = lru_head_; s != kNull; s = slab_[s].next) {
+    D2_ASSERT_MSG(s < slots, "retrieval cache: LRU link out of range");
+    D2_ASSERT_MSG(live[s] == 0, "retrieval cache: LRU list cycle");
+    D2_ASSERT_MSG(slab_[s].prev == prev,
+                  "retrieval cache: LRU prev/next links disagree");
+    live[s] = 1;
+    ++lru_count;
+    used += slab_[s].size;
+    prev = s;
+  }
+  D2_ASSERT_MSG(prev == lru_tail_, "retrieval cache: LRU ring not closed");
+  D2_ASSERT_MSG(lru_count == size_,
+                "retrieval cache: LRU length disagrees with size_");
+  D2_ASSERT_MSG(used == used_,
+                "retrieval cache: byte accounting out of sync");
+  D2_ASSERT_MSG(used_ <= capacity_, "retrieval cache: over capacity");
+
+  // Free list: covers every slot the LRU does not.
+  std::size_t free_count = 0;
+  for (std::uint32_t s = free_head_; s != kNull; s = slab_[s].next) {
+    D2_ASSERT_MSG(s < slots, "retrieval cache: free-list link out of range");
+    D2_ASSERT_MSG(live[s] == 0,
+                  "retrieval cache: slot both cached and free (or free-list "
+                  "cycle)");
+    live[s] = 2;
+    ++free_count;
+  }
+  D2_ASSERT_MSG(lru_count + free_count == slots,
+                "retrieval cache: orphaned slab slot");
+
+  // Table: exactly the live slots appear, each reachable by probing its
+  // own key (no break in its probe run).
+  if (table_.empty()) {
+    D2_ASSERT_MSG(size_ == 0, "retrieval cache: entries but no table");
+    return;
+  }
+  D2_ASSERT_MSG(mask_ == table_.size() - 1 &&
+                    (table_.size() & mask_) == 0,
+                "retrieval cache: table size not a power of two");
+  std::size_t table_count = 0;
+  for (std::size_t pos = 0; pos < table_.size(); ++pos) {
+    const std::uint32_t s = table_[pos];
+    if (s == kNull) continue;
+    ++table_count;
+    D2_ASSERT_MSG(s < slots, "retrieval cache: table slot out of range");
+    D2_ASSERT_MSG(live[s] == 1,
+                  "retrieval cache: table references a non-cached slot");
+  }
+  D2_ASSERT_MSG(table_count == size_,
+                "retrieval cache: table population disagrees with size_");
+  for (std::uint32_t s = lru_head_; s != kNull; s = slab_[s].next) {
+    const std::size_t pos = probe(slab_[s].key);
+    D2_ASSERT_MSG(table_[pos] == s,
+                  "retrieval cache: entry unreachable from its probe chain");
+  }
 }
 
 }  // namespace d2::store

@@ -22,11 +22,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/key.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 
 namespace d2::store {
+
+struct RetrievalCacheTestPeer;
 
 class RetrievalCache {
  public:
@@ -54,7 +57,18 @@ class RetrievalCache {
   /// bound to one registry sum together). Pass nullptr to unbind.
   void bind_metrics(obs::Registry* registry);
 
+  /// Full-structure audit; throws InvariantError naming the violated
+  /// invariant. Walks the LRU list (closed chain head<->tail, prev/next
+  /// mirror each other, exactly size_ nodes), the free list (disjoint
+  /// from the LRU, covers the rest of the slab), the open-addressed
+  /// table (every live slot reachable by probing its key, exactly once)
+  /// and the byte accounting. O(n); wired into lookup/insert/erase in
+  /// paranoid builds and callable from tests in any build.
+  void check_invariants() const;
+
  private:
+  /// Corruption-injection hook for tests (tests/test_invariants.cc).
+  friend struct RetrievalCacheTestPeer;
   static constexpr std::uint32_t kNull = 0xffffffffu;
 
   /// Slab entry: block metadata plus intrusive LRU links. Free slots are
@@ -92,6 +106,7 @@ class RetrievalCache {
   std::size_t mask_ = 0;              // table_.size() - 1 (power of two)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  ParanoidGate audit_gate_;  // paces paranoid-build audits
   obs::Counter* hits_counter_ = nullptr;
   obs::Counter* misses_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;

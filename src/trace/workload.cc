@@ -9,7 +9,8 @@ WorkloadSummary summarize(const std::vector<TraceRecord>& records,
                           const std::vector<FileSpec>& initial_files) {
   WorkloadSummary s;
   s.records = records.size();
-  std::unordered_set<int> users;
+  // Insert + size() only (distinct-user count); never iterated.
+  std::unordered_set<int> users;  // d2-lint: allow(unordered-container)
   for (const TraceRecord& r : records) {
     users.insert(r.user);
     s.duration = std::max(s.duration, r.time);

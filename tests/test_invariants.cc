@@ -1,0 +1,359 @@
+// Corruption-injection tests for the check_invariants() validators.
+//
+// Each test uses a friend TestPeer to reach into a structure's private
+// state, breaks exactly one invariant, and asserts that the structure's
+// full audit throws InvariantError with a message naming that invariant.
+// This proves the paranoid validators actually detect the corruption
+// classes they document — a validator that never fires is worse than none,
+// because it buys false confidence.
+//
+// Also covers the D2_REQUIRE precondition guards on public entry points
+// (PreconditionError on bad inputs), the ParanoidGate pacing contract, and
+// a clean-run smoke test of every audit on healthy structures.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/key.h"
+#include "common/units.h"
+#include "core/config.h"
+#include "core/system.h"
+#include "dht/ring.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "store/block_index.h"
+#include "store/block_map.h"
+#include "store/lookup_cache.h"
+#include "store/retrieval_cache.h"
+
+namespace d2::sim {
+
+struct EventQueueTestPeer {
+  static std::vector<std::uint64_t>& meta(EventQueue& q) { return q.meta_; }
+  static std::size_t& live(EventQueue& q) { return q.live_; }
+  static constexpr std::uint64_t slot_mask() { return EventQueue::kSlotMask; }
+};
+
+}  // namespace d2::sim
+
+namespace d2::store {
+
+struct SortedKeyIndexTestPeer {
+  template <class V>
+  static void swap_first_two_keys(SortedKeyIndex<V>& idx) {
+    auto& chunk = *idx.chunks_.front();
+    std::swap(chunk.keys[0], chunk.keys[1]);
+  }
+  template <class V>
+  static void corrupt_directory(SortedKeyIndex<V>& idx) {
+    idx.last_.front() = Key::min();
+  }
+  template <class V>
+  static void corrupt_size(SortedKeyIndex<V>& idx) {
+    ++idx.size_;
+  }
+};
+
+struct BlockMapTestPeer {
+  static void drift_primary_count(BlockMap& m) { ++m.primary_count_[0]; }
+  static void drift_physical_bytes(BlockMap& m) { ++m.physical_bytes_[0]; }
+};
+
+struct LookupCacheTestPeer {
+  static void invert_ranges(LookupCache& c) {
+    c.entries_.for_each([](const Key& end, LookupCache::Entry& e) {
+      (void)end;
+      e.start = Key::max();
+    });
+  }
+};
+
+struct RetrievalCacheTestPeer {
+  static void break_lru_ring(RetrievalCache& c) {
+    // Point the tail marker somewhere that is not the end of the chain.
+    c.lru_tail_ = c.lru_head_;
+  }
+  static void sever_lru_link(RetrievalCache& c) {
+    c.slab_[c.slab_[c.lru_head_].next].prev = RetrievalCache::kNull;
+  }
+  static void drop_table_entry(RetrievalCache& c) {
+    for (auto& slot : c.table_) {
+      if (slot != RetrievalCache::kNull) {
+        slot = RetrievalCache::kNull;
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace d2::store
+
+namespace d2::dht {
+
+struct RingTestPeer {
+  static void break_bijection(Ring& r) {
+    r.ids_.begin()->second = Key::from_uint64(0xdeadbeef);
+  }
+};
+
+}  // namespace d2::dht
+
+namespace d2 {
+namespace {
+
+Key K(std::uint64_t v) { return Key::from_uint64(v); }
+
+/// Runs `fn` and asserts it throws InvariantError whose message names the
+/// violated invariant (contains `fragment`).
+template <class Fn>
+void ExpectInvariantNamed(Fn&& fn, const std::string& fragment) {
+  try {
+    fn();
+    ADD_FAILURE() << "no exception thrown (expected InvariantError naming \""
+                  << fragment << "\")";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "InvariantError message\n  \"" << e.what()
+        << "\"\ndoes not name \"" << fragment << "\"";
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "threw a different exception type: " << e.what();
+  }
+}
+
+// ------------------------------------------------------------ clean runs --
+
+TEST(Invariants, HealthyStructuresPassTheirAudits) {
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(q.push(i, [] {}));
+  for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  for (int i = 0; i < 10; ++i) q.pop();
+  EXPECT_NO_THROW(q.check_invariants());
+
+  store::SortedKeyIndex<int> idx;
+  for (std::uint64_t i = 0; i < 500; ++i) idx.insert(K(i * 7), int(i));
+  for (std::uint64_t i = 0; i < 500; i += 2) idx.erase(K(i * 7));
+  EXPECT_NO_THROW(idx.check_invariants());
+
+  store::BlockMap map(8);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    map.insert(K(i), 1000,
+               {int(i % 8), int((i + 1) % 8), int((i + 2) % 8)});
+  }
+  map.mark_missing(K(3), 4);
+  EXPECT_NO_THROW(map.check_invariants());
+
+  store::LookupCache cache(hours(1));
+  cache.insert(0, 1, K(100), K(200));
+  cache.insert(0, 2, K(200), K(300));
+  EXPECT_NO_THROW(cache.check_invariants());
+
+  store::RetrievalCache rc(kB(64));
+  for (std::uint64_t i = 0; i < 32; ++i) rc.insert(K(i), kB(4));
+  rc.lookup(K(30));
+  rc.erase(K(31));
+  EXPECT_NO_THROW(rc.check_invariants());
+
+  dht::Ring ring;
+  for (int i = 0; i < 16; ++i) {
+    ring.add(i, K(std::uint64_t(i) * 1000 + 1));
+  }
+  ring.move(3, K(77777));
+  EXPECT_NO_THROW(ring.check_invariants());
+}
+
+// ------------------------------------------------------------ event queue --
+
+TEST(Invariants, EventQueueDetectsOrphanedSlot) {
+  sim::EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  // Clear a live slot's mark without putting it on the free list: the slot
+  // is now neither live nor free.
+  sim::EventQueueTestPeer::meta(q)[0] = 0;
+  ExpectInvariantNamed([&] { q.check_invariants(); }, "orphaned slot");
+}
+
+TEST(Invariants, EventQueueDetectsFreeListCycle) {
+  sim::EventQueue q;
+  const sim::EventId id = q.push(1, [] {});
+  q.push(2, [] {});
+  q.cancel(id);  // slot 0 joins the free list
+  // Make the free list point back at its own head.
+  auto& meta = sim::EventQueueTestPeer::meta(q);
+  meta[0] = (meta[0] & ~sim::EventQueueTestPeer::slot_mask()) | 0;
+  ExpectInvariantNamed([&] { q.check_invariants(); }, "free-list cycle");
+}
+
+TEST(Invariants, EventQueueDetectsLiveCountDrift) {
+  sim::EventQueue q;
+  q.push(1, [] {});
+  ++sim::EventQueueTestPeer::live(q);
+  ExpectInvariantNamed([&] { q.check_invariants(); },
+                       "live-mark count disagrees with live_");
+}
+
+// ----------------------------------------------------------- sorted index --
+
+TEST(Invariants, SortedIndexDetectsUnsortedChunk) {
+  store::SortedKeyIndex<int> idx;
+  for (std::uint64_t i = 0; i < 8; ++i) idx.insert(K(i * 10), int(i));
+  store::SortedKeyIndexTestPeer::swap_first_two_keys(idx);
+  ExpectInvariantNamed([&] { idx.check_invariants(); },
+                       "chunk not strictly sorted");
+}
+
+TEST(Invariants, SortedIndexDetectsStaleDirectory) {
+  store::SortedKeyIndex<int> idx;
+  for (std::uint64_t i = 1; i <= 8; ++i) idx.insert(K(i * 10), int(i));
+  store::SortedKeyIndexTestPeer::corrupt_directory(idx);
+  ExpectInvariantNamed([&] { idx.check_invariants(); },
+                       "directory max out of date");
+}
+
+TEST(Invariants, SortedIndexDetectsSizeDrift) {
+  store::SortedKeyIndex<int> idx;
+  idx.insert(K(1), 1);
+  store::SortedKeyIndexTestPeer::corrupt_size(idx);
+  ExpectInvariantNamed([&] { idx.check_invariants(); },
+                       "size counter disagrees with contents");
+}
+
+// -------------------------------------------------------------- block map --
+
+TEST(Invariants, BlockMapDetectsPrimaryCountDrift) {
+  store::BlockMap map(4);
+  map.insert(K(1), 100, {0, 1, 2});
+  store::BlockMapTestPeer::drift_primary_count(map);
+  ExpectInvariantNamed([&] { map.check_invariants(); },
+                       "primary count accounting out of sync");
+}
+
+TEST(Invariants, BlockMapDetectsPhysicalBytesDrift) {
+  store::BlockMap map(4);
+  map.insert(K(1), 100, {0, 1, 2});
+  store::BlockMapTestPeer::drift_physical_bytes(map);
+  ExpectInvariantNamed([&] { map.check_invariants(); },
+                       "physical bytes accounting out of sync");
+}
+
+TEST(Invariants, BlockMapDetectsDuplicateReplica) {
+  store::BlockMap map(4);
+  map.insert(K(1), 100, {0, 1, 2});
+  store::BlockState* b = map.find_mutable(K(1));
+  ASSERT_NE(b, nullptr);
+  b->replicas.push_back(b->replicas.front());
+  ExpectInvariantNamed([&] { map.check_invariants(); },
+                       "duplicate node in replica set");
+}
+
+// ----------------------------------------------------------- lookup cache --
+
+TEST(Invariants, LookupCacheDetectsInvertedRange) {
+  store::LookupCache cache(hours(1));
+  cache.insert(0, 1, K(100), K(200));
+  store::LookupCacheTestPeer::invert_ranges(cache);
+  ExpectInvariantNamed([&] { cache.check_invariants(); },
+                       "range start past its end key");
+}
+
+// -------------------------------------------------------- retrieval cache --
+
+TEST(Invariants, RetrievalCacheDetectsUnclosedLruRing) {
+  store::RetrievalCache rc(kB(64));
+  for (std::uint64_t i = 0; i < 4; ++i) rc.insert(K(i), kB(4));
+  store::RetrievalCacheTestPeer::break_lru_ring(rc);
+  ExpectInvariantNamed([&] { rc.check_invariants(); }, "LRU ring not closed");
+}
+
+TEST(Invariants, RetrievalCacheDetectsSeveredLruLink) {
+  store::RetrievalCache rc(kB(64));
+  for (std::uint64_t i = 0; i < 4; ++i) rc.insert(K(i), kB(4));
+  store::RetrievalCacheTestPeer::sever_lru_link(rc);
+  ExpectInvariantNamed([&] { rc.check_invariants(); },
+                       "LRU prev/next links disagree");
+}
+
+TEST(Invariants, RetrievalCacheDetectsDroppedTableEntry) {
+  store::RetrievalCache rc(kB(64));
+  for (std::uint64_t i = 0; i < 4; ++i) rc.insert(K(i), kB(4));
+  store::RetrievalCacheTestPeer::drop_table_entry(rc);
+  ExpectInvariantNamed([&] { rc.check_invariants(); },
+                       "table population disagrees with size_");
+}
+
+// ------------------------------------------------------------------- ring --
+
+TEST(Invariants, RingDetectsBrokenBijection) {
+  dht::Ring ring;
+  for (int i = 0; i < 8; ++i) {
+    ring.add(i, K(std::uint64_t(i) * 100 + 1));
+  }
+  dht::RingTestPeer::break_bijection(ring);
+  ExpectInvariantNamed([&] { ring.check_invariants(); },
+                       "id maps are not inverse bijections");
+}
+
+// ----------------------------------------------------------------- system --
+
+TEST(Invariants, SystemAuditPassesOnHealthyRun) {
+  core::SystemConfig config;
+  config.node_count = 16;
+  sim::Simulator sim;
+  core::System system(config, sim);
+  for (std::uint64_t i = 0; i < 200; ++i) system.put(K(i * 37), 4096);
+  for (std::uint64_t i = 0; i < 200; i += 4) system.remove(K(i * 37));
+  sim.run_until(minutes(5));
+  EXPECT_NO_THROW(system.check_invariants());
+}
+
+TEST(Invariants, RuntimeParanoidFlagAuditsWithoutParanoidBuild) {
+  // The `d2sim --paranoid` path: audits run because the config asks for
+  // them, whether or not the build defines D2_PARANOID.
+  core::SystemConfig config;
+  config.node_count = 8;
+  config.paranoid_audits = true;
+  sim::Simulator sim;
+  core::System system(config, sim);
+  for (std::uint64_t i = 0; i < 100; ++i) system.put(K(i * 13), 1024);
+  system.start_load_balancing();
+  sim.run_until(hours(2));
+  EXPECT_NO_THROW(system.check_invariants());
+}
+
+// ---------------------------------------------------------- preconditions --
+
+TEST(Preconditions, BlockMapRejectsNegativeSize) {
+  store::BlockMap map(4);
+  EXPECT_THROW(map.insert(K(1), -1, {0, 1}), PreconditionError);
+}
+
+TEST(Preconditions, BlockMapRejectsMemberBytesExceedingSize) {
+  store::BlockMap map(4);
+  EXPECT_THROW(map.insert(K(1), 100, {0, 1}, 200), PreconditionError);
+}
+
+TEST(Preconditions, LookupCacheRejectsNegativeNode) {
+  store::LookupCache cache(hours(1));
+  EXPECT_THROW(cache.insert(0, -1, K(1), K(2)), PreconditionError);
+}
+
+TEST(Preconditions, ParanoidGatePacesAudits) {
+  ParanoidGate gate;
+  // Small structures audit on every mutation...
+  EXPECT_TRUE(gate.due(10));
+  // ...large ones roughly every size/16 mutations.
+  int fired = 0;
+  for (int i = 0; i < 1600; ++i) {
+    if (gate.due(1600)) ++fired;
+  }
+  EXPECT_EQ(fired, 16);
+}
+
+}  // namespace
+}  // namespace d2

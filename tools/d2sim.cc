@@ -9,6 +9,9 @@
 //   d2sim trace-gen    [--workload=harvard|hp|web] [--out=FILE]
 //
 // Common options: --users=U --days=D --mb=ACTIVE_MB --seed=X --jobs=N
+//                 --paranoid (full invariant audits after topology changes
+//                 and sampled mutations, in any build; slow but catches
+//                 state corruption at the mutation that caused it)
 // Schemes: d2 (default), traditional, traditional-file, trad+merc
 //
 // Multi-trial sweeps (availability/performance --trials=T) fan the trials
@@ -108,6 +111,8 @@ int usage() {
       "  common: --users=N --days=N --mb=ACTIVE_MB --seed=X --nodes=N\n"
       "          --jobs=N (worker threads for --trials sweeps; default: all "
       "cores)\n"
+      "          --paranoid (run full invariant audits during the "
+      "simulation)\n"
       "  scheme: --scheme=d2|traditional|traditional-file|trad+merc\n"
       "  see the header of tools/d2sim.cc for per-command options\n");
   return 2;
@@ -181,6 +186,7 @@ core::SystemConfig system_config(const Args& args) {
   c.lb_threshold = static_cast<double>(args.num("threshold", 4));
   c.use_pointers = !args.flag("no-pointers");
   c.scatter_replicas = static_cast<int>(args.num("scatter", 0));
+  c.paranoid_audits = args.flag("paranoid");
   return c;
 }
 
