@@ -1,0 +1,94 @@
+// Contiguous keyspace partitioning for the arc-partitioned simulator.
+//
+// The 512-bit ring is split into `arcs` equal contiguous arcs by the top
+// 64-bit limb alone: arc a owns keys k with
+//
+//     lower_bound(a) <= k < lower_bound(a + 1)
+//
+// where lower_bound(a) has top limb ceil(a * 2^64 / arcs) and zero
+// elsewhere. arc_of() inverts that with one 64x64 -> 128-bit multiply:
+// floor(limb0 * arcs / 2^64). The pair is an exact bijection — for any
+// limb0 and 1 <= arcs <= 2^32, floor(limb0 * arcs / 2^64) == a iff
+// ceil(a * 2^64 / arcs) <= limb0 < ceil((a+1) * 2^64 / arcs) — which the
+// partition-ownership invariant (store::BlockMap::check_invariants) and
+// tests/test_partition.cc re-verify at the boundary keys of every arc.
+//
+// This header sits in common/ (not sim/) because both the store layer
+// (BlockMap slices) and the sim layer (per-arc event queues) route by it,
+// and store must not depend on sim.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/key.h"
+
+namespace d2 {
+
+class ArcPlan {
+ public:
+  /// Routing cost is independent of the arc count, but every arc carries
+  /// a queue + state shard; this cap keeps configuration typos from
+  /// allocating absurd fleets of near-empty shards.
+  static constexpr int kMaxArcs = 1024;
+
+  explicit ArcPlan(int arcs = 1) : arcs_(arcs) {
+    D2_REQUIRE_MSG(arcs >= 1 && arcs <= kMaxArcs,
+                   "arc count must be in [1, kMaxArcs]");
+  }
+
+  int arcs() const { return arcs_; }
+
+  /// Which arc owns key `k`.
+  int arc_of(const Key& k) const {
+    if (arcs_ == 1) return 0;
+    return static_cast<int>(mul_high(k.limb(0), static_cast<std::uint32_t>(arcs_)));
+  }
+
+  /// First key owned by arc `a` (arc 0 starts at Key::min()). Arc `a`
+  /// owns [lower_bound(a), lower_bound(a+1)), with the last arc also
+  /// owning Key::max(): lower_bound(arcs()) saturates to Key::max().
+  Key lower_bound(int a) const {
+    D2_REQUIRE_MSG(a >= 0 && a <= arcs_, "arc index out of range");
+    if (a == 0) return Key::min();
+    if (a == arcs_) return Key::max();  // saturating upper sentinel
+    return Key::from_high64(ceil_div_pow64(static_cast<std::uint32_t>(a),
+                                           static_cast<std::uint32_t>(arcs_)));
+  }
+
+ private:
+  /// floor(limb0 * arcs / 2^64).
+  static std::uint64_t mul_high(std::uint64_t limb0, std::uint32_t arcs) {
+#if defined(__SIZEOF_INT128__)
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(limb0) * arcs) >> 64);
+#else
+    // Portable 64x32 -> high-64: split limb0 into 32-bit halves.
+    const std::uint64_t lo = (limb0 & 0xffffffffull) * arcs;
+    const std::uint64_t hi = (limb0 >> 32) * arcs + (lo >> 32);
+    return hi >> 32;
+#endif
+  }
+
+  /// ceil(a * 2^64 / arcs) for 0 < a < arcs (quotient fits in 64 bits).
+  static std::uint64_t ceil_div_pow64(std::uint32_t a, std::uint32_t arcs) {
+#if defined(__SIZEOF_INT128__)
+    const unsigned __int128 num =
+        (static_cast<unsigned __int128>(a) << 64) + arcs - 1;
+    return static_cast<std::uint64_t>(num / arcs);
+#else
+    // Long division of a * 2^64 by arcs, 32 bits at a time, then round up
+    // when a remainder is left.
+    const std::uint64_t top = (static_cast<std::uint64_t>(a) << 32);
+    const std::uint64_t q1 = top / arcs;
+    const std::uint64_t r1 = top % arcs;
+    const std::uint64_t q0 = (r1 << 32) / arcs;
+    const std::uint64_t r0 = (r1 << 32) % arcs;
+    return (q1 << 32) + q0 + (r0 != 0 ? 1 : 0);
+#endif
+  }
+
+  int arcs_;
+};
+
+}  // namespace d2

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/assert.h"
+#include "core/op_batch.h"
 #include "core/replay.h"
 #include "sim/simulator.h"
 
@@ -14,33 +15,22 @@ AvailabilityExperiment::AvailabilityExperiment(const AvailabilityParams& params)
 }
 
 AvailabilityResult AvailabilityExperiment::run() {
-  sim::Simulator sim;
+  sim::Simulator sim(
+      sim::ArcConfig{params_.system.arcs, params_.system.arc_workers, 0});
   sim.bind_metrics(params_.metrics);
   System system(params_.system, sim, params_.metrics);
   system.set_tracer(params_.tracer);
   VolumeSet volumes(params_.system.scheme);
   volumes.bind_metrics(params_.metrics);
   trace::HarvardGenerator gen(params_.workload);
+  OpBatchRunner batch(system, sim);
 
-  auto apply_ops = [&system](const std::vector<fs::StoreOp>& ops) {
-    for (const fs::StoreOp& op : ops) {
-      switch (op.kind) {
-        case fs::StoreOp::Kind::kPut:
-          system.put(op.key, op.size);
-          break;
-        case fs::StoreOp::Kind::kRemove:
-          system.remove(op.key);
-          break;
-        case fs::StoreOp::Kind::kGet:
-          break;  // initialization reads nothing
-      }
-    }
-  };
-
-  // Initial population + load-balance warm-up (§8.1).
+  // Initial population + load-balance warm-up (§8.1). The initial puts
+  // are independent key-local writes at t=0 — one batched arc phase.
   std::vector<fs::StoreOp> ops;
   volumes.insert_initial(gen.initial_files(), 0, ops);
-  apply_ops(ops);
+  for (const fs::StoreOp& op : ops) batch.add(op, 0);
+  batch.flush();
   system.start_load_balancing();
   sim.run_until(params_.warmup);
 
@@ -74,42 +64,40 @@ AvailabilityResult AvailabilityExperiment::run() {
 
   AvailabilityResult result;
 
-  // Replay.
+  // Replay, batched (core/op_batch.h): records stage their ops until an
+  // event fence or the span cap forces a drain, then one arc phase
+  // applies the backlog in-lane. Get outcomes fold into the same task
+  // aggregates the serial per-record loop produced (the aggregation is
+  // order-insensitive across arcs).
+  auto drain = [&] {
+    batch.flush();
+    for (const OpBatchRunner::GetOutcome& g : batch.outcomes()) {
+      TaskAgg& a = agg[static_cast<std::size_t>(g.tag)];
+      ++a.blocks;
+      if (!g.known) {
+        ++result.unknown_key_gets;
+        continue;
+      }
+      if (!g.available) {
+        a.failed = true;
+      } else if (g.serving >= 0) {
+        a.nodes.insert(g.serving);
+      }
+    }
+  };
   std::vector<fs::StoreOp> rec_ops;
   for (std::size_t i = 0; i < records.size(); ++i) {
     const trace::TraceRecord& r = records[i];
     const SimTime abs_t = params_.warmup + r.time;
-    sim.run_until(abs_t);
+    if (batch.should_flush_before(abs_t)) drain();
+    if (sim.next_event_time() <= abs_t) sim.run_until(abs_t);
     rec_ops.clear();
     volumes.apply(r, abs_t, rec_ops);
     const std::int32_t ti = record_task[i];
-    for (const fs::StoreOp& op : rec_ops) {
-      switch (op.kind) {
-        case fs::StoreOp::Kind::kPut:
-          system.put(op.key, op.size);
-          break;
-        case fs::StoreOp::Kind::kRemove:
-          system.remove(op.key);
-          break;
-        case fs::StoreOp::Kind::kGet: {
-          if (ti < 0) break;
-          TaskAgg& a = agg[static_cast<std::size_t>(ti)];
-          ++a.blocks;
-          if (!system.has(op.key)) {
-            ++result.unknown_key_gets;
-            break;
-          }
-          if (!system.block_available(op.key)) {
-            a.failed = true;
-          } else if (auto node = system.serving_node(op.key)) {
-            a.nodes.insert(*node);
-          }
-          break;
-        }
-      }
-    }
+    for (const fs::StoreOp& op : rec_ops) batch.add(op, abs_t, ti);
     if (ti >= 0) agg[static_cast<std::size_t>(ti)].files.insert(r.path);
   }
+  drain();
 
   // Aggregate.
   std::map<int, std::pair<std::uint64_t, std::uint64_t>> per_user;  // total, failed

@@ -47,7 +47,8 @@ struct ImbalanceSampler {
 }  // namespace
 
 BalanceResult BalanceExperiment::run() {
-  sim::Simulator sim;
+  sim::Simulator sim(
+      sim::ArcConfig{params_.system.arcs, params_.system.arc_workers, 0});
   sim.bind_metrics(params_.metrics);
   System system(params_.system, sim, params_.metrics);
   system.set_tracer(params_.tracer);

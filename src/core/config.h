@@ -71,6 +71,19 @@ struct SystemConfig {
   /// next successor.
   SimTime regen_delay = minutes(30);
 
+  /// Keyspace arcs the simulation state is partitioned into (DESIGN.md
+  /// §9). Every arc owns a contiguous keyspace slice with its own event
+  /// queue and block-map slice; 1 = the classic monolithic layout.
+  /// Scatter placement (scatter_replicas > 0) couples arbitrary keys and
+  /// is only supported with a single arc.
+  int arcs = 1;
+
+  /// Worker threads draining arc lanes in parallel windows. 1 = serial
+  /// (byte-identical to the pre-partitioned engine for any `arcs`);
+  /// N > 1 executes arc-local events and batched ops concurrently with
+  /// the same deterministic output.
+  int arc_workers = 1;
+
   /// Run full-structure invariant audits (ring + block map cross-checks)
   /// after topology changes and sampled mutations, in any build. Paranoid
   /// builds (-DD2_PARANOID=ON) audit unconditionally; this flag lets

@@ -1,0 +1,149 @@
+// Batched workload-op application over the arc-partitioned System.
+//
+// The serial replay loop alternates run_until(record_time) with put/
+// remove/get calls — one synchronization point per record. With the
+// system sharded into arcs (DESIGN.md §9) the ops themselves are
+// key-local, so a backlog of them can be applied as one run_arc_phase:
+// every op is routed to the arc owning its key and executed *in-lane*,
+// in arrival order, using the explicit-time entry points (put_at et al.)
+// so TTL deadlines and removal delays are anchored exactly where the
+// one-run_until-per-op engine would put them.
+//
+// Equivalence with the serial loop rests on two flush rules the caller
+// checks via should_flush_before(t) before staging an op at time t:
+//   1. event fence — if any pending simulator event fires at or before
+//      t, it would have run before the op in the serial schedule, so the
+//      backlog must drain (flush, then run_until(t)) first;
+//   2. span cap — a staged op's own side effects land no earlier than
+//      min(remove_delay, block_ttl) after it, so a batch never spans
+//      further than that: everything an op schedules stays strictly
+//      after every op in its batch, exactly as in the serial schedule.
+// Ops for different keys in the same batch are state-disjoint unless
+// they share an arc, and same-arc ops apply in arrival order — so the
+// interleaving the serial loop would have produced is preserved
+// wherever it is observable.
+//
+// Gets are evaluated in-lane at their position in arrival order; their
+// outcomes are recorded into slots and consumed by the caller after
+// flush() (aggregation over outcomes is order-insensitive, so per-arc
+// evaluation order does not show in results).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "core/system.h"
+#include "fs/writeback_cache.h"
+#include "sim/simulator.h"
+
+namespace d2::core {
+
+class OpBatchRunner {
+ public:
+  /// Result of one staged get, tagged with the caller's `tag` (e.g. the
+  /// task index a record belongs to).
+  struct GetOutcome {
+    std::int32_t tag = -1;
+    bool known = false;      // system.has(key)
+    bool available = false;  // system.block_available(key)
+    int serving = -1;        // serving node, -1 = none
+  };
+
+  OpBatchRunner(System& system, sim::Simulator& sim)
+      : system_(system),
+        sim_(sim),
+        per_arc_(static_cast<std::size_t>(system.config().arcs)) {
+    span_cap_ = system.config().remove_delay;
+    if (system.config().block_ttl > 0 &&
+        system.config().block_ttl < span_cap_) {
+      span_cap_ = system.config().block_ttl;
+    }
+  }
+
+  bool empty() const { return items_.empty(); }
+
+  /// True when staging an op at time `t` requires draining the backlog
+  /// first (see the flush rules in the file comment).
+  bool should_flush_before(SimTime t) const {
+    if (items_.empty()) return false;
+    if (sim_.next_event_time() <= t) return true;
+    return span_cap_ > 0 && t - first_time_ >= span_cap_;
+  }
+
+  /// Stages one op at absolute time `t` (>= every earlier staged time).
+  /// Gets with a negative tag are untracked reads and are dropped, like
+  /// the serial loop drops them.
+  void add(const fs::StoreOp& op, SimTime t, std::int32_t tag = -1) {
+    if (op.kind == fs::StoreOp::Kind::kGet && tag < 0) return;
+    if (items_.empty()) first_time_ = t;
+    D2_REQUIRE_MSG(t >= first_time_, "batched ops must be staged in time order");
+    std::size_t slot = 0;
+    if (op.kind == fs::StoreOp::Kind::kGet) slot = get_count_++;
+    const int arc = system_.block_map().arc_of(op.key);
+    per_arc_[static_cast<std::size_t>(arc)].push_back(items_.size());
+    items_.push_back(Item{op.key, op.size, t, tag, slot, op.kind});
+  }
+
+  /// Applies the backlog as one arc phase and clears it. Get outcomes
+  /// (in staging order) are in outcomes() until the next flush.
+  void flush() {
+    outcomes_.clear();
+    if (items_.empty()) return;
+    outcomes_.resize(get_count_);
+    sim_.run_arc_phase([this](int arc) {
+      for (std::size_t idx : per_arc_[static_cast<std::size_t>(arc)]) {
+        apply(items_[idx]);
+      }
+    });
+    for (std::vector<std::size_t>& lane : per_arc_) lane.clear();
+    items_.clear();
+    get_count_ = 0;
+  }
+
+  const std::vector<GetOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  struct Item {
+    Key key;
+    Bytes size = 0;
+    SimTime t = 0;
+    std::int32_t tag = -1;
+    std::size_t slot = 0;  // outcome index (gets only)
+    fs::StoreOp::Kind kind = fs::StoreOp::Kind::kPut;
+  };
+
+  void apply(const Item& it) {
+    switch (it.kind) {
+      case fs::StoreOp::Kind::kPut:
+        system_.put_at(it.key, it.size, it.t);
+        return;
+      case fs::StoreOp::Kind::kRemove:
+        system_.remove_at(it.key, it.t);
+        return;
+      case fs::StoreOp::Kind::kGet: {
+        GetOutcome& o = outcomes_[it.slot];
+        o.tag = it.tag;
+        o.known = system_.has(it.key);
+        if (o.known) {
+          o.available = system_.block_available(it.key);
+          if (o.available) {
+            if (auto node = system_.serving_node(it.key)) o.serving = *node;
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  System& system_;
+  sim::Simulator& sim_;
+  SimTime span_cap_ = 0;
+  SimTime first_time_ = 0;
+  std::size_t get_count_ = 0;
+  std::vector<Item> items_;                      // staging order
+  std::vector<std::vector<std::size_t>> per_arc_;  // item indices per arc
+  std::vector<GetOutcome> outcomes_;
+};
+
+}  // namespace d2::core

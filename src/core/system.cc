@@ -33,10 +33,22 @@ System::System(const SystemConfig& config, sim::Simulator& sim,
                                         : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
       rng_(config.seed),
-      map_(config.node_count),
-      balancer_(dht::LoadBalanceConfig{config.lb_threshold, 4}) {
+      map_(config.node_count, config.arcs),
+      expiry_(static_cast<std::size_t>(config.arcs)),
+      extended_(static_cast<std::size_t>(config.arcs)),
+      balancer_(dht::LoadBalanceConfig{config.lb_threshold, 4}),
+      replica_set_scratch_(static_cast<std::size_t>(config.arcs) + 1),
+      lane_audit_gates_(static_cast<std::size_t>(config.arcs)),
+      user_write_bytes_sh_(static_cast<std::size_t>(config.arcs) + 1, 0),
+      user_removed_bytes_sh_(static_cast<std::size_t>(config.arcs) + 1, 0) {
   D2_REQUIRE(config.node_count > 0);
   D2_REQUIRE(config.replicas > 0);
+  D2_REQUIRE_MSG(config.arcs >= 1, "system needs at least one arc");
+  D2_REQUIRE_MSG(config.arcs == sim.arcs(),
+                 "system arc count must match the simulator's");
+  D2_REQUIRE_MSG(config.arcs == 1 || config.scatter_replicas == 0,
+                 "hybrid placement couples arbitrary keys across the ring "
+                 "and requires a single arc");
   if (config.redundancy == SystemConfig::Redundancy::kErasure) {
     D2_REQUIRE(config.ec_data_fragments > 0);
     D2_REQUIRE(config.ec_total_fragments >= config.ec_data_fragments);
@@ -210,8 +222,9 @@ std::optional<int> System::serving_node(const Key& k) const {
 
 // ---------------------------------------------------------------- puts --
 
-void System::put(const Key& k, Bytes size) {
+void System::put_at(const Key& k, Bytes size, SimTime t) {
   D2_REQUIRE(size >= 0);
+  D2_REQUIRE_MSG(t >= sim_.now(), "op time must not precede the clock");
   add_user_write_bytes(size);
   bool fresh_key = true;
   if (const store::BlockState* existing = map_.find(k)) {
@@ -222,11 +235,11 @@ void System::put(const Key& k, Bytes size) {
     if (existing->size != size) {
       map_.erase(k);
     } else {
-      refresh(k);
+      refresh_at(k, t);
       return;
     }
   }
-  std::vector<int>& set = replica_set_scratch_;
+  std::vector<int>& set = replica_set_scratch_[shard_slot()];
   target_replica_set(k, set);
   const Bytes member_bytes =
       erasure() ? (size + config_.ec_data_fragments - 1) / config_.ec_data_fragments
@@ -238,41 +251,47 @@ void System::put(const Key& k, Bytes size) {
     if (!node_up(n)) map_.mark_missing(k, n);
   }
   if (fresh_key && config_.scatter_replicas > 0) register_scatter(k);
-  refresh(k);
+  refresh_at(k, t);
   maybe_audit(/*sampled=*/true);
 }
 
-void System::remove(const Key& k) {
-  sim_.schedule_after(config_.remove_delay, [this, k] {
+void System::remove_at(const Key& k, SimTime t) {
+  D2_REQUIRE_MSG(t >= sim_.now(), "op time must not precede the clock");
+  // Key-local event: runs on the arc that owns `k`, touching only that
+  // arc's shards.
+  sim_.schedule_arc_at(map_.arc_of(k), t + config_.remove_delay, [this, k] {
     if (const store::BlockState* b = map_.find(k)) {
       add_user_removed_bytes(b->size);
       map_.erase(k);
-      expiry_.erase(k);
-      extended_.erase(k);
+      expiry_shard(k).erase(k);
+      extended_shard(k).erase(k);
       if (config_.scatter_replicas > 0) forget_scatter(k);
       maybe_audit(/*sampled=*/true);
     }
   });
 }
 
-void System::refresh(const Key& k) {
+void System::refresh_at(const Key& k, SimTime t) {
   if (config_.block_ttl <= 0) return;
   if (!map_.contains(k)) return;
-  const SimTime deadline = sim_.now() + config_.block_ttl;
-  expiry_[k] = deadline;
-  sim_.schedule_at(deadline, [this, k, deadline] {
-    auto it = expiry_.find(k);
-    if (it == expiry_.end() || it->second != deadline) return;  // refreshed
+  const SimTime deadline = t + config_.block_ttl;
+  expiry_shard(k)[k] = deadline;
+  // Deadline-check pattern (arc events are not cancellable): a later
+  // refresh bumps the shard entry and this event becomes a no-op.
+  sim_.schedule_arc_at(map_.arc_of(k), deadline, [this, k, deadline] {
+    auto& shard = expiry_shard(k);
+    auto it = shard.find(k);
+    if (it == shard.end() || it->second != deadline) return;  // refreshed
     if (const store::BlockState* b = map_.find(k)) {
       add_user_removed_bytes(b->size);
       if (tracer_ != nullptr) {
         tracer_->record(sim_.now(), obs::EventType::kBlockExpired, b->size);
       }
       map_.erase(k);
-      extended_.erase(k);
+      extended_shard(k).erase(k);
       if (config_.scatter_replicas > 0) forget_scatter(k);
     }
-    expiry_.erase(it);
+    shard.erase(it);
   });
 }
 
@@ -342,14 +361,14 @@ void System::try_fetch(const Key& k, int node) {
 
 void System::note_set_shape(const Key& k, std::size_t set_size) {
   if (static_cast<int>(set_size) != effective_replicas()) {
-    extended_.insert(k);
+    extended_shard(k).insert(k);
   } else {
-    extended_.erase(k);
+    extended_shard(k).erase(k);
   }
 }
 
 void System::reassign_block(const Key& k, SimTime fetch_delay) {
-  std::vector<int>& set = replica_set_scratch_;
+  std::vector<int>& set = replica_set_scratch_[shard_slot()];
   target_replica_set(k, set);
   note_set_shape(k, set.size());
   map_.reassign_replicas(k, set, sim_.now());
@@ -508,13 +527,17 @@ void System::on_node_up(int node) {
   readjust_arc(node, 0);
   // Blocks that were extended while members were down may sit arbitrarily
   // far from this node's current ring position (load balancing moves ranks
-  // around); re-canonicalize them all — the set is small.
-  const std::vector<Key> extended(extended_.begin(), extended_.end());
+  // around); re-canonicalize them all — the set is small. Shards visited
+  // in arc order enumerate keys ascending, the pre-sharding order.
+  std::vector<Key> extended;
+  for (const std::set<Key>& shard : extended_) {
+    extended.insert(extended.end(), shard.begin(), shard.end());
+  }
   for (const Key& k : extended) {
     if (map_.contains(k)) {
       reassign_block(k, 0);
     } else {
-      extended_.erase(k);
+      extended_shard(k).erase(k);
     }
   }
   maybe_audit(/*sampled=*/false);
@@ -523,8 +546,8 @@ void System::on_node_up(int node) {
 // -------------------------------------------------------------- metrics --
 
 void System::reset_traffic_counters() {
-  user_write_bytes_ = 0;
-  user_removed_bytes_ = 0;
+  std::fill(user_write_bytes_sh_.begin(), user_write_bytes_sh_.end(), 0);
+  std::fill(user_removed_bytes_sh_.begin(), user_removed_bytes_sh_.end(), 0);
   migration_bytes_ = 0;
   lb_moves_ = 0;
   user_write_bytes_c_->reset();
@@ -568,14 +591,40 @@ void System::check_invariants() const {
                       b.replicas.front().node == ring_.owner(k),
                   "system: block primary is not the ring owner of its key");
   });
-  for (const Key& k : extended_) {
-    D2_ASSERT_MSG(map_.contains(k),
-                  "system: extended-set entry for a removed block");
+  // Partition-local bookkeeping must be filed under the owning arc —
+  // the bijection the lane-confinement rules rest on (DESIGN.md §9).
+  for (int a = 0; a < config_.arcs; ++a) {
+    const auto arc_i = static_cast<std::size_t>(a);
+    for (const Key& k : extended_[arc_i]) {
+      D2_ASSERT_MSG(map_.contains(k),
+                    "system: extended-set entry for a removed block");
+      D2_ASSERT_MSG(map_.arc_of(k) == a,
+                    "system: extended-set entry filed in a shard that does "
+                    "not own its key");
+    }
+    for (const auto& [k, deadline] : expiry_[arc_i]) {
+      D2_ASSERT_MSG(map_.arc_of(k) == a,
+                    "system: TTL entry filed in a shard that does not own "
+                    "its key");
+      D2_ASSERT_MSG(deadline > 0, "system: TTL entry with no deadline");
+    }
   }
 }
 
 void System::maybe_audit(bool sampled) {
   if (!kParanoid && !config_.paranoid_audits) return;
+  if (sim_.in_lane()) {
+    // Lane context: the ring and the other arcs' slices belong to other
+    // threads; audit only this lane's slice, paced by its own gate.
+    const int arc = sim_.lane_arc();
+    if (sampled &&
+        !lane_audit_gates_[static_cast<std::size_t>(arc)].due(
+            map_.slice_block_count(arc))) {
+      return;
+    }
+    map_.check_slice_invariants(arc);
+    return;
+  }
   if (sampled && !audit_gate_.due(map_.block_count())) return;
   check_invariants();
 }

@@ -14,6 +14,17 @@
 // The same class simulates the traditional baselines: consistent hashing
 // is just "locality-free keys" (provided by the fs layer) plus load
 // balancing disabled.
+//
+// ## Arc sharding (DESIGN.md §9)
+//
+// With config.arcs > 1 every piece of keyed state — the block map, TTL
+// deadlines, extended-set membership — is sharded by the key's arc, and
+// the key-local events (TTL expiry, delayed remove) are scheduled onto
+// the key's arc queue. An arc lane (parallel window or batched op phase)
+// may therefore run put/remove/refresh/get for its own keys touching
+// only its shard: cross-cutting state (ring, scatter index, migration
+// links, the global rng) stays coordinator-only, which is why fetches,
+// probes and failure transitions remain global-queue events.
 #pragma once
 
 #include <memory>
@@ -58,15 +69,23 @@ class System {
   /// is an in-place update (the mutable root block); otherwise the block
   /// is placed on the r successors of its key. Down members receive their
   /// copy later (recovery fetch).
-  void put(const Key& k, Bytes size);
+  void put(const Key& k, Bytes size) { put_at(k, size, sim_.now()); }
 
   /// Schedules removal after the configured delay (§3). Unknown keys are
   /// ignored (the block may have been removed already).
-  void remove(const Key& k);
+  void remove(const Key& k) { remove_at(k, sim_.now()); }
 
   /// Extends a block's TTL (no-op when block_ttl is 0 or the key is
   /// unknown). put() refreshes implicitly.
-  void refresh(const Key& k);
+  void refresh(const Key& k) { refresh_at(k, sim_.now()); }
+
+  /// Explicit-time variants, for batched op application (core/op_batch.h):
+  /// a lane applying a backlog of replay ops passes each op's record time
+  /// `t` (>= now) so TTL deadlines and removal delays are anchored exactly
+  /// where the serial, one-run_until-per-op engine would put them.
+  void put_at(const Key& k, Bytes size, SimTime t);
+  void remove_at(const Key& k, SimTime t);
+  void refresh_at(const Key& k, SimTime t);
 
   bool has(const Key& k) const { return map_.contains(k); }
 
@@ -110,16 +129,23 @@ class System {
   const obs::Registry& metrics() const { return *metrics_; }
 
   /// Attaches an event tracer (lb_move, replica_fetch, node_down/up,
-  /// block_expired). Pass nullptr to detach.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// block_expired). Pass nullptr to detach. Tracing records from TTL
+  /// events, which arc lanes execute, so it requires a serial simulator.
+  void set_tracer(obs::Tracer* tracer) {
+    D2_REQUIRE_MSG(tracer == nullptr || sim_.workers() == 1,
+                   "event tracing requires arc_workers == 1");
+    tracer_ = tracer;
+  }
 
   // Legacy accessors — per-instance totals. The registry carries the same
   // quantities under `system.*`, but a registry shared across trials
   // aggregates every bound System; these members answer "what did *this*
   // system do", which is what per-trial experiment results need to stay
   // identical between serial and parallel runs.
-  Bytes user_write_bytes() const { return user_write_bytes_; }
-  Bytes user_removed_bytes() const { return user_removed_bytes_; }
+  Bytes user_write_bytes() const { return sum_shards(user_write_bytes_sh_); }
+  Bytes user_removed_bytes() const {
+    return sum_shards(user_removed_bytes_sh_);
+  }
   Bytes migration_bytes() const { return migration_bytes_; }
   std::int64_t lb_moves() const { return lb_moves_; }
   void reset_traffic_counters();
@@ -134,7 +160,10 @@ class System {
   /// system-level invariant tying them together: the ring holds exactly
   /// node_count members and every block's primary is the ring owner of
   /// its key (§3's successor placement, re-established by readjustment
-  /// after every ID change). Wired into execute_move / on_node_down /
+  /// after every ID change). With arcs > 1 it also audits the partition
+  /// bijection: every TTL deadline and extended-set entry is filed under
+  /// the arc shard that owns its key (the block map audits the same for
+  /// block storage). Wired into execute_move / on_node_down /
   /// on_node_up and sampled put/remove paths when built with D2_PARANOID
   /// or running with config.paranoid_audits; callable from tests always.
   void check_invariants() const;
@@ -175,16 +204,39 @@ class System {
   /// Runs check_invariants() when auditing is on (D2_PARANOID build or
   /// config.paranoid_audits). Topology changes audit unconditionally;
   /// `sampled` callers (put/remove — far more frequent) are paced by
-  /// audit_gate_ to keep the amortized cost linear.
+  /// audit_gate_ to keep the amortized cost linear. From an arc lane the
+  /// global audit would race with the other lanes, so only the lane's own
+  /// block-map slice is audited (paced by a per-arc gate).
   void maybe_audit(bool sampled);
 
-  // Per-instance accounting plus the shared-registry mirror.
+  /// Shard slot for lane-striped scratch and totals: the lane's own arc
+  /// inside an arc lane, the extra coordinator slot (index arcs) outside.
+  std::size_t shard_slot() const {
+    return sim_.in_lane() ? static_cast<std::size_t>(sim_.lane_arc())
+                          : static_cast<std::size_t>(config_.arcs);
+  }
+  // Reference into expiry_, whose declaration documents why hash order
+  // cannot leak. d2-lint: allow(unordered-container)
+  std::unordered_map<Key, SimTime, KeyHash>& expiry_shard(const Key& k) {
+    return expiry_[static_cast<std::size_t>(map_.arc_of(k))];
+  }
+  std::set<Key>& extended_shard(const Key& k) {
+    return extended_[static_cast<std::size_t>(map_.arc_of(k))];
+  }
+  static Bytes sum_shards(const std::vector<Bytes>& shards) {
+    Bytes total = 0;
+    for (Bytes b : shards) total += b;
+    return total;
+  }
+
+  // Per-instance accounting plus the shared-registry mirror. The shards
+  // are lane-disjoint plain integers; the registry counters are atomic.
   void add_user_write_bytes(Bytes n) {
-    user_write_bytes_ += n;
+    user_write_bytes_sh_[shard_slot()] += n;
     user_write_bytes_c_->add(n);
   }
   void add_user_removed_bytes(Bytes n) {
-    user_removed_bytes_ += n;
+    user_removed_bytes_sh_[shard_slot()] += n;
     user_removed_bytes_c_->add(n);
   }
 
@@ -196,26 +248,33 @@ class System {
   Rng rng_;
   dht::Ring ring_;
   store::BlockMap map_;
-  /// Block TTL deadlines. Keyed lookup/erase only; never iterated, so the
-  /// hash order cannot leak into event order.
-  std::unordered_map<Key, SimTime, KeyHash> expiry_;  // d2-lint: allow(unordered-container)
+  /// Block TTL deadlines, one shard per arc (the owning lane's private
+  /// state). Keyed lookup/erase only outside audits, so the hash order
+  /// cannot leak into event order.
+  std::vector<std::unordered_map<Key, SimTime, KeyHash>> expiry_;  // d2-lint: allow(unordered-container)
   /// scatter position -> block key, for hybrid placement readjustment.
+  /// Couples arbitrary keys, hence scatter requires config.arcs == 1.
   std::multimap<Key, Key> scatter_index_;
   /// Blocks whose replica set is currently extended past the canonical
-  /// size (members down / regeneration). Re-canonicalized on recoveries,
+  /// size (members down / regeneration), one shard per arc. Shards
+  /// concatenated in arc order enumerate keys ascending, exactly like
+  /// the single pre-sharding set. Re-canonicalized on recoveries,
   /// regardless of how far load balancing has shifted ring ranks.
-  std::set<Key> extended_;
+  std::vector<std::set<Key>> extended_;
   dht::LoadBalancer balancer_;
   std::vector<NodeState> nodes_;
   /// Scratch for target_replica_set results on the put/reassign hot path
   /// (avoids a heap allocation per block write / replica adjustment).
-  mutable std::vector<int> replica_set_scratch_;
-  ParanoidGate audit_gate_;  // paces sampled audits
+  /// One buffer per shard slot so concurrent lanes don't share it.
+  mutable std::vector<std::vector<int>> replica_set_scratch_;
+  ParanoidGate audit_gate_;                    // paces sampled full audits
+  std::vector<ParanoidGate> lane_audit_gates_;  // pace per-slice lane audits
   const sim::FailureTrace* failure_trace_ = nullptr;
 
-  // Per-instance traffic totals (the accessors above) ...
-  Bytes user_write_bytes_ = 0;
-  Bytes user_removed_bytes_ = 0;
+  // Per-instance traffic totals (the accessors above), lane-sharded like
+  // the scratch (slot arcs = coordinator) ...
+  std::vector<Bytes> user_write_bytes_sh_;
+  std::vector<Bytes> user_removed_bytes_sh_;
   Bytes migration_bytes_ = 0;
   std::int64_t lb_moves_ = 0;
   // ... and the registry instruments that mirror them system-wide.

@@ -16,11 +16,14 @@ std::uint32_t EventQueue::acquire_slot() {
   D2_REQUIRE_MSG(slot < kLiveMark, "event queue slot space exhausted");
   fns_.emplace_back();
   meta_.push_back(0);
+  order_.push_back(0);
   return slot;
 }
 
-EventId EventQueue::commit(SimTime t, std::uint32_t slot) {
+EventId EventQueue::commit(SimTime t, std::uint32_t slot,
+                           std::uint64_t order) {
   const std::uint64_t seq = next_seq_++;
+  order_[slot] = order;
   meta_[slot] = live_meta(make_tag(slot, seq));
   heap_.push(Entry{t, make_tag(slot, seq)});
   ++live_;
@@ -57,6 +60,11 @@ SimTime EventQueue::next_time() const {
   return heap_.top().time;  // invariant: top is live when live_ > 0
 }
 
+std::uint64_t EventQueue::next_order() const {
+  D2_REQUIRE(live_ != 0);
+  return order_[tag_slot(heap_.top().tag)];
+}
+
 EventQueue::Event EventQueue::pop() {
   D2_REQUIRE(live_ != 0);
   const Entry top = heap_.top();
@@ -73,7 +81,7 @@ EventQueue::Event EventQueue::pop() {
 
 void EventQueue::check_invariants() const {
   const std::size_t slots = meta_.size();
-  D2_ASSERT_MSG(fns_.size() == slots,
+  D2_ASSERT_MSG(fns_.size() == slots && order_.size() == slots,
                 "event queue: slab arrays out of sync");
 
   // Free list: in-range links, no cycles.

@@ -30,8 +30,8 @@ namespace d2::sim {
 
 struct EventQueueTestPeer;
 
-/// Opaque handle: slot index in the high 24 bits, a sequence tag in the
-/// low 40 (distinguishes generations of a recycled slot).
+/// Opaque handle: slot index in the high 28 bits, a sequence tag in the
+/// low 36 (distinguishes generations of a recycled slot).
 using EventId = std::uint64_t;
 
 /// Inline capture budget for event callbacks. Audit of the schedule
@@ -54,16 +54,33 @@ class EventQueue {
   /// captures must satisfy EventFn's budget and triviality static_asserts.
   template <class F>
   EventId push(SimTime t, F&& f) {
-    const std::uint32_t slot = acquire_slot();
-    fns_[slot].rebind(std::forward<F>(f));
-    return commit(t, slot);
+    return push_ordered(t, next_seq_, std::forward<F>(f));
   }
 
   /// Overload for a prebuilt EventFn (copied whole into the slot).
   EventId push(SimTime t, const EventFn& fn) {
+    return push_ordered(t, next_seq_, fn);
+  }
+
+  /// push() with an explicit cross-queue merge key. The partitioned
+  /// Simulator owns one queue per arc plus a global queue and merges them
+  /// into a single deterministic total order (time, order); `order` is
+  /// drawn from the simulator's global counter. Standalone queues use the
+  /// plain push() overloads, where order == the queue-local seq, so the
+  /// merge key is invisible. Pushes into one queue must carry
+  /// non-decreasing orders so the intra-queue FIFO tie-break (by seq)
+  /// agrees with the merge order.
+  template <class F>
+  EventId push_ordered(SimTime t, std::uint64_t order, F&& f) {
+    const std::uint32_t slot = acquire_slot();
+    fns_[slot].rebind(std::forward<F>(f));
+    return commit(t, slot, order);
+  }
+
+  EventId push_ordered(SimTime t, std::uint64_t order, const EventFn& fn) {
     const std::uint32_t slot = acquire_slot();
     fns_[slot] = fn;  // trivially copyable: a straight memcpy
-    return commit(t, slot);
+    return commit(t, slot, order);
   }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is
@@ -72,6 +89,8 @@ class EventQueue {
 
   bool empty() const { return live_ == 0; }
   SimTime next_time() const;
+  /// Merge key of the earliest event. Requires !empty().
+  std::uint64_t next_order() const;
 
   /// Pops and returns the earliest event. Requires !empty().
   struct Event {
@@ -94,10 +113,14 @@ class EventQueue {
  private:
   /// Corruption-injection hook for tests (tests/test_invariants.cc).
   friend struct EventQueueTestPeer;
-  static constexpr std::uint32_t kNoSlot = 0xffffffu;    // free-list end
-  static constexpr std::uint32_t kLiveMark = 0xfffffeu;  // occupied slot
-  static constexpr int kSeqBits = 40;
-  static constexpr int kSlotBits = 24;
+  // 2^28 slots bound *live* events per queue: a 10k-node availability
+  // trial keeps tens of millions of replica-fetch timers in flight at
+  // once (the old 24-bit space overflowed there). 36 seq bits still
+  // allow ~7e10 pushes per queue before generation tags could collide.
+  static constexpr std::uint32_t kNoSlot = 0xfffffffu;    // free-list end
+  static constexpr std::uint32_t kLiveMark = 0xffffffeu;  // occupied slot
+  static constexpr int kSeqBits = 36;
+  static constexpr int kSlotBits = 28;
   static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
   static constexpr std::uint64_t kSlotMask =
       (std::uint64_t{1} << kSlotBits) - 1;
@@ -146,7 +169,7 @@ class EventQueue {
   /// Pops a free-list slot (or grows the arrays); the caller fills its fn.
   std::uint32_t acquire_slot();
   /// Marks `slot` live at time `t`, inserts its heap entry, returns the id.
-  EventId commit(SimTime t, std::uint32_t slot);
+  EventId commit(SimTime t, std::uint32_t slot, std::uint64_t order);
   /// Returns `slot` (whose current meta word is `meta`) to the free list.
   void release_slot(std::uint32_t slot, std::uint64_t meta);
 
@@ -157,6 +180,7 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::vector<EventFn> fns_;          // wide slab: only push/pop touch it
   std::vector<std::uint64_t> meta_;   // hot: seq | live-or-free-link
+  std::vector<std::uint64_t> order_;  // cross-queue merge key per slot
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;

@@ -1,0 +1,83 @@
+#include "sim/partition.h"
+
+#include <utility>
+
+namespace d2::sim {
+
+WorkerPool::WorkerPool(int workers) : workers_(workers) {
+  D2_REQUIRE_MSG(workers >= 1, "worker pool needs at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers - 1));
+  for (int i = 0; i < workers - 1; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+// d2-lint: allow(std-function) — invoked once per barrier, not per event
+void WorkerPool::run_arcs(int arcs, const std::function<void(int)>& fn) {
+  D2_REQUIRE_MSG(arcs >= 1, "run_arcs needs at least one arc");
+  if (workers_ == 1 || arcs == 1) {
+    // Serial fast path: same lane code, no handoff. Exceptions propagate
+    // straight to the caller.
+    for (int a = 0; a < arcs; ++a) fn(a);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  D2_REQUIRE_MSG(job_ == nullptr, "run_arcs is not reentrant");
+  job_ = &fn;
+  arcs_total_ = arcs;
+  next_arc_ = 0;
+  done_arcs_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+  work(lk, fn);  // the caller is one of the workers
+  done_cv_.wait(lk, [&] { return done_arcs_ == arcs_total_; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    start_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(int)>& fn = *job_;  // d2-lint: allow(std-function)
+    work(lk, fn);
+  }
+}
+
+void WorkerPool::work(
+    std::unique_lock<std::mutex>& lk,
+    const std::function<void(int)>& fn) {  // d2-lint: allow(std-function)
+  while (next_arc_ < arcs_total_) {
+    const int arc = next_arc_++;
+    lk.unlock();
+    try {
+      fn(arc);
+    } catch (...) {
+      lk.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      if (++done_arcs_ == arcs_total_) done_cv_.notify_all();
+      continue;
+    }
+    lk.lock();
+    if (++done_arcs_ == arcs_total_) done_cv_.notify_all();
+  }
+}
+
+}  // namespace d2::sim

@@ -1,31 +1,179 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace d2::sim {
 
-void Simulator::run() {
-  while (step()) {
-  }
+thread_local Simulator::LaneCtx Simulator::tl_lane_;
+
+Simulator::Simulator(const ArcConfig& cfg)
+    : arcs_(cfg.arcs),
+      lookahead_(cfg.lookahead),
+      queues_(static_cast<std::size_t>(cfg.arcs) + 1),
+      pool_(cfg.workers),
+      lane_pushes_(static_cast<std::size_t>(cfg.arcs), 0),
+      lane_events_(static_cast<std::size_t>(cfg.arcs), 0),
+      lane_last_time_(static_cast<std::size_t>(cfg.arcs), 0) {
+  D2_REQUIRE_MSG(cfg.arcs >= 1, "simulator needs at least one arc");
+  D2_REQUIRE_MSG(cfg.workers >= 1, "simulator needs at least one worker");
+  D2_REQUIRE(cfg.lookahead >= 0);
+  mailbox_.reset(cfg.arcs);
 }
 
-void Simulator::run_until(SimTime t) {
-  D2_REQUIRE(t >= now_);
-  while (!queue_.empty() && queue_.next_time() <= t) {
-    step();
+int Simulator::min_queue() const {
+  int best = -1;
+  SimTime best_time = 0;
+  std::uint64_t best_order = 0;
+  for (int qi = 0; qi <= arcs_; ++qi) {
+    const EventQueue& q = queues_[static_cast<std::size_t>(qi)];
+    if (q.empty()) continue;
+    const SimTime t = q.next_time();
+    const std::uint64_t o = q.next_order();
+    if (best == -1 || t < best_time || (t == best_time && o < best_order)) {
+      best = qi;
+      best_time = t;
+      best_order = o;
+    }
   }
-  now_ = t;
+  return best;
 }
 
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  EventQueue::Event ev = queue_.pop();
+void Simulator::step_queue(int qi) {
+  EventQueue::Event ev = queues_[static_cast<std::size_t>(qi)].pop();
   D2_ASSERT(ev.time >= now_);
   now_ = ev.time;
   ++events_processed_;
   if (events_counter_ != nullptr) events_counter_->add(1);
   ev.fn();
+}
+
+void Simulator::run() {
+  for (int qi = min_queue(); qi != -1; qi = min_queue()) {
+    step_queue(qi);
+  }
+}
+
+bool Simulator::step() {
+  const int qi = min_queue();
+  if (qi == -1) return false;
+  step_queue(qi);
   return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  D2_REQUIRE(t >= now_);
+  const bool parallel = pool_.workers() > 1 && arcs_ > 1;
+  while (true) {
+    const int qi = min_queue();
+    if (qi == -1) break;
+    const EventQueue& q = queues_[static_cast<std::size_t>(qi)];
+    const SimTime head = q.next_time();
+    if (head > t) break;
+    if (!parallel || qi == arcs_) {
+      // Global events (and the whole serial engine) run on the
+      // coordinator in merged (time, order) sequence.
+      step_queue(qi);
+      continue;
+    }
+    // The earliest event is arc-local: open a parallel window over every
+    // arc event strictly before the next global event (ties with a
+    // global event stay serial so the merged tie-break by order key
+    // decides, exactly as with one worker), capped by the run bound and
+    // the conservative lookahead.
+    SimTime window_end = t == std::numeric_limits<SimTime>::max()
+                             ? t
+                             : t + 1;  // half-open: include events at t
+    const EventQueue& global = queues_[static_cast<std::size_t>(arcs_)];
+    if (!global.empty()) window_end = std::min(window_end, global.next_time());
+    if (lookahead_ > 0) window_end = std::min(window_end, head + lookahead_);
+    if (window_end <= head) {
+      // Lookahead too tight to cover even the head event; run it
+      // serially to guarantee progress.
+      step_queue(qi);
+      continue;
+    }
+    run_window(window_end);
+  }
+  now_ = t;
+}
+
+void Simulator::run_window(SimTime window_end) {
+  D2_REQUIRE_MSG(window_end_ == 0 && !in_lane(), "nested parallel window");
+  window_base_ = order_counter_;
+  window_end_ = window_end;
+  std::fill(lane_pushes_.begin(), lane_pushes_.end(), 0);
+  std::fill(lane_events_.begin(), lane_events_.end(), 0);
+  pool_.run_arcs(arcs_, [this, window_end](int arc) {
+    const auto arc_i = static_cast<std::size_t>(arc);
+    EventQueue& q = queues_[arc_i];
+    LaneGuard guard(this, arc, now_);
+    std::uint64_t n = 0;
+    SimTime last = now_;
+    while (!q.empty() && q.next_time() < window_end) {
+      EventQueue::Event ev = q.pop();
+      D2_ASSERT(ev.time >= last);
+      last = ev.time;
+      tl_lane_.now = ev.time;
+      ++n;
+      ev.fn();
+    }
+    lane_events_[arc_i] = n;
+    lane_last_time_[arc_i] = last;
+  });
+  std::uint64_t total = 0;
+  SimTime last = now_;
+  for (int arc = 0; arc < arcs_; ++arc) {
+    const auto arc_i = static_cast<std::size_t>(arc);
+    total += lane_events_[arc_i];
+    if (lane_events_[arc_i] > 0) {
+      last = std::max(last, lane_last_time_[arc_i]);
+    }
+  }
+  events_processed_ += total;
+  if (events_counter_ != nullptr && total > 0) {
+    events_counter_->add(static_cast<std::int64_t>(total));
+  }
+  now_ = last;
+  window_end_ = 0;
+  // Jump the merge-key counter past every lane stripe so later pushes
+  // order after everything pushed inside the window.
+  order_counter_ =
+      window_base_ + static_cast<std::uint64_t>(arcs_) * kLaneOrderStride;
+  deliver_mailbox();
+}
+
+// d2-lint: allow(std-function) — one type-erased call per phase barrier
+void Simulator::run_arc_phase(const std::function<void(int)>& fn) {
+  D2_REQUIRE_MSG(window_end_ == 0 && !in_lane(),
+                 "run_arc_phase inside a window or lane");
+  pool_.run_arcs(arcs_, [this, &fn](int arc) {
+    LaneGuard guard(this, arc, now_);
+    fn(arc);
+  });
+  deliver_mailbox();
+}
+
+void Simulator::deliver_mailbox() {
+  mailbox_.deliver([this](SimTime t, int /*src*/, std::uint32_t /*seq*/,
+                          int dst, const EventFn& fn) {
+    D2_ASSERT_MSG(t >= now_, "mailboxed event scheduled into the past");
+    queues_[static_cast<std::size_t>(dst)].push_ordered(t, order_counter_++,
+                                                        fn);
+  });
+}
+
+SimTime Simulator::next_event_time() const {
+  const int qi = min_queue();
+  if (qi == -1) return std::numeric_limits<SimTime>::max();
+  return queues_[static_cast<std::size_t>(qi)].next_time();
+}
+
+std::size_t Simulator::events_pending() const {
+  std::size_t n = 0;
+  for (const EventQueue& q : queues_) n += q.pending();
+  return n;
 }
 
 void Simulator::bind_metrics(obs::Registry* registry) {
@@ -46,7 +194,7 @@ void Simulator::bind_metrics(obs::Registry* registry) {
 void Simulator::export_metrics() {
   if (metrics_ == nullptr) return;
   metrics_->gauge("sim.events_pending")
-      .set(static_cast<double>(queue_.pending()));
+      .set(static_cast<double>(events_pending()));
   metrics_->gauge("sim.clock_seconds").set(to_seconds(now_));
 }
 

@@ -1,22 +1,83 @@
-// Discrete-event simulator: virtual clock plus event scheduling.
+// Discrete-event simulator: virtual clock plus event scheduling, with
+// optional arc-partitioned execution.
 //
 // All d2 experiments (availability §8, performance §9, load balance §10)
 // run inside one Simulator. Nothing in the library reads wall-clock time;
 // the clock only advances by draining scheduled events.
+//
+// ## Arc partitioning (DESIGN.md §9)
+//
+// The simulator owns `arcs + 1` event queues: one per keyspace arc
+// (common/arc_plan.h) plus a global queue for events that touch
+// cross-arc state (ring membership, probes, migration). Every push
+// carries a merge key drawn from one global counter, and the serial
+// engine always pops the minimum (time, order) across all queues — so
+// with one arc, or with many arcs executed serially, the schedule is
+// *the same total order* the single-queue engine produced, bit for bit.
+//
+// With `workers > 1`, runs of arc-local events strictly before the next
+// global event are executed as a parallel *window*: each arc's lane
+// drains its own queue on a worker thread, confined to arc-owned state.
+// Lane rules (enforced with D2_REQUIRE):
+//   - a lane may schedule only onto its own arc;
+//   - pushes that land inside the current window go directly onto the
+//     lane's queue with a lane-striped merge key (the lane owns it);
+//   - anything at or past the window end is staged in the cross-arc
+//     Mailbox and released at the barrier in (time, src_arc, seq) order
+//     with fresh merge keys.
+// Only same-time events in *different* arcs can observe a different
+// relative order than the serial engine, and those are state-disjoint by
+// the lane rules — which is why `--arc-workers N` output is byte-equal
+// to `--arc-workers 1` (tests/test_partition.cc, golden arc variants).
 #pragma once
 
+#include <functional>
+#include <limits>
 #include <utility>
+#include <vector>
 
 #include "common/assert.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
+#include "sim/partition.h"
 
 namespace d2::sim {
 
 class Simulator {
  public:
-  SimTime now() const { return now_; }
+  /// Arc index for the global (cross-arc) queue in schedule_arc_at.
+  static constexpr int kGlobalArc = -1;
+  /// Returned for mailboxed schedules, which are not cancellable (queue
+  /// seqs start at 1, so no real event ever has id 0).
+  static constexpr EventId kNoEvent = 0;
+
+  Simulator() : Simulator(ArcConfig{}) {}
+  explicit Simulator(const ArcConfig& cfg);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  int arcs() const { return arcs_; }
+  int workers() const { return pool_.workers(); }
+
+  /// Current simulated time: the lane-local event time inside an arc
+  /// lane, the coordinator clock otherwise.
+  SimTime now() const {
+    const LaneCtx& c = tl_lane_;
+    return c.owner == this ? c.now : now_;
+  }
+
+  /// True while the calling thread is executing an arc lane (a parallel
+  /// window or run_arc_phase) of *this* simulator. Arc-owned code uses
+  /// this to pick per-arc scratch and skip global-state work.
+  bool in_lane() const { return tl_lane_.owner == this; }
+
+  /// The arc the calling lane owns. Requires in_lane().
+  int lane_arc() const {
+    D2_REQUIRE_MSG(in_lane(), "lane_arc() outside an arc lane");
+    return tl_lane_.arc;
+  }
 
   /// Mirrors simulator accounting into `registry` under `sim.*`:
   /// `sim.events_processed` is kept live from here on (any events already
@@ -29,40 +90,149 @@ class Simulator {
   /// the bound registry; call before dumping. No-op when unbound.
   void export_metrics();
 
-  /// Schedules `f` at absolute simulated time `t` (>= now). The callback
-  /// becomes an EventFn built in place in its queue slot: its captures
-  /// must fit the inline budget (kEventCaptureBytes) and be trivially
-  /// copyable — scheduling never heap-allocates.
+  /// Schedules `f` at absolute simulated time `t` (>= now) on the global
+  /// queue. The callback becomes an EventFn built in place in its queue
+  /// slot: its captures must fit the inline budget (kEventCaptureBytes)
+  /// and be trivially copyable — scheduling never heap-allocates. Must
+  /// not be called from an arc lane (global events are coordinator-only).
   template <class F>
   EventId schedule_at(SimTime t, F&& f) {
-    D2_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
-    return queue_.push(t, std::forward<F>(f));
+    return schedule_arc_at(kGlobalArc, t, std::forward<F>(f));
   }
 
   /// Schedules `f` `delay` microseconds from now (delay >= 0).
   template <class F>
   EventId schedule_after(SimTime delay, F&& f) {
     D2_REQUIRE(delay >= 0);
-    return queue_.push(now_ + delay, std::forward<F>(f));
+    return schedule_arc_at(kGlobalArc, now() + delay, std::forward<F>(f));
   }
 
-  /// Cancels a pending event; no-op if already fired.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  /// Schedules `f` at time `t` on arc `arc`'s queue (kGlobalArc for the
+  /// global queue). From an arc lane, `arc` must be the lane's own arc;
+  /// the push is direct when `t` falls inside the current window and
+  /// staged in the mailbox otherwise (returning kNoEvent).
+  template <class F>
+  EventId schedule_arc_at(int arc, SimTime t, F&& f) {
+    D2_REQUIRE_MSG(arc >= kGlobalArc && arc < arcs_, "arc index out of range");
+    const LaneCtx& c = tl_lane_;
+    if (c.owner == this) {
+      D2_REQUIRE_MSG(
+          arc == c.arc,
+          "arc lanes may only schedule onto their own arc; cross-arc and "
+          "global effects must run from the coordinator");
+      D2_REQUIRE_MSG(t >= c.now, "cannot schedule into the past");
+      if (t < window_end_) {
+        // Fires inside the window this lane is currently draining: push
+        // straight onto the lane's own queue (single-writer) with a
+        // lane-striped merge key above every pre-window key.
+        const std::uint64_t idx = ++lane_pushes_[static_cast<std::size_t>(arc)];
+        D2_REQUIRE_MSG(idx < kLaneOrderStride,
+                       "lane push budget exhausted within one window");
+        return queues_[static_cast<std::size_t>(arc)].push_ordered(
+            t,
+            window_base_ +
+                static_cast<std::uint64_t>(arc) * kLaneOrderStride + idx,
+            std::forward<F>(f));
+      }
+      mailbox_.post(arc, t, arc, EventFn(std::forward<F>(f)));
+      return kNoEvent;
+    }
+    D2_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+    return queues_[queue_index(arc)].push_ordered(t, order_counter_++,
+                                                  std::forward<F>(f));
+  }
 
-  /// Runs until the queue is empty.
+  template <class F>
+  EventId schedule_arc_after(int arc, SimTime delay, F&& f) {
+    D2_REQUIRE(delay >= 0);
+    return schedule_arc_at(arc, now() + delay, std::forward<F>(f));
+  }
+
+  /// Cancels a pending *global-queue* event; no-op if already fired.
+  /// Ids returned for arc-queue events are not cancellable (arc events
+  /// use deadline-check patterns instead — see System's TTL refresh).
+  bool cancel(EventId id) {
+    return queues_[static_cast<std::size_t>(arcs_)].cancel(id);
+  }
+
+  /// Runs until every queue is empty (serial merged order).
   void run();
 
-  /// Runs all events with time <= t, then sets now to t.
+  /// Runs all events with time <= t in deterministic merged order, then
+  /// sets now to t. With workers > 1, stretches of arc-local events
+  /// between global events execute as parallel windows.
   void run_until(SimTime t);
 
-  /// Runs a single event if one is pending; returns false if queue empty.
+  /// Runs a single event if one is pending (serial merged order);
+  /// returns false if all queues are empty.
   bool step();
 
+  /// Runs fn(arc) for every arc as confined lanes at the current time —
+  /// the bulk-application hook for batched workload ops (core/op_batch.h).
+  /// Everything the lanes schedule is mailboxed and delivered at the
+  /// closing barrier; with workers() == 1 the lanes run inline, in arc
+  /// order, on the caller.
+  // d2-lint: allow(std-function) — one type-erased call per phase barrier
+  void run_arc_phase(const std::function<void(int)>& fn);
+
+  /// Earliest pending event time across all queues, or
+  /// std::numeric_limits<SimTime>::max() when idle.
+  SimTime next_event_time() const;
+
   std::uint64_t events_processed() const { return events_processed_; }
-  std::size_t events_pending() const { return queue_.pending(); }
+  std::size_t events_pending() const;
 
  private:
-  EventQueue queue_;
+  /// Per-thread lane binding. Keyed by owner so nested simulators
+  /// (parallel trials each running their own) never cross-talk.
+  struct LaneCtx {
+    const Simulator* owner = nullptr;
+    int arc = -1;
+    SimTime now = 0;
+  };
+  /// RAII lane binding for the duration of one lane execution.
+  struct LaneGuard {
+    LaneGuard(const Simulator* owner, int arc, SimTime now) {
+      tl_lane_ = LaneCtx{owner, arc, now};
+    }
+    ~LaneGuard() { tl_lane_ = LaneCtx{}; }
+  };
+
+  /// Merge-key stride reserved per lane per window; bounds how many
+  /// events one lane may push inside a single window.
+  static constexpr std::uint64_t kLaneOrderStride = std::uint64_t{1} << 20;
+
+  std::size_t queue_index(int arc) const {
+    return static_cast<std::size_t>(arc == kGlobalArc ? arcs_ : arc);
+  }
+
+  /// Index of the queue holding the globally earliest (time, order)
+  /// event; -1 when all queues are empty.
+  int min_queue() const;
+  /// Pops and executes the head of queue `qi` on the coordinator.
+  void step_queue(int qi);
+  /// Executes one parallel window: all arc events with time < window_end.
+  void run_window(SimTime window_end);
+  /// Releases mailboxed messages into their queues with fresh merge keys.
+  void deliver_mailbox();
+
+  static thread_local LaneCtx tl_lane_;
+
+  int arcs_;
+  SimTime lookahead_;
+  std::vector<EventQueue> queues_;  // [0, arcs_) arc-local; [arcs_] global
+  std::uint64_t order_counter_ = 1;
+  Mailbox mailbox_;
+  WorkerPool pool_;
+
+  // Window state (coordinator-written; lanes read window_end_/base_ and
+  // each lane writes only its own lane_* slot).
+  SimTime window_end_ = 0;  // exclusive; 0 = no window open
+  std::uint64_t window_base_ = 0;
+  std::vector<std::uint64_t> lane_pushes_;
+  std::vector<std::uint64_t> lane_events_;  // events processed per lane
+  std::vector<SimTime> lane_last_time_;     // last event time per lane
+
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
   obs::Registry* metrics_ = nullptr;

@@ -28,32 +28,35 @@ bool BlockState::is_replica(int node) const {
   return false;
 }
 
-BlockMap::BlockMap(int node_count)
-    : node_count_(node_count),
-      primary_count_(static_cast<std::size_t>(node_count), 0),
-      primary_bytes_(static_cast<std::size_t>(node_count), 0),
-      physical_bytes_(static_cast<std::size_t>(node_count), 0) {
+BlockMap::BlockMap(int node_count, int arcs)
+    : node_count_(node_count), plan_(arcs) {
   D2_REQUIRE(node_count > 0);
+  slices_.resize(static_cast<std::size_t>(arcs));
+  for (Slice& s : slices_) {
+    s.primary_count.assign(static_cast<std::size_t>(node_count), 0);
+    s.primary_bytes.assign(static_cast<std::size_t>(node_count), 0);
+    s.physical_bytes.assign(static_cast<std::size_t>(node_count), 0);
+  }
 }
 
-void BlockMap::account_add_data(int node, Bytes size) {
-  physical_bytes_[static_cast<std::size_t>(node)] += size;
+void BlockMap::account_add_data(Slice& s, int node, Bytes size) {
+  s.physical_bytes[static_cast<std::size_t>(node)] += size;
 }
 
-void BlockMap::account_remove_data(int node, Bytes size) {
-  physical_bytes_[static_cast<std::size_t>(node)] -= size;
-  D2_ASSERT(physical_bytes_[static_cast<std::size_t>(node)] >= 0);
+void BlockMap::account_remove_data(Slice& s, int node, Bytes size) {
+  s.physical_bytes[static_cast<std::size_t>(node)] -= size;
+  D2_ASSERT(s.physical_bytes[static_cast<std::size_t>(node)] >= 0);
 }
 
-void BlockMap::account_add_primary(int node, Bytes size) {
-  primary_count_[static_cast<std::size_t>(node)] += 1;
-  primary_bytes_[static_cast<std::size_t>(node)] += size;
+void BlockMap::account_add_primary(Slice& s, int node, Bytes size) {
+  s.primary_count[static_cast<std::size_t>(node)] += 1;
+  s.primary_bytes[static_cast<std::size_t>(node)] += size;
 }
 
-void BlockMap::account_remove_primary(int node, Bytes size) {
-  primary_count_[static_cast<std::size_t>(node)] -= 1;
-  primary_bytes_[static_cast<std::size_t>(node)] -= size;
-  D2_ASSERT(primary_count_[static_cast<std::size_t>(node)] >= 0);
+void BlockMap::account_remove_primary(Slice& s, int node, Bytes size) {
+  s.primary_count[static_cast<std::size_t>(node)] -= 1;
+  s.primary_bytes[static_cast<std::size_t>(node)] -= size;
+  D2_ASSERT(s.primary_count[static_cast<std::size_t>(node)] >= 0);
 }
 
 void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
@@ -62,6 +65,7 @@ void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
   D2_REQUIRE_MSG(size >= 0, "negative block size");
   D2_REQUIRE_MSG(member_bytes <= size, "member bytes exceed block size");
   for (int n : nodes) D2_REQUIRE(n >= 0 && n < node_count_);
+  Slice& s = slice_of(k);
   BlockState b;
   b.size = size;
   b.member_bytes = member_bytes < 0 ? size : member_bytes;
@@ -69,50 +73,77 @@ void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
   for (int n : nodes) b.replicas.push_back(Replica{n, true, 0, false});
   // Insert first: it REQUIREs the key is new, and the accounting below
   // must not run for a rejected duplicate.
-  const BlockState& stored = blocks_.insert(k, std::move(b));
+  const BlockState& stored = s.index.insert(k, std::move(b));
   for (const Replica& r : stored.replicas) {
-    account_add_data(r.node, stored.member_bytes);
+    account_add_data(s, r.node, stored.member_bytes);
   }
-  account_add_primary(nodes.front(), size);
-  total_bytes_ += size;
-  D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
+  account_add_primary(s, nodes.front(), size);
+  s.total_bytes += size;
+  D2_PARANOID_AUDIT(if (s.audit_gate.due(s.index.size()))
+                        check_slice_invariants(plan_.arc_of(k)));
 }
 
 void BlockMap::erase(const Key& k) {
-  BlockState* bp = blocks_.find(k);
+  Slice& s = slice_of(k);
+  BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "erasing unknown block");
   BlockState& b = *bp;
   for (const Replica& r : b.replicas) {
-    if (r.has_data) account_remove_data(r.node, b.member_bytes);
+    if (r.has_data) account_remove_data(s, r.node, b.member_bytes);
   }
-  for (int n : b.stale_holders) account_remove_data(n, b.member_bytes);
-  account_remove_primary(b.replicas.front().node, b.size);
-  total_bytes_ -= b.size;
-  blocks_.erase(k);
-  D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
+  for (int n : b.stale_holders) account_remove_data(s, n, b.member_bytes);
+  account_remove_primary(s, b.replicas.front().node, b.size);
+  s.total_bytes -= b.size;
+  s.index.erase(k);
+  D2_PARANOID_AUDIT(if (s.audit_gate.due(s.index.size()))
+                        check_slice_invariants(plan_.arc_of(k)));
+}
+
+std::size_t BlockMap::block_count() const {
+  std::size_t n = 0;
+  for (const Slice& s : slices_) n += s.index.size();
+  return n;
+}
+
+Bytes BlockMap::total_bytes() const {
+  Bytes n = 0;
+  for (const Slice& s : slices_) n += s.total_bytes;
+  return n;
 }
 
 std::int64_t BlockMap::primary_count(int node) const {
   D2_REQUIRE(node >= 0 && node < node_count_);
-  return primary_count_[static_cast<std::size_t>(node)];
+  std::int64_t n = 0;
+  for (const Slice& s : slices_) {
+    n += s.primary_count[static_cast<std::size_t>(node)];
+  }
+  return n;
 }
 
 Bytes BlockMap::primary_bytes(int node) const {
   D2_REQUIRE(node >= 0 && node < node_count_);
-  return primary_bytes_[static_cast<std::size_t>(node)];
+  Bytes n = 0;
+  for (const Slice& s : slices_) {
+    n += s.primary_bytes[static_cast<std::size_t>(node)];
+  }
+  return n;
 }
 
 Bytes BlockMap::physical_bytes(int node) const {
   D2_REQUIRE(node >= 0 && node < node_count_);
-  return physical_bytes_[static_cast<std::size_t>(node)];
+  Bytes n = 0;
+  for (const Slice& s : slices_) {
+    n += s.physical_bytes[static_cast<std::size_t>(node)];
+  }
+  return n;
 }
 
 std::optional<Key> BlockMap::median_primary_key(const Key& from,
                                                 const Key& to) const {
   // Two allocation-free walks: count, then select the median element.
-  auto& idx = const_cast<SortedKeyIndex<BlockState>&>(blocks_);
+  auto& self = const_cast<BlockMap&>(*this);
   std::size_t n = 0;
-  idx.walk_in_arc(from, to, [&n](const Key&, BlockState&) {
+  self.walk_in_arc(from, to, [&n](const Key&, BlockState&) {
     ++n;
     return true;
   });
@@ -122,7 +153,7 @@ std::optional<Key> BlockMap::median_primary_key(const Key& from,
   const std::size_t target = n / 2 - 1;
   std::size_t i = 0;
   Key mid;
-  idx.walk_in_arc(from, to, [&](const Key& k, BlockState&) {
+  self.walk_in_arc(from, to, [&](const Key& k, BlockState&) {
     if (i == target) {
       mid = k;
       return false;
@@ -136,15 +167,19 @@ std::optional<Key> BlockMap::median_primary_key(const Key& from,
 
 std::vector<Key> BlockMap::keys_in_arc(const Key& from, const Key& to) const {
   std::vector<Key> out;
-  const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each_in_arc(
-      from, to, [&out](const Key& k, BlockState&) { out.push_back(k); });
+  const_cast<BlockMap&>(*this).walk_in_arc(
+      from, to, [&out](const Key& k, BlockState&) {
+        out.push_back(k);
+        return true;
+      });
   return out;
 }
 
 void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
                                  SimTime now) {
   D2_REQUIRE(!nodes.empty());
-  BlockState* bp = blocks_.find(k);
+  Slice& s = slice_of(k);
+  BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "reassigning unknown block");
   BlockState& b = *bp;
 
@@ -191,22 +226,24 @@ void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
     if (new_set_missing_data) {
       b.stale_holders.push_back(r.node);  // physical bytes stay accounted
     } else {
-      account_remove_data(r.node, b.member_bytes);
+      account_remove_data(s, r.node, b.member_bytes);
     }
   }
 
   b.replicas = std::move(new_replicas);
 
   if (old_primary != new_primary) {
-    account_remove_primary(old_primary, b.size);
-    account_add_primary(new_primary, b.size);
+    account_remove_primary(s, old_primary, b.size);
+    account_add_primary(s, new_primary, b.size);
   }
-  prune_stale(k, b);
-  D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
+  prune_stale(s, b);
+  D2_PARANOID_AUDIT(if (s.audit_gate.due(s.index.size()))
+                        check_slice_invariants(plan_.arc_of(k)));
 }
 
 void BlockMap::mark_data(const Key& k, int node) {
-  BlockState* bp = blocks_.find(k);
+  Slice& s = slice_of(k);
+  BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "mark_data on unknown block");
   BlockState& b = *bp;
   for (Replica& r : b.replicas) {
@@ -214,9 +251,10 @@ void BlockMap::mark_data(const Key& k, int node) {
       D2_REQUIRE_MSG(!r.has_data, "replica already has data");
       r.has_data = true;
       r.fetch_in_flight = false;
-      account_add_data(node, b.member_bytes);
-      prune_stale(k, b);
-      D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
+      account_add_data(s, node, b.member_bytes);
+      prune_stale(s, b);
+      D2_PARANOID_AUDIT(if (s.audit_gate.due(s.index.size()))
+                            check_slice_invariants(plan_.arc_of(k)));
       return;
     }
   }
@@ -224,7 +262,8 @@ void BlockMap::mark_data(const Key& k, int node) {
 }
 
 void BlockMap::mark_missing(const Key& k, int node) {
-  BlockState* bp = blocks_.find(k);
+  Slice& s = slice_of(k);
+  BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "mark_missing on unknown block");
   BlockState& b = *bp;
   for (Replica& r : b.replicas) {
@@ -232,25 +271,28 @@ void BlockMap::mark_missing(const Key& k, int node) {
       D2_REQUIRE_MSG(r.has_data, "replica already missing data");
       r.has_data = false;
       r.fetch_in_flight = false;
-      account_remove_data(node, b.member_bytes);
-      D2_PARANOID_AUDIT(if (audit_gate_.due(blocks_.size())) check_invariants());
+      account_remove_data(s, node, b.member_bytes);
+      D2_PARANOID_AUDIT(if (s.audit_gate.due(s.index.size()))
+                            check_slice_invariants(plan_.arc_of(k)));
       return;
     }
   }
   D2_REQUIRE_MSG(false, "mark_missing on non-replica node");
 }
 
-void BlockMap::prune_stale(const Key&, BlockState& b) {
+void BlockMap::prune_stale(Slice& s, BlockState& b) {
   if (b.stale_holders.empty()) return;
   for (const Replica& r : b.replicas) {
     if (!r.has_data) return;  // still needed as fetch sources
   }
-  for (int n : b.stale_holders) account_remove_data(n, b.member_bytes);
+  for (int n : b.stale_holders) account_remove_data(s, n, b.member_bytes);
   b.stale_holders.clear();
 }
 
-void BlockMap::check_invariants() const {
-  blocks_.check_invariants();
+void BlockMap::check_slice_invariants(int arc) const {
+  D2_REQUIRE(arc >= 0 && arc < plan_.arcs());
+  const Slice& s = slices_[static_cast<std::size_t>(arc)];
+  s.index.check_invariants();
 
   const auto n = static_cast<std::size_t>(node_count_);
   std::vector<std::int64_t> primary_count(n, 0);
@@ -258,9 +300,10 @@ void BlockMap::check_invariants() const {
   std::vector<Bytes> physical_bytes(n, 0);
   Bytes total = 0;
 
-  const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each([&](const Key& k,
+  const_cast<SortedKeyIndex<BlockState>&>(s.index).for_each([&](const Key& k,
                                                                 BlockState& b) {
-    (void)k;
+    D2_ASSERT_MSG(plan_.arc_of(k) == arc,
+                  "block map: key stored in a slice that does not own it");
     D2_ASSERT_MSG(b.size >= 0 && b.member_bytes >= 0,
                   "block map: negative block size");
     D2_ASSERT_MSG(!b.replicas.empty(), "block map: block with no replicas");
@@ -280,16 +323,16 @@ void BlockMap::check_invariants() const {
       }
     }
     for (std::size_t i = 0; i < b.stale_holders.size(); ++i) {
-      const int s = b.stale_holders[i];
-      D2_ASSERT_MSG(s >= 0 && s < node_count_,
+      const int sh = b.stale_holders[i];
+      D2_ASSERT_MSG(sh >= 0 && sh < node_count_,
                     "block map: stale holder out of range");
-      D2_ASSERT_MSG(!b.is_replica(s),
+      D2_ASSERT_MSG(!b.is_replica(sh),
                     "block map: stale holder also in replica set");
       for (std::size_t j = 0; j < i; ++j) {
-        D2_ASSERT_MSG(b.stale_holders[j] != s,
+        D2_ASSERT_MSG(b.stale_holders[j] != sh,
                       "block map: duplicate stale holder");
       }
-      physical_bytes[static_cast<std::size_t>(s)] += b.member_bytes;
+      physical_bytes[static_cast<std::size_t>(sh)] += b.member_bytes;
     }
     D2_ASSERT_MSG(b.stale_holders.empty() || !all_have_data,
                   "block map: stale holders outlived their fetch sources");
@@ -299,16 +342,20 @@ void BlockMap::check_invariants() const {
     total += b.size;
   });
 
-  D2_ASSERT_MSG(total == total_bytes_,
-                "block map: total bytes counter out of sync");
+  D2_ASSERT_MSG(total == s.total_bytes,
+                "block map: slice total bytes counter out of sync");
   for (std::size_t i = 0; i < n; ++i) {
-    D2_ASSERT_MSG(primary_count[i] == primary_count_[i],
+    D2_ASSERT_MSG(primary_count[i] == s.primary_count[i],
                   "block map: primary count accounting out of sync");
-    D2_ASSERT_MSG(primary_bytes[i] == primary_bytes_[i],
+    D2_ASSERT_MSG(primary_bytes[i] == s.primary_bytes[i],
                   "block map: primary bytes accounting out of sync");
-    D2_ASSERT_MSG(physical_bytes[i] == physical_bytes_[i],
+    D2_ASSERT_MSG(physical_bytes[i] == s.physical_bytes[i],
                   "block map: physical bytes accounting out of sync");
   }
+}
+
+void BlockMap::check_invariants() const {
+  for (int a = 0; a < plan_.arcs(); ++a) check_slice_invariants(a);
 }
 
 }  // namespace d2::store

@@ -12,16 +12,29 @@
 // physical bytes (for the §10 imbalance figures), all updated
 // incrementally.
 //
-// Blocks live in a SortedKeyIndex (chunked sorted arrays) rather than a
-// std::map, so the load balancer's owned-arc range scans walk contiguous
-// cache lines instead of tree nodes; iteration order (key order) and thus
-// every seeded experiment output is unchanged.
+// ## Arc slices (DESIGN.md §9)
+//
+// The map is sharded into `arcs` contiguous keyspace slices routed by
+// ArcPlan — the same partition the arc-partitioned Simulator uses — so
+// a simulation lane that owns arc `a` may mutate blocks of arc `a`
+// without synchronisation: every mutator touches only the owning
+// slice's index, accounting vectors, and audit gate. Key order is
+// preserved globally because slice order == key order (arcs are
+// contiguous and ascending), so iteration, range walks, and therefore
+// every seeded experiment output are unchanged for any arc count.
+// check_invariants() additionally audits the ownership bijection: a key
+// stored in slice `a` satisfies plan.arc_of(key) == a.
+//
+// Blocks live in a SortedKeyIndex (chunked sorted arrays) per slice
+// rather than a std::map, so the load balancer's owned-arc range scans
+// walk contiguous cache lines instead of tree nodes.
 #pragma once
 
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/arc_plan.h"
 #include "common/key.h"
 #include "common/units.h"
 #include "store/block_index.h"
@@ -56,9 +69,12 @@ struct BlockState {
 
 class BlockMap {
  public:
-  explicit BlockMap(int node_count);
+  explicit BlockMap(int node_count, int arcs = 1);
 
   int node_count() const { return node_count_; }
+  int arcs() const { return plan_.arcs(); }
+  /// Which slice (and simulation arc) owns key `k`.
+  int arc_of(const Key& k) const { return plan_.arc_of(k); }
 
   /// Inserts a block whose replica set is `nodes` (all holding data
   /// immediately — a fresh write pushes bytes to all replicas).
@@ -70,14 +86,21 @@ class BlockMap {
   /// Removes a block entirely.
   void erase(const Key& k);
 
-  bool contains(const Key& k) const { return blocks_.contains(k); }
-  const BlockState* find(const Key& k) const { return blocks_.find(k); }
-  BlockState* find_mutable(const Key& k) { return blocks_.find(k); }
+  bool contains(const Key& k) const { return slice_of(k).index.contains(k); }
+  const BlockState* find(const Key& k) const { return slice_of(k).index.find(k); }
+  BlockState* find_mutable(const Key& k) { return slice_of(k).index.find(k); }
 
-  std::size_t block_count() const { return blocks_.size(); }
-  Bytes total_bytes() const { return total_bytes_; }
+  std::size_t block_count() const;
+  Bytes total_bytes() const;
 
-  /// Per-node accounting.
+  /// Blocks stored in one slice. Unlike block_count() this reads a single
+  /// slice, so the owning arc's lane may call it while other slices are
+  /// being mutated.
+  std::size_t slice_block_count(int arc) const {
+    return slices_[static_cast<std::size_t>(arc)].index.size();
+  }
+
+  /// Per-node accounting (summed across slices).
   std::int64_t primary_count(int node) const;
   Bytes primary_bytes(int node) const;
   Bytes physical_bytes(int node) const;
@@ -86,13 +109,17 @@ class BlockMap {
   /// count: the median block's key. nullopt if the node owns < 2 blocks.
   std::optional<Key> median_primary_key(const Key& from, const Key& to) const;
 
-  /// Visits blocks with keys in the clockwise arc (from, to]; handles wrap.
-  /// `fn(const Key&, BlockState&)` must not insert or erase blocks. A
-  /// template (not std::function) so the per-block call is direct — these
-  /// walks are the load balancer's inner loop.
+  /// Visits blocks with keys in the clockwise arc (from, to]; handles
+  /// wrap and slice boundaries. `fn(const Key&, BlockState&)` must not
+  /// insert or erase blocks. A template (not std::function) so the
+  /// per-block call is direct — these walks are the load balancer's
+  /// inner loop. from == to visits the whole ring.
   template <class Fn>
   void for_each_in_arc(const Key& from, const Key& to, Fn&& fn) {
-    blocks_.for_each_in_arc(from, to, std::forward<Fn>(fn));
+    walk_in_arc(from, to, [&fn](const Key& k, BlockState& b) {
+      fn(k, b);
+      return true;
+    });
   }
 
   /// Keys in the arc (from, to].
@@ -121,10 +148,12 @@ class BlockMap {
   /// `fn(const Key&, const BlockState&)` must not insert or erase blocks.
   template <class Fn>
   void for_each_block(Fn&& fn) const {
-    const_cast<SortedKeyIndex<BlockState>&>(blocks_).for_each(
-        [&fn](const Key& k, BlockState& b) {
-          fn(k, static_cast<const BlockState&>(b));
-        });
+    for (const Slice& s : slices_) {
+      const_cast<SortedKeyIndex<BlockState>&>(s.index).for_each(
+          [&fn](const Key& k, BlockState& b) {
+            fn(k, static_cast<const BlockState&>(b));
+          });
+    }
   }
 
   /// Mutable variant for callers that adjust per-replica state in bulk
@@ -134,34 +163,108 @@ class BlockMap {
   /// than flipping Replica fields directly.
   template <class Fn>
   void for_each_block_mut(Fn&& fn) {
-    blocks_.for_each(std::forward<Fn>(fn));
+    for (Slice& s : slices_) s.index.for_each(fn);
+  }
+
+  /// Early-exit range walk over (from, to]: `fn(const Key&, BlockState&)`
+  /// returns false to stop. from == to visits the whole ring.
+  template <class Fn>
+  void walk_in_arc(const Key& from, const Key& to, Fn&& fn) {
+    if (from == to) {
+      // Whole ring: every slice, in key (== slice) order.
+      for (Slice& s : slices_) {
+        bool more = true;
+        s.index.walk_in_arc(from, to, [&](const Key& k, BlockState& b) {
+          more = fn(k, b);
+          return more;
+        });
+        if (!more) return;
+      }
+      return;
+    }
+    if (from < to) {
+      walk_slices(plan_.arc_of(from), plan_.arc_of(to), from, to,
+                  std::forward<Fn>(fn));
+      return;
+    }
+    // Wrapped arc: clockwise (from, max] then (min-1, to] == [min, to].
+    // Each leg is non-wrapping within its slices; skip a leg that is
+    // empty by construction (from == max has nothing after it).
+    bool more = true;
+    if (!(from == Key::max())) {
+      walk_slices(plan_.arc_of(from), plan_.arcs() - 1, from, Key::max(),
+                  [&](const Key& k, BlockState& b) {
+                    more = fn(k, b);
+                    return more;
+                  });
+    }
+    if (more) {
+      // (max, to] under the slice walker's wrap rules == keys <= to.
+      walk_slices(0, plan_.arc_of(to), Key::max(), to, std::forward<Fn>(fn));
+    }
   }
 
   /// Full-structure audit; throws InvariantError naming the violated
-  /// invariant. Audits the underlying sorted index, every block's replica
-  /// set (non-empty, in-range, duplicate-free, stale holders disjoint and
-  /// only present while a replica lacks data) and recomputes the per-node
-  /// primary/physical accounting from scratch against the incremental
-  /// counters. O(blocks x replicas); wired into the mutators in paranoid
-  /// builds and callable from tests in any build.
+  /// invariant. Audits every slice's sorted index, the slice-ownership
+  /// bijection (each stored key maps back to its slice under ArcPlan),
+  /// every block's replica set (non-empty, in-range, duplicate-free,
+  /// stale holders disjoint and only present while a replica lacks data)
+  /// and recomputes the per-node primary/physical accounting from
+  /// scratch against the incremental per-slice counters. O(blocks x
+  /// replicas); the mutators run slice-local audits in paranoid builds
+  /// and this full audit is callable from tests in any build.
   void check_invariants() const;
+
+  /// Slice-local audit (the slice's index, blocks and accounting plus
+  /// its ownership bijection); safe to run from the arc's own lane.
+  void check_slice_invariants(int arc) const;
 
  private:
   /// Corruption-injection hook for tests (tests/test_invariants.cc).
   friend struct BlockMapTestPeer;
-  void account_add_data(int node, Bytes size);
-  void account_remove_data(int node, Bytes size);
-  void account_add_primary(int node, Bytes size);
-  void account_remove_primary(int node, Bytes size);
-  void prune_stale(const Key& k, BlockState& b);
+
+  /// Arc-confined shard: a lane owning arc `a` may touch only slice `a`.
+  struct Slice {
+    SortedKeyIndex<BlockState> index;
+    Bytes total_bytes = 0;
+    std::vector<std::int64_t> primary_count;
+    std::vector<Bytes> primary_bytes;
+    std::vector<Bytes> physical_bytes;
+    ParanoidGate audit_gate;  // paces paranoid-build audits
+  };
+
+  Slice& slice_of(const Key& k) {
+    return slices_[static_cast<std::size_t>(plan_.arc_of(k))];
+  }
+  const Slice& slice_of(const Key& k) const {
+    return slices_[static_cast<std::size_t>(plan_.arc_of(k))];
+  }
+
+  /// Runs `fn` over slices [first, last] with the slice-level walk
+  /// bounds (from, to]; fn returns false to stop.
+  template <class Fn>
+  void walk_slices(int first, int last, const Key& from, const Key& to,
+                   Fn&& fn) {
+    for (int arc = first; arc <= last; ++arc) {
+      bool more = true;
+      slices_[static_cast<std::size_t>(arc)].index.walk_in_arc(
+          from, to, [&](const Key& k, BlockState& b) {
+            more = fn(k, b);
+            return more;
+          });
+      if (!more) return;
+    }
+  }
+
+  static void account_add_data(Slice& s, int node, Bytes size);
+  static void account_remove_data(Slice& s, int node, Bytes size);
+  static void account_add_primary(Slice& s, int node, Bytes size);
+  static void account_remove_primary(Slice& s, int node, Bytes size);
+  void prune_stale(Slice& s, BlockState& b);
 
   int node_count_;
-  SortedKeyIndex<BlockState> blocks_;
-  Bytes total_bytes_ = 0;
-  std::vector<std::int64_t> primary_count_;
-  std::vector<Bytes> primary_bytes_;
-  std::vector<Bytes> physical_bytes_;
-  ParanoidGate audit_gate_;  // paces paranoid-build audits
+  ArcPlan plan_;
+  std::vector<Slice> slices_;
 };
 
 }  // namespace d2::store

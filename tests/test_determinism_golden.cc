@@ -73,9 +73,16 @@ SystemConfig golden_system(int nodes) {
   return c;
 }
 
-TEST(DeterminismGolden, AvailabilityTrialChecksum) {
+constexpr std::uint64_t kAvailabilityGolden = 5282780080455404772ull;
+constexpr std::uint64_t kPerformanceGolden = 3461026393235816668ull;
+
+/// One seeded availability trial with the given partitioning, reduced to
+/// a checksum over every figure-bearing output.
+std::uint64_t availability_checksum(int arcs, int arc_workers) {
   AvailabilityParams p;
   p.system = golden_system(20);
+  p.system.arcs = arcs;
+  p.system.arc_workers = arc_workers;
   p.workload = golden_workload();
   p.failure.node_count = p.system.node_count;
   p.failure.duration = days(3);
@@ -100,16 +107,15 @@ TEST(DeterminismGolden, AvailabilityTrialChecksum) {
     append_i64(&s, user);
     append_f(&s, unavail);
   }
-
-  const std::uint64_t checksum = fnv1a(s);
-  EXPECT_EQ(checksum, 5282780080455404772ull)
-      << "availability outputs drifted; actual checksum=" << checksum
-      << " over fields: " << s;
+  return fnv1a(s);
 }
 
-TEST(DeterminismGolden, PerformanceTrialChecksum) {
+/// One seeded performance trial, same idea.
+std::uint64_t performance_checksum(int arcs, int arc_workers) {
   PerformanceParams p;
   p.system = golden_system(24);
+  p.system.arcs = arcs;
+  p.system.arc_workers = arc_workers;
   p.workload = golden_workload();
   p.warmup = hours(6);
   p.window_count = 8;
@@ -131,11 +137,37 @@ TEST(DeterminismGolden, PerformanceTrialChecksum) {
   append_f(&s, r.mean_cache_miss_rate);
   append_u64(&s, r.tcp_cold_starts);
   append_u64(&s, r.tcp_transfers);
+  return fnv1a(s);
+}
 
-  const std::uint64_t checksum = fnv1a(s);
-  EXPECT_EQ(checksum, 3461026393235816668ull)
-      << "performance outputs drifted; actual checksum=" << checksum
-      << " group_count=" << r.groups.size();
+TEST(DeterminismGolden, AvailabilityTrialChecksum) {
+  const std::uint64_t checksum = availability_checksum(1, 1);
+  EXPECT_EQ(checksum, kAvailabilityGolden)
+      << "availability outputs drifted; actual checksum=" << checksum;
+}
+
+TEST(DeterminismGolden, PerformanceTrialChecksum) {
+  const std::uint64_t checksum = performance_checksum(1, 1);
+  EXPECT_EQ(checksum, kPerformanceGolden)
+      << "performance outputs drifted; actual checksum=" << checksum;
+}
+
+// Arc variants: partitioning the simulation core (DESIGN.md §9) is a
+// pure execution-strategy change, so every (arcs, workers) combination
+// must land on the same pinned constants as the single-queue engine —
+// serial multi-arc first, then parallel lanes.
+TEST(DeterminismGolden, AvailabilityChecksumInvariantUnderArcs) {
+  EXPECT_EQ(availability_checksum(4, 1), kAvailabilityGolden);
+  EXPECT_EQ(availability_checksum(13, 1), kAvailabilityGolden);
+  EXPECT_EQ(availability_checksum(4, 4), kAvailabilityGolden);
+  EXPECT_EQ(availability_checksum(13, 3), kAvailabilityGolden);
+}
+
+TEST(DeterminismGolden, PerformanceChecksumInvariantUnderArcs) {
+  EXPECT_EQ(performance_checksum(4, 1), kPerformanceGolden);
+  EXPECT_EQ(performance_checksum(13, 1), kPerformanceGolden);
+  EXPECT_EQ(performance_checksum(4, 4), kPerformanceGolden);
+  EXPECT_EQ(performance_checksum(13, 3), kPerformanceGolden);
 }
 
 }  // namespace

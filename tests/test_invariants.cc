@@ -60,8 +60,42 @@ struct SortedKeyIndexTestPeer {
 };
 
 struct BlockMapTestPeer {
-  static void drift_primary_count(BlockMap& m) { ++m.primary_count_[0]; }
-  static void drift_physical_bytes(BlockMap& m) { ++m.physical_bytes_[0]; }
+  static void drift_primary_count(BlockMap& m) {
+    ++m.slices_.front().primary_count[0];
+  }
+  static void drift_physical_bytes(BlockMap& m) {
+    ++m.slices_.front().physical_bytes[0];
+  }
+  /// Moves one block's state into a slice that does not own its key,
+  /// breaking the slice-ownership bijection (accounting moves with it so
+  /// only the bijection audit can catch the corruption).
+  static void misfile_block(BlockMap& m, const Key& k) {
+    const int owner = m.plan_.arc_of(k);
+    const int wrong = (owner + 1) % m.plan_.arcs();
+    auto& src = m.slices_[static_cast<std::size_t>(owner)];
+    auto& dst = m.slices_[static_cast<std::size_t>(wrong)];
+    BlockState* b = src.index.find(k);
+    D2_REQUIRE(b != nullptr);
+    BlockState moved = *b;
+    const Bytes size = moved.size;
+    const int primary = moved.replicas.front().node;
+    src.index.erase(k);
+    dst.index.insert(k, std::move(moved));
+    src.total_bytes -= size;
+    dst.total_bytes += size;
+    src.primary_count[static_cast<std::size_t>(primary)] -= 1;
+    dst.primary_count[static_cast<std::size_t>(primary)] += 1;
+    src.primary_bytes[static_cast<std::size_t>(primary)] -= size;
+    dst.primary_bytes[static_cast<std::size_t>(primary)] += size;
+    const BlockState& placed = *dst.index.find(k);
+    for (const Replica& r : placed.replicas) {
+      if (!r.has_data) continue;
+      src.physical_bytes[static_cast<std::size_t>(r.node)] -=
+          placed.member_bytes;
+      dst.physical_bytes[static_cast<std::size_t>(r.node)] +=
+          placed.member_bytes;
+    }
+  }
 };
 
 struct LookupCacheTestPeer {
@@ -240,6 +274,19 @@ TEST(Invariants, BlockMapDetectsPhysicalBytesDrift) {
   store::BlockMapTestPeer::drift_physical_bytes(map);
   ExpectInvariantNamed([&] { map.check_invariants(); },
                        "physical bytes accounting out of sync");
+}
+
+TEST(Invariants, BlockMapDetectsSliceOwnershipViolation) {
+  // 4 slices split the top limb into quarters; keys built from the high
+  // limb land in a chosen slice.
+  store::BlockMap map(4, /*arcs=*/4);
+  const Key k = Key::from_high64(std::uint64_t{1} << 62);  // slice 1
+  map.insert(k, 100, {0, 1, 2});
+  map.insert(Key::from_high64(std::uint64_t{3} << 62), 100, {1, 2, 3});
+  EXPECT_NO_THROW(map.check_invariants());
+  store::BlockMapTestPeer::misfile_block(map, k);
+  ExpectInvariantNamed([&] { map.check_invariants(); },
+                       "slice that does not own it");
 }
 
 TEST(Invariants, BlockMapDetectsDuplicateReplica) {

@@ -84,6 +84,44 @@ def time_d2sim(d2sim):
     return {"command": " ".join(cmd[1:]), "wall_seconds": round(elapsed, 3)}
 
 
+# Scale ladder (EXPERIMENTS.md "scale ladder"): one seeded availability
+# trial per rung, 10 users per node, fixed per-user access rate. The top
+# rung needs the arc-partitioned core — a single event queue exhausts its
+# 24-bit slot space holding the ~20M pending TTL events of a 10k-node
+# system, so every rung runs with --arcs=64.
+SCALE_RUNGS = [(256, 2560), (1000, 10000), (10000, 100000)]
+
+
+def run_scale_ladder(d2sim, arc_workers):
+    rungs = []
+    for nodes, users in SCALE_RUNGS:
+        cmd = [
+            d2sim, "availability", f"--nodes={nodes}", f"--users={users}",
+            "--days=1", "--accesses=20", "--seed=1", "--trials=1",
+            "--jobs=1", "--arcs=64", f"--arc-workers={arc_workers}",
+        ]
+        start = time.monotonic()
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True,
+                              text=True)
+        elapsed = time.monotonic() - start
+        tasks = 0
+        for line in proc.stdout.splitlines():
+            if line.startswith("trial=") and " tasks=" in line:
+                tasks = int(line.split(" tasks=")[1].split()[0])
+        rung = {
+            "nodes": nodes,
+            "users": users,
+            "command": " ".join(cmd[1:]),
+            "wall_seconds": round(elapsed, 3),
+            "tasks": tasks,
+            "tasks_per_second": round(tasks / elapsed, 1) if elapsed else 0,
+        }
+        rungs.append(rung)
+        print(f"scale rung nodes={nodes}: {elapsed:.1f}s, "
+              f"{rung['tasks_per_second']} tasks/s")
+    return {"arc_workers": arc_workers, "rungs": rungs}
+
+
 def speedups(baseline, current):
     out = {}
     base = baseline.get("benchmarks", {})
@@ -106,34 +144,54 @@ REGRESSION_FACTOR = 2.0
 
 
 def compare_report(reference, current):
-    """Prints a per-benchmark ratio table vs `reference`; returns the
-    names that regressed more than REGRESSION_FACTOR."""
+    """Prints a per-benchmark ratio table vs `reference`; returns a list
+    of failure strings: benchmarks that regressed more than
+    REGRESSION_FACTOR, plus any name present in only one of the two
+    snapshots (a one-sided name means the suites diverged — renamed or
+    dropped benchmarks silently escape the gate unless it fails here)."""
     ref = reference.get("benchmarks", {})
-    regressed = []
+    cur = current["benchmarks"]
+    failures = []
     rows = []
-    for name, entry in sorted(current["benchmarks"].items()):
-        if name not in ref or ref[name]["real_time_ns"] <= 0:
+    for name, entry in sorted(cur.items()):
+        if name not in ref:
+            rows.append((name, None))
+            failures.append(
+                f"{name}: only in current run, not in reference "
+                f"'{reference.get('label', '?')}' — re-record the reference "
+                "snapshot if this benchmark was added intentionally")
+            continue
+        if ref[name]["real_time_ns"] <= 0:
             rows.append((name, None))
             continue
         ratio = entry["real_time_ns"] / ref[name]["real_time_ns"]
         rows.append((name, ratio))
         if ratio > REGRESSION_FACTOR:
-            regressed.append(name)
+            failures.append(
+                f"{name}: {ratio:.3f}x slower than reference "
+                f"(> {REGRESSION_FACTOR}x threshold)")
+    for name in sorted(set(ref) - set(cur)):
+        rows.append((name, None))
+        failures.append(
+            f"{name}: in reference but missing from current run — the "
+            "benchmark was removed or renamed, or --filter excluded it")
     width = max((len(n) for n, _ in rows), default=0)
     print(f"compare vs '{reference.get('label', '?')}' "
           f"(ratio = current/reference real time; > {REGRESSION_FACTOR}x fails)")
     for name, ratio in rows:
         if ratio is None:
-            print(f"  {name:<{width}}  (not in reference)")
+            side = ("(no reference timing)" if name in ref and name in cur
+                    else "(one-sided: see FAIL below)")
+            print(f"  {name:<{width}}  {side}")
         else:
             flag = "  << REGRESSION" if ratio > REGRESSION_FACTOR else ""
             print(f"  {name:<{width}}  {ratio:6.3f}x{flag}")
-    return regressed
+    return failures
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", required=True, help="path to bench_micro binary")
+    ap.add_argument("--bench", default="", help="path to bench_micro binary")
     ap.add_argument("--out", default="BENCH_micro.json")
     ap.add_argument("--label", default="run")
     ap.add_argument("--min-time", type=float, default=0.1)
@@ -144,7 +202,29 @@ def main():
     ap.add_argument("--compare", default="",
                     help="snapshot to gate against: print ratio table, exit "
                          f"non-zero on a > {REGRESSION_FACTOR}x regression")
+    ap.add_argument("--e2e-scale", action="store_true",
+                    help="run the availability scale ladder (256/1k/10k "
+                         "nodes, --arcs=64) and write it to --e2e-out; "
+                         "requires --d2sim")
+    ap.add_argument("--e2e-out", default="BENCH_e2e.json")
+    ap.add_argument("--e2e-arc-workers", type=int, default=1,
+                    help="--arc-workers for the scale ladder rungs")
     args = ap.parse_args()
+
+    if args.e2e_scale:
+        if not args.d2sim:
+            ap.error("--e2e-scale requires --d2sim")
+        ladder = {"label": args.label,
+                  "e2e_scale": run_scale_ladder(args.d2sim,
+                                                args.e2e_arc_workers)}
+        with open(args.e2e_out, "w") as f:
+            json.dump(ladder, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote scale ladder to {args.e2e_out}")
+        if not args.bench:
+            return 0
+    if not args.bench:
+        ap.error("--bench is required unless --e2e-scale runs alone")
 
     result = run_benchmarks(args.bench, args.min_time, args.filter)
     result["label"] = args.label
@@ -166,10 +246,11 @@ def main():
     if args.compare:
         with open(args.compare) as f:
             reference = json.load(f)
-        regressed = compare_report(reference, result)
-        if regressed:
-            print(f"FAIL: {len(regressed)} benchmark(s) regressed beyond "
-                  f"{REGRESSION_FACTOR}x: {', '.join(regressed)}")
+        failures = compare_report(reference, result)
+        if failures:
+            print(f"FAIL: {len(failures)} comparison failure(s):")
+            for f in failures:
+                print(f"  {f}")
             return 1
     return 0
 

@@ -27,6 +27,14 @@ idioms, so this linter rejects them mechanically:
                        D2_REQUIRE / D2_ASSERT / D2_DCHECK / audit in its
                        body — entry points are expected to validate their
                        inputs or state.
+  cross-arc-bypass     arc-sharded state (BlockMap slices, System TTL /
+                       extended-set shards, per-arc op lists) indexed by
+                       an expression that does not derive from the owning
+                       arc (arc_of()/shard_slot()/lane_arc()/an `arc`
+                       variable). Cross-arc effects must go through the
+                       simulator mailbox or run on the coordinator
+                       (DESIGN.md §9); a raw index is how a lane reaches
+                       into a shard it does not own.
 
 Escape hatch: a line (or its predecessor) containing
     // d2-lint: allow(<rule>[, <rule>...])
@@ -52,6 +60,7 @@ RULES = (
     "pointer-key",
     "std-function",
     "unguarded-mutator",
+    "cross-arc-bypass",
 )
 
 ALLOW_RE = re.compile(r"//.*d2-lint:\s*allow\(([^)]*)\)")
@@ -108,6 +117,16 @@ UNORDERED_ITER_RE = re.compile(
 )
 POINTER_KEY_RE = re.compile(r"\bstd::(map|set)\s*<\s*[^,<>]*\*")
 STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+
+# Arc-sharded members (one element per keyspace arc). Indexing one with
+# anything not derived from the owning arc is a partition-confinement
+# bug unless the line explains itself (coordinator-side audits etc.).
+ARC_SHARD_RE = re.compile(
+    r"\b(slices_|expiry_|extended_|per_arc_|lane_pushes_|lane_events_|"
+    r"lane_last_time_|lane_audit_gates_)\s*\[([^\]]*)\]"
+)
+# Index expressions that visibly derive from the owning arc.
+ARC_DERIVED_RE = re.compile(r"arc|shard")
 
 
 class Finding:
@@ -309,6 +328,26 @@ def lint_file(path, rules=None):
                     )
                 )
 
+        if "cross-arc-bypass" in rules:
+            for m in ARC_SHARD_RE.finditer(code):
+                if ARC_DERIVED_RE.search(m.group(2)):
+                    continue
+                if allowed(i, "cross-arc-bypass"):
+                    continue
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "cross-arc-bypass",
+                        f"arc-sharded '{m.group(1)}' indexed by "
+                        f"'{m.group(2).strip()}', which does not derive "
+                        "from the owning arc; route through arc_of()/"
+                        "shard_slot()/lane_arc() (cross-arc effects go "
+                        "through the mailbox) or annotate why this "
+                        "coordinator-side access is safe",
+                    )
+                )
+
         if (
             "std-function" in rules
             and any(d in path for d in STD_FUNCTION_DIRS)
@@ -484,6 +523,43 @@ SELF_TEST_CASES = [
         "src/store/x.cc",
         "void Table::insert(const Key& k, int v) {\n"
         "  D2_REQUIRE(v >= 0);\n  data_[k] = v;\n}\n",
+        None,
+    ),
+    (
+        "cross-arc raw index flagged",
+        "src/core/x.cc",
+        "void System::expire(const Key& k) {\n"
+        "  D2_REQUIRE(true);\n"
+        "  expiry_[0].erase(k);\n"
+        "}\n",
+        "cross-arc-bypass",
+    ),
+    (
+        "cross-arc arc_of index clean",
+        "src/core/x.cc",
+        "void System::expire(const Key& k) {\n"
+        "  D2_REQUIRE(true);\n"
+        "  expiry_[static_cast<std::size_t>(map_.arc_of(k))].erase(k);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "cross-arc loop var clean",
+        "src/core/x.cc",
+        "void f() {\n"
+        "  for (int arc = 0; arc < arcs_; ++arc) "
+        "slices_[static_cast<std::size_t>(arc)].clear();\n"
+        "}\n",
+        None,
+    ),
+    (
+        "cross-arc raw index allowed",
+        "src/store/x.cc",
+        "void f() {\n"
+        "  // Coordinator-side audit walks every shard."
+        "  // d2-lint: allow(cross-arc-bypass)\n"
+        "  slices_[i].check();\n"
+        "}\n",
         None,
     ),
     (

@@ -9,6 +9,13 @@
 //   d2sim trace-gen    [--workload=harvard|hp|web] [--out=FILE]
 //
 // Common options: --users=U --days=D --mb=ACTIVE_MB --seed=X --jobs=N
+//                 --accesses=N (mean file accesses per user per day)
+//                 --arcs=P (keyspace partitions of the simulation core;
+//                 output is byte-identical for any P, see DESIGN.md §9)
+//                 --arc-workers=W (threads draining arc lanes; W > 1
+//                 parallelizes within each trial with identical output;
+//                 capped at hardware concurrency, forced to 1 by
+//                 --trace-out)
 //                 --paranoid (full invariant audits after topology changes
 //                 and sampled mutations, in any build; slow but catches
 //                 state corruption at the mutation that caused it)
@@ -29,6 +36,7 @@
 //                       block_expired) as JSON lines with sim timestamps.
 //
 // Exit status is non-zero on usage errors, so the tool is scriptable.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -36,7 +44,10 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/arc_plan.h"
 
 #include "core/availability.h"
 #include "core/balance.h"
@@ -109,8 +120,11 @@ int usage() {
       "usage: d2sim <locality|availability|balance|performance|trace-gen> "
       "[options]\n"
       "  common: --users=N --days=N --mb=ACTIVE_MB --seed=X --nodes=N\n"
+      "          --accesses=N (mean file accesses per user per day)\n"
       "          --jobs=N (worker threads for --trials sweeps; default: all "
       "cores)\n"
+      "          --arcs=P --arc-workers=W (partitioned simulation core; "
+      "identical output for any P/W)\n"
       "          --paranoid (run full invariant audits during the "
       "simulation)\n"
       "  scheme: --scheme=d2|traditional|traditional-file|trad+merc\n"
@@ -154,7 +168,41 @@ trace::HarvardParams harvard_params(const Args& args) {
   p.days = static_cast<int>(args.num("days", 7));
   p.target_active_bytes = mB(args.num("mb", 96));
   p.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  const long accesses = args.num("accesses", 0);
+  if (accesses < 0) {
+    std::fprintf(stderr, "invalid value for --accesses: %ld (must be > 0)\n",
+                 accesses);
+    throw UsageError("bad access rate");
+  }
+  if (accesses > 0) p.accesses_per_user_day = static_cast<double>(accesses);
   return p;
+}
+
+/// --arcs: keyspace partitions of the simulation core (DESIGN.md §9).
+int arc_count(const Args& args) {
+  const long arcs = args.num("arcs", 1);
+  if (arcs < 1 || arcs > ArcPlan::kMaxArcs) {
+    std::fprintf(stderr, "invalid value for --arcs: %ld (expected 1..%d)\n",
+                 arcs, ArcPlan::kMaxArcs);
+    throw UsageError("bad arc count");
+  }
+  return static_cast<int>(arcs);
+}
+
+/// --arc-workers: threads draining arc lanes. Rejects non-positive
+/// values; silently caps at the hardware concurrency (floored at 2 so
+/// `--arc-workers=2` still exercises the parallel engine everywhere).
+int arc_workers(const Args& args) {
+  const long workers = args.num("arc-workers", 1);
+  if (workers < 1) {
+    std::fprintf(stderr,
+                 "invalid value for --arc-workers: %ld (must be > 0)\n",
+                 workers);
+    throw UsageError("bad arc worker count");
+  }
+  const long cap =
+      std::max(2L, static_cast<long>(std::thread::hardware_concurrency()));
+  return static_cast<int>(std::min(workers, cap));
 }
 
 bool parse_scheme(const std::string& name, fs::KeyScheme* scheme,
@@ -187,7 +235,21 @@ core::SystemConfig system_config(const Args& args) {
   c.use_pointers = !args.flag("no-pointers");
   c.scatter_replicas = static_cast<int>(args.num("scatter", 0));
   c.paranoid_audits = args.flag("paranoid");
+  c.arcs = arc_count(args);
+  c.arc_workers = arc_workers(args);
+  if (c.scatter_replicas > 0 && c.arcs > 1) {
+    std::fprintf(stderr,
+                 "--scatter requires --arcs=1 (hybrid placement couples "
+                 "arbitrary keys across the ring)\n");
+    throw UsageError("scatter with multiple arcs");
+  }
   return c;
+}
+
+/// Event tracing records from TTL events, which arc lanes execute; a
+/// traced run must stay serial so trace order is reproducible.
+void force_serial_for_tracing(const Sinks& sinks, core::SystemConfig* c) {
+  if (!sinks.trace_path.empty()) c->arc_workers = 1;
 }
 
 int cmd_locality(const Args& args) {
@@ -242,6 +304,7 @@ int cmd_availability(const Args& args) {
   p.inter = seconds(args.num("inter", 5));
   p.warmup = days(1);
   Sinks sinks(args);
+  force_serial_for_tracing(sinks, &p.system);
   p.metrics = sinks.registry();
   const int trials = static_cast<int>(args.num("trials", 1));
   const auto base_seed = static_cast<std::uint64_t>(args.num("seed", 1));
@@ -298,6 +361,7 @@ int cmd_balance(const Args& args) {
     return 2;
   }
   Sinks sinks(args);
+  force_serial_for_tracing(sinks, &p.system);
   p.metrics = sinks.registry();
   p.tracer = sinks.tracer_ptr();
   const core::BalanceResult r = core::BalanceExperiment(p).run();
@@ -333,6 +397,7 @@ int cmd_performance(const Args& args) {
   p.node_bandwidth = kbps(args.num("kbps", 1500));
   p.parallel = args.flag("para");
   Sinks sinks(args);
+  force_serial_for_tracing(sinks, &p.system);
   p.metrics = sinks.registry();
   const int trials = static_cast<int>(args.num("trials", 1));
   const auto base_seed = static_cast<std::uint64_t>(args.num("seed", 1));
