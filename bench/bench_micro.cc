@@ -26,6 +26,7 @@
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "store/block_map.h"
+#include "store/ec.h"
 #include "store/lookup_cache.h"
 #include "store/retrieval_cache.h"
 
@@ -122,6 +123,45 @@ void BM_HashedKey(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HashedKey);
+
+void BM_EcEncode_8KB(benchmark::State& state) {
+  // (6,3) Reed–Solomon encode of an 8 KB block: 3 parity fragments of
+  // 1366 bytes each via the GF(2^8) table multiply.
+  const store::ErasureCodec codec(6, 3);
+  Rng rng(17);
+  std::vector<std::uint8_t> block(8192);
+  for (std::uint8_t& b : block) {
+    b = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(block));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_EcEncode_8KB);
+
+void BM_EcDecode_8KB(benchmark::State& state) {
+  // Worst-case decode: all three data-fragment erasures, so every output
+  // byte goes through the inverted-submatrix multiply.
+  const store::ErasureCodec codec(6, 3);
+  Rng rng(18);
+  std::vector<std::uint8_t> block(8192);
+  for (std::uint8_t& b : block) {
+    b = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  const std::vector<std::vector<std::uint8_t>> frags = codec.encode(block);
+  const std::vector<int> present = {3, 4, 5, 6, 7, 8};
+  std::vector<const std::uint8_t*> ptrs;
+  for (int idx : present) {
+    ptrs.push_back(frags[static_cast<std::size_t>(idx)].data());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec.decode(present, ptrs, static_cast<Bytes>(block.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_EcDecode_8KB);
 
 void BM_Sha1_8KB(benchmark::State& state) {
   const std::string data(8192, 'x');

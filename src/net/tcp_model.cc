@@ -26,13 +26,17 @@ int TcpModel::transfer_rtts(int client, int server, SimTime now, Bytes bytes) {
 
   std::int64_t packets = (bytes + config_.mss - 1) / config_.mss;
   int rtts = 0;
-  int w = conn.cwnd_pkts;
+  std::int64_t w = conn.cwnd_pkts;
   while (packets > 0) {
-    packets -= w;
+    // Slow start grows the window by one packet per ACK, so a full window
+    // doubles it — but the final RTT only clocks out (and therefore only
+    // acknowledges) the packets that were left, not a whole window.
+    const std::int64_t sent = std::min(packets, w);
+    packets -= sent;
     ++rtts;
-    w = std::min(w * 2, config_.max_cwnd_pkts);
+    w = std::min<std::int64_t>(w + sent, config_.max_cwnd_pkts);
   }
-  conn.cwnd_pkts = w;
+  conn.cwnd_pkts = static_cast<int>(w);
   conn.last_use = now;
   return rtts;
 }

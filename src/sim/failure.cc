@@ -93,6 +93,11 @@ FailureTrace FailureTrace::from_intervals(
   for (const DownInterval& d : downs) {
     D2_REQUIRE(d.node >= 0 && d.node < node_count);
     D2_REQUIRE(d.start < d.end);
+    // Clamp to the trace window. An interval starting at/after `duration`
+    // lies entirely outside the trace: skip it rather than emplacing an
+    // inverted [start, min(end, duration)) pair, which would corrupt
+    // merge_intervals ordering, the is_up binary search and finalize().
+    if (d.start >= duration) continue;
     trace.down_[static_cast<std::size_t>(d.node)].emplace_back(
         d.start, std::min(d.end, duration));
   }
@@ -127,6 +132,8 @@ FailureTrace FailureTrace::read(std::istream& is) {
     downs.push_back(d);
   }
   D2_REQUIRE_MSG(have_header, "missing '# d2-failures v1 <nodes> <duration>'");
+  D2_REQUIRE_MSG(node_count > 0, "failure trace header: node_count must be > 0");
+  D2_REQUIRE_MSG(duration > 0, "failure trace header: duration must be > 0");
   return from_intervals(node_count, duration, downs);
 }
 

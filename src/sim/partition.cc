@@ -56,6 +56,9 @@ void WorkerPool::worker_loop() {
     start_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
     if (shutdown_) return;
     seen = generation_;
+    // A slow waker can arrive after the coordinator drained every arc
+    // and already cleared job_ — nothing left to do for this generation.
+    if (job_ == nullptr) continue;
     const std::function<void(int)>& fn = *job_;  // d2-lint: allow(std-function)
     work(lk, fn);
   }

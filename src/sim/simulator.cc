@@ -6,7 +6,7 @@
 
 namespace d2::sim {
 
-thread_local Simulator::LaneCtx Simulator::tl_lane_;
+thread_local constinit Simulator::LaneCtx Simulator::tl_lane_;
 
 Simulator::Simulator(const ArcConfig& cfg)
     : arcs_(cfg.arcs),

@@ -64,8 +64,10 @@ class Simulator {
   /// Current simulated time: the lane-local event time inside an arc
   /// lane, the coordinator clock otherwise.
   SimTime now() const {
-    const LaneCtx& c = tl_lane_;
-    return c.owner == this ? c.now : now_;
+    // Members read directly, never through a `const LaneCtx&`: GCC 12's
+    // UBSan emits a false "reference binding to null pointer" on
+    // references bound to a thread_local behind its TLS wrapper at -O2.
+    return tl_lane_.owner == this ? tl_lane_.now : now_;
   }
 
   /// True while the calling thread is executing an arc lane (a parallel
@@ -114,13 +116,13 @@ class Simulator {
   template <class F>
   EventId schedule_arc_at(int arc, SimTime t, F&& f) {
     D2_REQUIRE_MSG(arc >= kGlobalArc && arc < arcs_, "arc index out of range");
-    const LaneCtx& c = tl_lane_;
-    if (c.owner == this) {
+    // Direct tl_lane_ member reads, no reference — see now().
+    if (tl_lane_.owner == this) {
       D2_REQUIRE_MSG(
-          arc == c.arc,
+          arc == tl_lane_.arc,
           "arc lanes may only schedule onto their own arc; cross-arc and "
           "global effects must run from the coordinator");
-      D2_REQUIRE_MSG(t >= c.now, "cannot schedule into the past");
+      D2_REQUIRE_MSG(t >= tl_lane_.now, "cannot schedule into the past");
       if (t < window_end_) {
         // Fires inside the window this lane is currently draining: push
         // straight onto the lane's own queue (single-writer) with a
@@ -216,7 +218,10 @@ class Simulator {
   /// Releases mailboxed messages into their queues with fresh merge keys.
   void deliver_mailbox();
 
-  static thread_local LaneCtx tl_lane_;
+  // constinit: no dynamic-init TLS wrapper. Besides being faster, the
+  // wrapper trips a GCC 12 UBSan false positive ("member access within
+  // null pointer") on every access from another TU at -O2.
+  static thread_local constinit LaneCtx tl_lane_;
 
   int arcs_;
   SimTime lookahead_;

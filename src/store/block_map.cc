@@ -280,6 +280,20 @@ void BlockMap::mark_missing(const Key& k, int node) {
   D2_REQUIRE_MSG(false, "mark_missing on non-replica node");
 }
 
+void BlockMap::drop_stale(const Key& k, int node) {
+  Slice& s = slice_of(k);
+  BlockState* bp = s.index.find(k);
+  D2_REQUIRE_MSG(bp != nullptr, "drop_stale on unknown block");
+  BlockState& b = *bp;
+  const auto it =
+      std::find(b.stale_holders.begin(), b.stale_holders.end(), node);
+  if (it == b.stale_holders.end()) return;
+  b.stale_holders.erase(it);
+  account_remove_data(s, node, b.member_bytes);
+  D2_PARANOID_AUDIT(if (s.audit_gate.due(s.index.size()))
+                        check_slice_invariants(plan_.arc_of(k)));
+}
+
 void BlockMap::prune_stale(Slice& s, BlockState& b) {
   if (b.stale_holders.empty()) return;
   for (const Replica& r : b.replicas) {

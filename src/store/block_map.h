@@ -144,6 +144,10 @@ class BlockMap {
   /// reach it — e.g. the node is down). Inverse of mark_data.
   void mark_missing(const Key& k, int node);
 
+  /// Removes `node` from the block's stale holders (its physical copy was
+  /// destroyed, e.g. disk loss). No-op if `node` is not a stale holder.
+  void drop_stale(const Key& k, int node);
+
   /// Visits all blocks in key order (for iteration by experiments).
   /// `fn(const Key&, const BlockState&)` must not insert or erase blocks.
   template <class Fn>

@@ -74,7 +74,10 @@ SystemConfig golden_system(int nodes) {
 }
 
 constexpr std::uint64_t kAvailabilityGolden = 5282780080455404772ull;
-constexpr std::uint64_t kPerformanceGolden = 3461026393235816668ull;
+// Re-pinned after the TcpModel partial-final-window fix: slow start now
+// grows cwnd only by the packets actually acknowledged in the last RTT of
+// a transfer, which shifts every downstream latency figure.
+constexpr std::uint64_t kPerformanceGolden = 18256943228967445713ull;
 
 /// One seeded availability trial with the given partitioning, reduced to
 /// a checksum over every figure-bearing output.

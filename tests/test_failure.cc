@@ -175,6 +175,32 @@ TEST(FailureTrace, NodesRecoverAtTraceEnd) {
   EXPECT_TRUE(has_final_up);
 }
 
+TEST(FailureTrace, IntervalStartingAtOrPastTraceEndIsDropped) {
+  // Regression: clamping an interval whose start lies at/past the trace
+  // end used to produce an inverted [duration, duration) interval whose
+  // transitions said the node went down at trace end and never came back.
+  const auto t = FailureTrace::from_intervals(
+      2, seconds(100),
+      {{0, seconds(100), seconds(150)}, {1, seconds(250), seconds(300)}});
+  EXPECT_TRUE(t.transitions().empty());
+  EXPECT_TRUE(t.is_up(0, seconds(99)));
+  EXPECT_TRUE(t.is_up(1, seconds(99)));
+  for (int node = 0; node < 2; ++node) {
+    for (const auto& [start, end] : t.down_intervals(node)) {
+      EXPECT_LT(start, end);
+    }
+  }
+}
+
+TEST(FailureTraceIo, ReadRejectsDegenerateHeader) {
+  std::istringstream zero_nodes("# d2-failures v1 0 1000\n");
+  EXPECT_THROW(FailureTrace::read(zero_nodes), PreconditionError);
+  std::istringstream negative_nodes("# d2-failures v1 -3 1000\n");
+  EXPECT_THROW(FailureTrace::read(negative_nodes), PreconditionError);
+  std::istringstream zero_duration("# d2-failures v1 4 0\n");
+  EXPECT_THROW(FailureTrace::read(zero_duration), PreconditionError);
+}
+
 class FailureSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FailureSeedSweep, GenerationInvariantsHold) {

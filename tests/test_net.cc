@@ -117,6 +117,21 @@ TEST(TcpModel, SingleSmallPacketOneRtt) {
   EXPECT_EQ(tcp.transfer_rtts(0, 1, 0, 100), 1);
 }
 
+TEST(TcpModel, PartialFinalWindowGrowsByAckedPacketsOnly) {
+  // Regression: slow start grows the window one packet per ACK, so a
+  // final RTT that clocks out a single packet must leave cwnd one larger
+  // — not doubled as if a full window had been acknowledged.
+  TcpModel tcp;
+  // 3 packets: the first RTT sends 2 (cwnd -> 4), the second sends the
+  // final 1 on a cwnd of 4. Afterwards cwnd must be 4 + 1 = 5, not 8.
+  EXPECT_EQ(tcp.transfer_rtts(0, 1, 0, 3 * 1460), 2);
+  EXPECT_EQ(tcp.current_cwnd(0, 1, milliseconds(10)), 5);
+  // Follow-on transfer resumes from the corrected window: 5 + 10 + 1
+  // packets in 3 RTTs, leaving cwnd 20 + 1 = 21.
+  EXPECT_EQ(tcp.transfer_rtts(0, 1, milliseconds(10), 16 * 1460), 3);
+  EXPECT_EQ(tcp.current_cwnd(0, 1, milliseconds(20)), 21);
+}
+
 class TcpSizeSweep : public ::testing::TestWithParam<Bytes> {};
 
 TEST_P(TcpSizeSweep, RttsMonotonicInSize) {

@@ -7,10 +7,16 @@ per second), and optionally:
 
   * times an end-to-end `d2sim performance` trial (wall clock),
   * computes per-benchmark speedups against a previously committed
-    baseline snapshot (--baseline: informational only), and
+    baseline snapshot (--baseline: informational only),
   * gates against a snapshot (--compare: prints a per-benchmark ratio
     table and exits non-zero when any benchmark regressed more than
-    REGRESSION_FACTOR vs the comparison file — CI runs this report-only).
+    REGRESSION_FACTOR vs the comparison file — CI runs this report-only;
+    --allow-new PREFIX exempts a newly added benchmark family from the
+    one-sided-name failure), and
+  * records e2e snapshots into BENCH_e2e.json: --e2e-scale (availability
+    scale ladder) and --e2e-durability (correlated-failure repair probe,
+    rep3 vs rs-6-3) each merge their own section without clobbering the
+    other's.
 
 Usage:
   tools/bench_to_json.py --bench build/bench/bench_micro \
@@ -122,6 +128,70 @@ def run_scale_ladder(d2sim, arc_workers):
     return {"arc_workers": arc_workers, "rungs": rungs}
 
 
+# Durability probe (EXPERIMENTS.md "durability under correlated
+# failures"): one seeded correlated-failure week through the repair
+# engine per redundancy scheme, at the 1k-node rung. Deterministic for a
+# fixed seed regardless of --arcs/--arc-workers, so the parsed numbers
+# are stable across runs and machines.
+DURABILITY_SCHEMES = ["rep3", "rs-6-3"]
+
+
+def run_durability_probe(d2sim, arc_workers):
+    runs = []
+    for scheme in DURABILITY_SCHEMES:
+        cmd = [
+            d2sim, "repair", "--nodes=1000", "--blocks-per-node=20",
+            "--days=7",
+            f"--redundancy={scheme}", "--seed=1", "--arcs=64",
+            f"--arc-workers={arc_workers}",
+        ]
+        start = time.monotonic()
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True,
+                              text=True)
+        elapsed = time.monotonic() - start
+        entry = {"scheme": scheme, "command": " ".join(cmd[1:]),
+                 "wall_seconds": round(elapsed, 3)}
+        for line in proc.stdout.splitlines():
+            if line.startswith("durability:"):
+                lost, total = line.split("lost=")[1].split()[0].split("/")
+                entry["blocks_lost"] = int(lost)
+                entry["blocks"] = int(total)
+            elif line.startswith("repair traffic:"):
+                entry["l_over_w"] = float(line.split("L/W=")[1])
+            elif line.startswith("repairs:"):
+                entry["repairs_completed"] = int(
+                    line.split("completed=")[1].split()[0])
+            elif line.startswith("mttr:"):
+                entry["mttr_mean_s"] = float(
+                    line.split("mean=")[1].split("s")[0])
+                entry["mttr_p99_s"] = float(
+                    line.split("p99=")[1].split("s")[0])
+                entry["open_episodes"] = int(
+                    line.split("open=")[1].split()[0])
+        runs.append(entry)
+        print(f"durability {scheme}: {elapsed:.1f}s, "
+              f"lost={entry.get('blocks_lost', '?')}/"
+              f"{entry.get('blocks', '?')}, "
+              f"L/W={entry.get('l_over_w', '?')}")
+    return {"arc_workers": arc_workers, "runs": runs}
+
+
+def merge_e2e(path, key, section, label):
+    """Update one section of the e2e snapshot in place, preserving the
+    others (a durability-only run must not clobber the scale ladder)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        doc = {}
+    doc["label"] = label
+    doc[key] = section
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {key} to {path}")
+
+
 def speedups(baseline, current):
     out = {}
     base = baseline.get("benchmarks", {})
@@ -143,23 +213,37 @@ def speedups(baseline, current):
 REGRESSION_FACTOR = 2.0
 
 
-def compare_report(reference, current):
+def compare_report(reference, current, allow_new=()):
     """Prints a per-benchmark ratio table vs `reference`; returns a list
     of failure strings: benchmarks that regressed more than
     REGRESSION_FACTOR, plus any name present in only one of the two
     snapshots (a one-sided name means the suites diverged — renamed or
-    dropped benchmarks silently escape the gate unless it fails here)."""
+    dropped benchmarks silently escape the gate unless it fails here).
+
+    `allow_new` is a list of name prefixes for benchmark families that
+    are expected to be one-sided: a freshly added family (e.g. BM_Ec*)
+    compared against a historical snapshot should not fail the gate, and
+    conversely a gate run that --filter'ed the family out should not
+    fail against a snapshot that has it. Timing regressions within an
+    allowed family still fail normally once both sides have the name."""
     ref = reference.get("benchmarks", {})
     cur = current["benchmarks"]
     failures = []
     rows = []
+
+    def is_allowed_new(name):
+        return any(name.startswith(p) for p in allow_new)
+
     for name, entry in sorted(cur.items()):
         if name not in ref:
             rows.append((name, None))
+            if is_allowed_new(name):
+                continue  # labelled in the table, not gated
             failures.append(
                 f"{name}: only in current run, not in reference "
                 f"'{reference.get('label', '?')}' — re-record the reference "
-                "snapshot if this benchmark was added intentionally")
+                "snapshot if this benchmark was added intentionally, or "
+                "pass --allow-new with its family prefix")
             continue
         if ref[name]["real_time_ns"] <= 0:
             rows.append((name, None))
@@ -172,6 +256,8 @@ def compare_report(reference, current):
                 f"(> {REGRESSION_FACTOR}x threshold)")
     for name in sorted(set(ref) - set(cur)):
         rows.append((name, None))
+        if is_allowed_new(name):
+            continue  # labelled in the table, not gated
         failures.append(
             f"{name}: in reference but missing from current run — the "
             "benchmark was removed or renamed, or --filter excluded it")
@@ -180,8 +266,12 @@ def compare_report(reference, current):
           f"(ratio = current/reference real time; > {REGRESSION_FACTOR}x fails)")
     for name, ratio in rows:
         if ratio is None:
-            side = ("(no reference timing)" if name in ref and name in cur
-                    else "(one-sided: see FAIL below)")
+            if name in ref and name in cur:
+                side = "(no reference timing)"
+            elif is_allowed_new(name):
+                side = "(one-sided: new family, allowed)"
+            else:
+                side = "(one-sided: see FAIL below)"
             print(f"  {name:<{width}}  {side}")
         else:
             flag = "  << REGRESSION" if ratio > REGRESSION_FACTOR else ""
@@ -202,29 +292,40 @@ def main():
     ap.add_argument("--compare", default="",
                     help="snapshot to gate against: print ratio table, exit "
                          f"non-zero on a > {REGRESSION_FACTOR}x regression")
+    ap.add_argument("--allow-new", action="append", default=[],
+                    metavar="PREFIX",
+                    help="benchmark-name prefix for a family that may be "
+                         "one-sided in --compare (newly added, or filtered "
+                         "out); repeatable. Timing regressions still gate.")
     ap.add_argument("--e2e-scale", action="store_true",
                     help="run the availability scale ladder (256/1k/10k "
-                         "nodes, --arcs=64) and write it to --e2e-out; "
+                         "nodes, --arcs=64) and merge it into --e2e-out; "
                          "requires --d2sim")
+    ap.add_argument("--e2e-durability", action="store_true",
+                    help="run the correlated-failure durability probe "
+                         "(d2sim repair, rep3 + rs-6-3 at 1k nodes) and "
+                         "merge it into --e2e-out; requires --d2sim")
     ap.add_argument("--e2e-out", default="BENCH_e2e.json")
     ap.add_argument("--e2e-arc-workers", type=int, default=1,
-                    help="--arc-workers for the scale ladder rungs")
+                    help="--arc-workers for the e2e scale/durability runs")
     args = ap.parse_args()
 
-    if args.e2e_scale:
+    if args.e2e_scale or args.e2e_durability:
         if not args.d2sim:
-            ap.error("--e2e-scale requires --d2sim")
-        ladder = {"label": args.label,
-                  "e2e_scale": run_scale_ladder(args.d2sim,
-                                                args.e2e_arc_workers)}
-        with open(args.e2e_out, "w") as f:
-            json.dump(ladder, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"wrote scale ladder to {args.e2e_out}")
+            ap.error("--e2e-scale/--e2e-durability require --d2sim")
+        if args.e2e_scale:
+            merge_e2e(args.e2e_out, "e2e_scale",
+                      run_scale_ladder(args.d2sim, args.e2e_arc_workers),
+                      args.label)
+        if args.e2e_durability:
+            merge_e2e(args.e2e_out, "e2e_durability",
+                      run_durability_probe(args.d2sim, args.e2e_arc_workers),
+                      args.label)
         if not args.bench:
             return 0
     if not args.bench:
-        ap.error("--bench is required unless --e2e-scale runs alone")
+        ap.error("--bench is required unless --e2e-scale or "
+                 "--e2e-durability runs alone")
 
     result = run_benchmarks(args.bench, args.min_time, args.filter)
     result["label"] = args.label
@@ -246,7 +347,7 @@ def main():
     if args.compare:
         with open(args.compare) as f:
             reference = json.load(f)
-        failures = compare_report(reference, result)
+        failures = compare_report(reference, result, args.allow_new)
         if failures:
             print(f"FAIL: {len(failures)} comparison failure(s):")
             for f in failures:

@@ -6,6 +6,11 @@
 //                      [--no-pointers] [--threshold=T]
 //   d2sim performance  [--scheme=S] [--nodes=N] [--kbps=1500] [--para]
 //                      [--trials=T]
+//   d2sim repair       [--redundancy=repR|rs-K-M] [--nodes=N] [--days=D]
+//                      [--blocks-per-node=B] [--block-kb=8] [--repair-bw=KBPS]
+//                      [--detect-mins=10] [--retry-mins=5] [--loss-pct=50]
+//                      [--write-rate=W] [--mttf-hours=120] [--mttr-hours=4]
+//                      [--corr-per-day=N] [--corr-pct=15] [--drain-hours=12]
 //   d2sim trace-gen    [--workload=harvard|hp|web] [--out=FILE]
 //
 // Common options: --users=U --days=D --mb=ACTIVE_MB --seed=X --jobs=N
@@ -53,6 +58,7 @@
 #include "core/balance.h"
 #include "core/locality_analysis.h"
 #include "core/performance.h"
+#include "core/repair.h"
 #include "core/trial_runner.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -117,8 +123,8 @@ class Args {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: d2sim <locality|availability|balance|performance|trace-gen> "
-      "[options]\n"
+      "usage: d2sim <locality|availability|balance|performance|repair|"
+      "trace-gen> [options]\n"
       "  common: --users=N --days=N --mb=ACTIVE_MB --seed=X --nodes=N\n"
       "          --accesses=N (mean file accesses per user per day)\n"
       "          --jobs=N (worker threads for --trials sweeps; default: all "
@@ -440,6 +446,99 @@ int cmd_performance(const Args& args) {
   return 0;
 }
 
+/// --redundancy=repR | rs-K-M (e.g. rep3, rs-6-3).
+void parse_redundancy(const std::string& name, core::RepairConfig* cfg) {
+  if (name.rfind("rep", 0) == 0) {
+    errno = 0;
+    char* end = nullptr;
+    const long r = std::strtol(name.c_str() + 3, &end, 10);
+    if (end == name.c_str() + 3 || *end != '\0' || errno == ERANGE || r < 2) {
+      std::fprintf(stderr, "invalid replication scheme: %s\n", name.c_str());
+      throw UsageError("bad redundancy");
+    }
+    cfg->erasure = false;
+    cfg->replicas = static_cast<int>(r);
+    return;
+  }
+  if (name.rfind("rs-", 0) == 0) {
+    int k = 0;
+    int m = 0;
+    if (std::sscanf(name.c_str(), "rs-%d-%d", &k, &m) == 2 && k >= 1 &&
+        m >= 1 && k + m <= 255) {
+      cfg->erasure = true;
+      cfg->ec_data_fragments = k;
+      cfg->ec_parity_fragments = m;
+      return;
+    }
+  }
+  std::fprintf(stderr, "unknown redundancy scheme: %s (want repR or rs-K-M)\n",
+               name.c_str());
+  throw UsageError("bad redundancy");
+}
+
+int cmd_repair(const Args& args) {
+  core::DurabilityParams p;
+  p.repair.node_count = static_cast<int>(args.num("nodes", 64));
+  parse_redundancy(args.str("redundancy", "rep3"), &p.repair);
+  p.repair.block_size = kB(args.num("block-kb", 8));
+  p.repair.repair_bandwidth = kbps(args.num("repair-bw", 750));
+  p.repair.detect_delay = minutes(args.num("detect-mins", 10));
+  p.repair.retry_delay = minutes(args.num("retry-mins", 5));
+  p.repair.data_loss_fraction =
+      static_cast<double>(args.num("loss-pct", 50)) / 100.0;
+  if (p.repair.data_loss_fraction < 0.0 || p.repair.data_loss_fraction > 1.0) {
+    std::fprintf(stderr, "invalid --loss-pct (expected 0..100)\n");
+    throw UsageError("bad loss fraction");
+  }
+  p.repair.seed = static_cast<std::uint64_t>(args.num("seed", 1)) + 2000;
+  p.repair.arcs = arc_count(args);
+  p.arc_workers = arc_workers(args);
+  p.blocks_per_node = static_cast<int>(args.num("blocks-per-node", 50));
+  p.writes_per_node_per_day = static_cast<double>(args.num("write-rate", 24));
+  p.failure.duration = days(args.num("days", 7));
+  p.failure.mttf_hours = static_cast<double>(args.num("mttf-hours", 120));
+  p.failure.mttr_hours = static_cast<double>(args.num("mttr-hours", 4));
+  p.failure.correlated_events_per_day =
+      static_cast<double>(args.num("corr-per-day", 1)) * 0.6;
+  p.failure.correlated_fraction =
+      static_cast<double>(args.num("corr-pct", 15)) / 100.0;
+  p.drain = hours(args.num("drain-hours", 12));
+  p.failure_seed = static_cast<std::uint64_t>(args.num("seed", 1)) + 42;
+
+  const core::DurabilityResult r = core::run_durability(p);
+  const core::RepairStats& s = r.stats;
+  std::printf(
+      "scheme=%s nodes=%d blocks=%zu days=%ld storage-overhead=%.2fx\n",
+      args.str("redundancy", "rep3").c_str(), p.repair.node_count, s.blocks,
+      args.num("days", 7),
+      static_cast<double>(p.repair.erasure
+                              ? p.repair.ec_data_fragments +
+                                    p.repair.ec_parity_fragments
+                              : p.repair.replicas) /
+          static_cast<double>(p.repair.erasure ? p.repair.ec_data_fragments
+                                               : 1));
+  std::printf(
+      "durability: lost=%llu/%zu unrecoverable=%.3e\n",
+      static_cast<unsigned long long>(s.blocks_lost), s.blocks,
+      r.unrecoverable_fraction);
+  std::printf(
+      "repair traffic: L=%.1fMB W=%.1fMB L/W=%.3f\n",
+      static_cast<double>(s.repair_bytes) / mB(1),
+      static_cast<double>(s.user_write_bytes) / mB(1), r.l_over_w);
+  std::printf(
+      "repairs: started=%llu completed=%llu retries=%llu verified=%llu "
+      "failed-writes=%llu\n",
+      static_cast<unsigned long long>(s.repairs_started),
+      static_cast<unsigned long long>(s.repairs_completed),
+      static_cast<unsigned long long>(s.repair_retries),
+      static_cast<unsigned long long>(s.verified_reconstructions),
+      static_cast<unsigned long long>(s.writes_failed));
+  std::printf("mttr: episodes=%zu mean=%.1fs p99=%.1fs open=%zu\n",
+              s.mttr_episodes, s.mttr_mean_s, s.mttr_p99_s, s.open_episodes);
+  std::printf("events=%llu\n", static_cast<unsigned long long>(r.events));
+  return 0;
+}
+
 int cmd_trace_gen(const Args& args) {
   const std::string workload = args.str("workload", "harvard");
   std::vector<trace::TraceRecord> records;
@@ -481,6 +580,7 @@ int main(int argc, char** argv) {
     if (cmd == "availability") return cmd_availability(args);
     if (cmd == "balance") return cmd_balance(args);
     if (cmd == "performance") return cmd_performance(args);
+    if (cmd == "repair") return cmd_repair(args);
     if (cmd == "trace-gen") return cmd_trace_gen(args);
   } catch (const UsageError&) {
     return usage();
