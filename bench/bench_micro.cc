@@ -12,10 +12,12 @@
 // loop-invariant computation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/key.h"
+#include "common/key_simd.h"
 #include "common/rng.h"
 #include "core/config.h"
 #include "core/system.h"
@@ -25,6 +27,7 @@
 #include "fs/key_encoding.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
+#include "sim/timing_wheel.h"
 #include "store/block_map.h"
 #include "store/ec.h"
 #include "store/lookup_cache.h"
@@ -53,6 +56,36 @@ void BM_KeyCompare(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KeyCompare);
+
+// Chunk-directory search as SortedKeyIndex does it: binary search over a
+// 128-key sorted run (store::kMaxChunk). _Scalar pins the plain limb-wise
+// compare; the unsuffixed variant uses the dispatched (AVX2 where
+// available) kernel from common/key_simd.h.
+void key_compare_batch_body(benchmark::State& state,
+                            std::size_t (*bound)(const Key*, std::size_t,
+                                                 const Key&)) {
+  std::vector<Key> keys = key_pool(20);
+  keys.resize(128);
+  std::sort(keys.begin(), keys.end());
+  const std::vector<Key> probes = key_pool(21);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bound(keys.data(), keys.size(), probes[i & (kKeyPoolSize - 1)]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_KeyCompareBatch(benchmark::State& state) {
+  key_compare_batch_body(state, key_lower_bound);
+}
+BENCHMARK(BM_KeyCompareBatch);
+
+void BM_KeyCompareBatch_Scalar(benchmark::State& state) {
+  key_compare_batch_body(state, key_lower_bound_scalar);
+}
+BENCHMARK(BM_KeyCompareBatch_Scalar);
 
 void BM_KeyAdd(benchmark::State& state) {
   const std::vector<Key> keys = key_pool(2);
@@ -124,9 +157,12 @@ void BM_HashedKey(benchmark::State& state) {
 }
 BENCHMARK(BM_HashedKey);
 
-void BM_EcEncode_8KB(benchmark::State& state) {
-  // (6,3) Reed–Solomon encode of an 8 KB block: 3 parity fragments of
-  // 1366 bytes each via the GF(2^8) table multiply.
+// (6,3) Reed–Solomon encode of an 8 KB block: 3 parity fragments of
+// 1366 bytes each. The _Scalar variants pin the plain table-multiply
+// kernel; the unsuffixed ones use the dispatched (GFNI/AVX2 where
+// available) mul_acc, so the pair quantifies the SIMD win on the same
+// machine.
+void ec_encode_body(benchmark::State& state) {
   const store::ErasureCodec codec(6, 3);
   Rng rng(17);
   std::vector<std::uint8_t> block(8192);
@@ -138,11 +174,20 @@ void BM_EcEncode_8KB(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8192);
 }
+
+void BM_EcEncode_8KB(benchmark::State& state) { ec_encode_body(state); }
 BENCHMARK(BM_EcEncode_8KB);
 
-void BM_EcDecode_8KB(benchmark::State& state) {
-  // Worst-case decode: all three data-fragment erasures, so every output
-  // byte goes through the inverted-submatrix multiply.
+void BM_EcEncode_8KB_Scalar(benchmark::State& state) {
+  store::gf256::use_mul_acc_kernel("scalar");
+  ec_encode_body(state);
+  store::gf256::use_mul_acc_kernel("auto");
+}
+BENCHMARK(BM_EcEncode_8KB_Scalar);
+
+// Worst-case decode: all three data-fragment erasures, so every output
+// byte goes through the inverted-submatrix multiply.
+void ec_decode_body(benchmark::State& state) {
   const store::ErasureCodec codec(6, 3);
   Rng rng(18);
   std::vector<std::uint8_t> block(8192);
@@ -161,7 +206,16 @@ void BM_EcDecode_8KB(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8192);
 }
+
+void BM_EcDecode_8KB(benchmark::State& state) { ec_decode_body(state); }
 BENCHMARK(BM_EcDecode_8KB);
+
+void BM_EcDecode_8KB_Scalar(benchmark::State& state) {
+  store::gf256::use_mul_acc_kernel("scalar");
+  ec_decode_body(state);
+  store::gf256::use_mul_acc_kernel("auto");
+}
+BENCHMARK(BM_EcDecode_8KB_Scalar);
 
 void BM_Sha1_8KB(benchmark::State& state) {
   const std::string data(8192, 'x');
@@ -364,6 +418,92 @@ void BM_EventQueuePushPopClosure(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
 }
 BENCHMARK(BM_EventQueuePushPopClosure);
+
+void BM_EventQueuePushPop_Heap(benchmark::State& state) {
+  // The BM_EventQueuePushPop churn loop on the reference heap backend
+  // (`--scheduler heap`): the wheel-vs-heap delta on identical work.
+  sim::EventQueue q(sim::SchedulerKind::kHeap);
+  sim::EventId ids[256];
+  std::uint64_t t = 0;
+  for (int i = 0; i < 4096; ++i) q.push(t + (i * 7919) % 4096, [] {});
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      ids[i] = q.push(t + 1 + (i * 127) % 1024, [] {});
+    }
+    for (int i = 0; i < 256; i += 3) q.cancel(ids[i]);
+    for (int i = 0; i < 170; ++i) {
+      sim::EventQueue::Event ev = q.pop();
+      t = ev.time;
+      benchmark::DoNotOptimize(ev.id);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_EventQueuePushPop_Heap);
+
+void BM_TimingWheelPushPop(benchmark::State& state) {
+  // The raw wheel without the EventQueue slab around it: steady-state
+  // insert/cancel/pop churn on a warm resident population, measuring
+  // pure scheduler cost (bucket placement, intrusive unlink, head
+  // refresh) with caller-managed slot recycling.
+  sim::TimingWheel w;
+  constexpr std::uint32_t kSlots = 8192;
+  w.ensure_capacity(kSlots);
+  std::vector<std::uint32_t> free_slots;
+  for (std::uint32_t s = kSlots; s-- > 0;) free_slots.push_back(s);
+  SimTime t = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint32_t s = free_slots.back();
+    free_slots.pop_back();
+    w.insert(s, (i * 7919) % 4096);
+  }
+  std::uint32_t batch[256];
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      batch[i] = free_slots.back();
+      free_slots.pop_back();
+      w.insert(batch[i], t + 1 + (i * 127) % 1024);
+    }
+    for (int i = 0; i < 256; i += 3) {
+      w.remove(batch[i]);
+      free_slots.push_back(batch[i]);
+    }
+    for (int i = 0; i < 170; ++i) {
+      const std::uint32_t s = w.pop_min();
+      t = w.slot_time(s);
+      free_slots.push_back(s);
+      benchmark::DoNotOptimize(s);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_TimingWheelPushPop);
+
+void BM_TimingWheelCascade(benchmark::State& state) {
+  // Worst-case cascading: each round scatters events across every wheel
+  // level (offsets span ~2^42 µs) relative to the advancing cursor, then
+  // drains, so pops repeatedly tear multi-level buckets down to level 0.
+  sim::TimingWheel w;
+  constexpr std::uint32_t kEvents = 4096;
+  w.ensure_capacity(kEvents);
+  std::vector<SimTime> offsets;
+  offsets.reserve(kEvents);
+  for (std::uint32_t i = 0; i < kEvents; ++i) {
+    offsets.push_back(static_cast<SimTime>(
+        (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull) &
+        ((std::uint64_t{1} << 42) - 1)));
+  }
+  for (auto _ : state) {
+    const SimTime base = w.cursor();
+    for (std::uint32_t s = 0; s < kEvents; ++s) {
+      w.insert(s, base + offsets[s]);
+    }
+    while (!w.empty()) benchmark::DoNotOptimize(w.pop_min());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kEvents);
+}
+BENCHMARK(BM_TimingWheelCascade);
 
 void BM_RetrievalCacheLookupInsert(benchmark::State& state) {
   // Steady-state PAST-style read cache at capacity: a hot working set

@@ -1,0 +1,169 @@
+#include "common/key_simd.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define D2_KEY_SIMD_X86 1
+#if defined(__GNUC__) || defined(__clang__)
+#include <immintrin.h>
+#endif
+#endif
+
+namespace d2 {
+namespace {
+
+/// True when SIMD kernels must not be selected: the D2_FORCE_SCALAR
+/// compile definition, or the environment variable set to anything but
+/// "" / "0". Read once at dispatch resolution — a fixed per-process
+/// input, like the CPU feature set, so determinism is unaffected.
+[[maybe_unused]] bool force_scalar() {
+#if defined(D2_FORCE_SCALAR)
+  return true;
+#else
+  const char* v = std::getenv("D2_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+#endif
+}
+
+std::size_t lower_scalar(const Key* keys, std::size_t n, const Key& needle) {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (keys[mid] < needle) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t upper_scalar(const Key* keys, std::size_t n, const Key& needle) {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (!(needle < keys[mid])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+#if defined(D2_KEY_SIMD_X86) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(D2_FORCE_SCALAR)
+#define D2_KEY_SIMD_AVX2 1
+
+/// a < b via two 32-byte equality probes. Keys are 8 native-endian
+/// uint64 limbs in big-endian word order, so the lowest differing *byte*
+/// offset identifies the most significant differing *limb* (bytes of
+/// more significant limbs come first and are all equal), and one word
+/// compare on that limb decides the order.
+__attribute__((target("avx2"))) inline bool key_less_avx2(const Key& a,
+                                                          const Key& b) {
+  const auto* pa = reinterpret_cast<const __m256i*>(&a);
+  const auto* pb = reinterpret_cast<const __m256i*>(&b);
+  const auto eq0 = static_cast<std::uint32_t>(_mm256_movemask_epi8(
+      _mm256_cmpeq_epi8(_mm256_loadu_si256(pa), _mm256_loadu_si256(pb))));
+  if (eq0 != 0xffffffffu) {
+    const unsigned limb = static_cast<unsigned>(__builtin_ctz(~eq0)) >> 3;
+    return a.limb(limb) < b.limb(limb);
+  }
+  const auto eq1 = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(_mm256_loadu_si256(pa + 1),
+                                             _mm256_loadu_si256(pb + 1))));
+  if (eq1 != 0xffffffffu) {
+    const unsigned limb = 4 + (static_cast<unsigned>(__builtin_ctz(~eq1)) >> 3);
+    return a.limb(limb) < b.limb(limb);
+  }
+  return false;  // equal
+}
+
+__attribute__((target("avx2"))) std::size_t lower_avx2(const Key* keys,
+                                                       std::size_t n,
+                                                       const Key& needle) {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    // Pull both possible next probes while this compare resolves.
+    D2_PREFETCH(keys + (lo + mid) / 2);
+    D2_PREFETCH(keys + (mid + 1 + hi) / 2);
+    if (key_less_avx2(keys[mid], needle)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+__attribute__((target("avx2"))) std::size_t upper_avx2(const Key* keys,
+                                                       std::size_t n,
+                                                       const Key& needle) {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    D2_PREFETCH(keys + (lo + mid) / 2);
+    D2_PREFETCH(keys + (mid + 1 + hi) / 2);
+    if (!key_less_avx2(needle, keys[mid])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+#endif  // D2_KEY_SIMD_AVX2
+
+using BoundFn = std::size_t (*)(const Key*, std::size_t, const Key&);
+
+struct Kernels {
+  BoundFn lower;
+  BoundFn upper;
+  const char* name;
+};
+
+Kernels resolve() {
+#if defined(D2_KEY_SIMD_AVX2)
+  if (!force_scalar() && __builtin_cpu_supports("avx2")) {
+    return Kernels{lower_avx2, upper_avx2, "avx2"};
+  }
+#endif
+  return Kernels{lower_scalar, upper_scalar, "scalar"};
+}
+
+const Kernels& kernels() {
+  static const Kernels k = resolve();
+  return k;
+}
+
+}  // namespace
+
+std::size_t key_lower_bound(const Key* keys, std::size_t n,
+                            const Key& needle) {
+  return kernels().lower(keys, n, needle);
+}
+
+std::size_t key_upper_bound(const Key* keys, std::size_t n,
+                            const Key& needle) {
+  return kernels().upper(keys, n, needle);
+}
+
+std::size_t key_lower_bound_scalar(const Key* keys, std::size_t n,
+                                   const Key& needle) {
+  return lower_scalar(keys, n, needle);
+}
+
+std::size_t key_upper_bound_scalar(const Key* keys, std::size_t n,
+                                   const Key& needle) {
+  return upper_scalar(keys, n, needle);
+}
+
+const char* key_search_kernel() { return kernels().name; }
+
+}  // namespace d2

@@ -1,0 +1,45 @@
+// Batched key-search kernels with runtime CPU dispatch (DESIGN.md §11).
+//
+// SortedKeyIndex bottoms out in binary searches over contiguous runs of
+// 64-byte Keys (chunk directory, in-chunk probes). Locality-preserving
+// keys share long prefixes, so the scalar limb-compare loop usually
+// walks 6-8 limbs with a branch per limb; the AVX2 kernel instead finds
+// the first differing limb with two 32-byte equality probes and resolves
+// the order with a single word compare.
+//
+// Dispatch is resolved once per process: AVX2 when the CPU has it,
+// otherwise the scalar path (always built). `D2_FORCE_SCALAR` — the
+// compile definition or a non-empty, non-"0" environment variable —
+// pins the scalar path for differential testing and non-SIMD CI.
+#pragma once
+
+#include <cstddef>
+
+#include "common/key.h"
+
+// Best-effort cache-line prefetch (no-op off GCC/Clang).
+#if defined(__GNUC__) || defined(__clang__)
+#define D2_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define D2_PREFETCH(addr) ((void)0)
+#endif
+
+namespace d2 {
+
+/// Index of the first key in the sorted run keys[0, n) that is >= needle
+/// (n when all are smaller). Same contract as std::lower_bound.
+std::size_t key_lower_bound(const Key* keys, std::size_t n, const Key& needle);
+
+/// Index of the first key in the sorted run keys[0, n) that is > needle.
+std::size_t key_upper_bound(const Key* keys, std::size_t n, const Key& needle);
+
+/// Always-built scalar references (differential tests, benches).
+std::size_t key_lower_bound_scalar(const Key* keys, std::size_t n,
+                                   const Key& needle);
+std::size_t key_upper_bound_scalar(const Key* keys, std::size_t n,
+                                   const Key& needle);
+
+/// Name of the kernel the dispatched entry points use: "avx2" | "scalar".
+const char* key_search_kernel();
+
+}  // namespace d2

@@ -16,7 +16,8 @@ AvailabilityExperiment::AvailabilityExperiment(const AvailabilityParams& params)
 
 AvailabilityResult AvailabilityExperiment::run() {
   sim::Simulator sim(
-      sim::ArcConfig{params_.system.arcs, params_.system.arc_workers, 0});
+      sim::ArcConfig{params_.system.arcs, params_.system.arc_workers, 0,
+                     params_.system.scheduler});
   sim.bind_metrics(params_.metrics);
   System system(params_.system, sim, params_.metrics);
   system.set_tracer(params_.tracer);

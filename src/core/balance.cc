@@ -48,7 +48,8 @@ struct ImbalanceSampler {
 
 BalanceResult BalanceExperiment::run() {
   sim::Simulator sim(
-      sim::ArcConfig{params_.system.arcs, params_.system.arc_workers, 0});
+      sim::ArcConfig{params_.system.arcs, params_.system.arc_workers, 0,
+                     params_.system.scheduler});
   sim.bind_metrics(params_.metrics);
   System system(params_.system, sim, params_.metrics);
   system.set_tracer(params_.tracer);

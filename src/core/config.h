@@ -5,6 +5,7 @@
 
 #include "common/units.h"
 #include "fs/volume.h"
+#include "sim/timing_wheel.h"
 
 namespace d2::core {
 
@@ -83,6 +84,11 @@ struct SystemConfig {
   /// N > 1 executes arc-local events and batched ops concurrently with
   /// the same deterministic output.
   int arc_workers = 1;
+
+  /// Event-queue backend (DESIGN.md §11): the hierarchical timing wheel,
+  /// or the binary heap retained as the differential reference. Seeded
+  /// outputs are byte-identical either way (`--scheduler heap|wheel`).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel;
 
   /// Run full-structure invariant audits (ring + block map cross-checks)
   /// after topology changes and sampled mutations, in any build. Paranoid

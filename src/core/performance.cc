@@ -99,7 +99,8 @@ PerformanceResult PerformanceExperiment::run() {
     lookahead = scratch.min_one_way_bound();
   }
   sim::Simulator sim(sim::ArcConfig{params_.system.arcs,
-                                    params_.system.arc_workers, lookahead});
+                                    params_.system.arc_workers, lookahead,
+                                    params_.system.scheduler});
   sim.bind_metrics(params_.metrics);
   System system(params_.system, sim, params_.metrics);
   system.set_tracer(params_.tracer);

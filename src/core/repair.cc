@@ -716,6 +716,7 @@ DurabilityResult run_durability(const DurabilityParams& params) {
   ac.arcs = params.repair.arcs;
   ac.workers = params.arc_workers;
   ac.lookahead = 0;
+  ac.scheduler = params.repair.scheduler;
   sim::Simulator sim(ac);
   RepairEngine engine(params.repair, sim);
   engine.populate(static_cast<std::int64_t>(params.blocks_per_node) *

@@ -85,6 +85,8 @@ struct RepairConfig {
 
   double mean_rtt_ms = 90.0;
   int arcs = 1;
+  /// Event-queue backend (wheel default; heap = differential reference).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kWheel;
   std::uint64_t seed = 1;
 };
 

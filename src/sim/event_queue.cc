@@ -17,6 +17,7 @@ std::uint32_t EventQueue::acquire_slot() {
   fns_.emplace_back();
   meta_.push_back(0);
   order_.push_back(0);
+  if (kind_ == SchedulerKind::kWheel) wheel_.ensure_capacity(fns_.size());
   return slot;
 }
 
@@ -25,7 +26,11 @@ EventId EventQueue::commit(SimTime t, std::uint32_t slot,
   const std::uint64_t seq = next_seq_++;
   order_[slot] = order;
   meta_[slot] = live_meta(make_tag(slot, seq));
-  heap_.push(Entry{t, make_tag(slot, seq)});
+  if (kind_ == SchedulerKind::kWheel) {
+    wheel_.insert(slot, t);
+  } else {
+    heap_.push(Entry{t, make_tag(slot, seq)});
+  }
   ++live_;
   D2_PARANOID_AUDIT(if (audit_gate_.due(meta_.size())) check_invariants());
   return make_id(slot, seq);
@@ -46,7 +51,11 @@ bool EventQueue::cancel(EventId id) {
   const std::uint64_t meta = meta_[slot];
   if (meta != live_meta(make_tag(slot, id & kSeqMask))) return false;
   release_slot(slot, meta);
-  drop_dead_top();
+  if (kind_ == SchedulerKind::kWheel) {
+    wheel_.remove(slot);
+  } else {
+    drop_dead_top();
+  }
   D2_PARANOID_AUDIT(if (audit_gate_.due(meta_.size())) check_invariants());
   return true;
 }
@@ -57,16 +66,26 @@ void EventQueue::drop_dead_top() {
 
 SimTime EventQueue::next_time() const {
   D2_REQUIRE(live_ != 0);
+  if (kind_ == SchedulerKind::kWheel) return wheel_.min_time();
   return heap_.top().time;  // invariant: top is live when live_ > 0
 }
 
 std::uint64_t EventQueue::next_order() const {
   D2_REQUIRE(live_ != 0);
+  if (kind_ == SchedulerKind::kWheel) return order_[wheel_.min_slot()];
   return order_[tag_slot(heap_.top().tag)];
 }
 
 EventQueue::Event EventQueue::pop() {
   D2_REQUIRE(live_ != 0);
+  if (kind_ == SchedulerKind::kWheel) {
+    const std::uint32_t slot = wheel_.pop_min();
+    const std::uint64_t seq = meta_[slot] >> kSlotBits;
+    Event ev{wheel_.slot_time(slot), make_id(slot, seq), fns_[slot]};
+    release_slot(slot, meta_[slot]);
+    D2_PARANOID_AUDIT(if (audit_gate_.due(meta_.size())) check_invariants());
+    return ev;
+  }
   const Entry top = heap_.top();
   D2_ASSERT(entry_live(top));
   heap_.pop();
@@ -113,11 +132,24 @@ void EventQueue::check_invariants() const {
   D2_ASSERT_MSG(free_count + live_count == slots,
                 "event queue: slot accounting does not cover the slab");
 
+  if (kind_ == SchedulerKind::kWheel) {
+    // Wheel: every live slot resident in exactly the bucket its time
+    // places it in, link symmetry, occupancy bitmaps, head == minimum.
+    D2_ASSERT_MSG(heap_.empty(), "event queue: heap populated in wheel mode");
+    wheel_.check_invariants(live_, [this](std::uint32_t s) {
+      D2_ASSERT_MSG((meta_[s] & kSlotMask) == kLiveMark,
+                    "event queue: wheel-resident slot not live");
+      return meta_[s] >> kSlotBits;
+    });
+    return;
+  }
+
   // Heap: ordering property holds, exactly the live slots have a live
   // entry, and a dead entry never sits on top.
-  struct HeapAccess : std::priority_queue<Entry, std::vector<Entry>, Later> {
-    static const std::vector<Entry>& container(
-        const std::priority_queue<Entry, std::vector<Entry>, Later>& q) {
+  // d2-lint: allow(priority-queue) — auditing the reference scheduler
+  using RefHeap = std::priority_queue<Entry, std::vector<Entry>, Later>;
+  struct HeapAccess : RefHeap {
+    static const std::vector<Entry>& container(const RefHeap& q) {
       return q.*(&HeapAccess::c);
     }
   };

@@ -1,20 +1,31 @@
 // Priority queue of timestamped events with stable FIFO ordering for ties
-// and O(log n) cancellation.
+// and O(1) cancellation.
 //
-// Layout: a priority queue of lightweight {time, seq} entries over two
+// Layout: an ordering structure of lightweight per-slot entries over two
 // parallel slot arrays — a hot 8-byte metadata word per slot (sequence
 // tag, free-list link, liveness mark packed together, so a liveness
-// check is one load and one compare) and a wide closure slab the heap
-// machinery never touches. Callbacks are InlineFunctions — closures live
-// inside their slab slot, not behind a std::function heap cell — and
-// push() constructs the closure directly in the slot (writing only the
-// capture's footprint), so push/cancel/pop perform no heap allocation at
-// all in steady state (both arrays grow to the high-water mark and stay
-// there; tests/test_alloc_guard.cc enforces this). Cancellation flips
-// the metadata word — it never touches the closure slab — and dead heap
-// entries are dropped when they surface at the top, so
+// check is one load and one compare) and a wide closure slab the
+// ordering machinery never touches. Callbacks are InlineFunctions —
+// closures live inside their slab slot, not behind a std::function heap
+// cell — and push() constructs the closure directly in the slot (writing
+// only the capture's footprint), so push/cancel/pop perform no heap
+// allocation at all in steady state (all arrays grow to the high-water
+// mark and stay there; tests/test_alloc_guard.cc enforces this).
+//
+// Two interchangeable scheduler backends order the slots
+// (SchedulerKind, DESIGN.md §11):
+//   - kWheel (default): a hierarchical timing wheel
+//     (sim/timing_wheel.h) with O(1) amortized push/cancel/pop;
+//     cancellation unlinks the slot from its intrusive bucket list.
+//   - kHeap: the original binary heap of {time, seq} entries, retained
+//     as the differential reference (`--scheduler heap`). Cancellation
+//     flips the metadata word — it never touches the heap — and dead
+//     entries are dropped when they surface at the top.
+// Both produce the exact same (time, seq) pop order, so every seeded
+// experiment output is byte-identical across `--scheduler heap|wheel`
+// (tests/test_event_queue.cc proves it property-by-property).
 // `empty()`/`next_time()`/`pending()` are genuinely const O(1) reads
-// (invariant: the heap top is live, or the heap is empty).
+// under either backend.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +36,7 @@
 #include "common/assert.h"
 #include "common/inline_function.h"
 #include "common/units.h"
+#include "sim/timing_wheel.h"
 
 namespace d2::sim {
 
@@ -48,6 +60,11 @@ using EventFn = common::InlineFunction<void(), kEventCaptureBytes>;
 
 class EventQueue {
  public:
+  EventQueue() : EventQueue(SchedulerKind::kWheel) {}
+  explicit EventQueue(SchedulerKind kind) : kind_(kind) {}
+
+  SchedulerKind scheduler() const { return kind_; }
+
   /// Schedules callable `f` at time `t`. Events at equal times fire in
   /// insertion order. Returns an id usable with cancel(). The closure is
   /// built in place in its slab slot (no intermediate EventFn copy); its
@@ -173,10 +190,15 @@ class EventQueue {
   /// Returns `slot` (whose current meta word is `meta`) to the free list.
   void release_slot(std::uint32_t slot, std::uint64_t meta);
 
-  /// Restores the invariant after cancel/pop: discard heap entries whose
-  /// slot was already freed until a live one (or nothing) is on top.
+  /// Restores the invariant after cancel/pop (heap backend only):
+  /// discard heap entries whose slot was already freed until a live one
+  /// (or nothing) is on top.
   void drop_dead_top();
 
+  SchedulerKind kind_;
+  TimingWheel wheel_;  // ordering structure for kWheel (empty for kHeap)
+  // Ordering structure for kHeap (empty for kWheel).
+  // d2-lint: allow(priority-queue) — this IS the reference scheduler
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::vector<EventFn> fns_;          // wide slab: only push/pop touch it
   std::vector<std::uint64_t> meta_;   // hot: seq | live-or-free-link

@@ -40,6 +40,10 @@ struct ArcConfig {
   /// global events only (correct whenever cross-arc effects go through
   /// the global queue or the mailbox, which the lane rules enforce).
   SimTime lookahead = 0;
+  /// Scheduler backend for every queue: the timing wheel, or the binary
+  /// heap kept as the differential reference (`--scheduler heap`). Pop
+  /// order is identical either way.
+  SchedulerKind scheduler = SchedulerKind::kWheel;
 };
 
 /// Deterministic cross-arc message buffer. post() is called by lanes

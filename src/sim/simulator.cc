@@ -8,10 +8,19 @@ namespace d2::sim {
 
 thread_local constinit Simulator::LaneCtx Simulator::tl_lane_;
 
+namespace {
+std::vector<EventQueue> make_queues(const ArcConfig& cfg) {
+  std::vector<EventQueue> queues;
+  queues.reserve(static_cast<std::size_t>(cfg.arcs) + 1);
+  for (int i = 0; i <= cfg.arcs; ++i) queues.emplace_back(cfg.scheduler);
+  return queues;
+}
+}  // namespace
+
 Simulator::Simulator(const ArcConfig& cfg)
     : arcs_(cfg.arcs),
       lookahead_(cfg.lookahead),
-      queues_(static_cast<std::size_t>(cfg.arcs) + 1),
+      queues_(make_queues(cfg)),
       pool_(cfg.workers),
       lane_pushes_(static_cast<std::size_t>(cfg.arcs), 0),
       lane_events_(static_cast<std::size_t>(cfg.arcs), 0),

@@ -1,0 +1,141 @@
+#include "sim/timing_wheel.h"
+
+namespace d2::sim {
+
+void TimingWheel::ensure_capacity(std::size_t slots) {
+  if (slots <= next_.size()) return;
+  next_.resize(slots, kNil);
+  prev_.resize(slots, kNil);
+  time_.resize(slots, 0);
+}
+
+void TimingWheel::link(int bucket, std::uint32_t slot) {
+  Bucket& bk = buckets_[static_cast<std::size_t>(bucket)];
+  prev_[slot] = bk.tail;
+  next_[slot] = kNil;
+  if (bk.tail == kNil) {
+    bk.head = slot;
+    if (bucket < kNumWheelBuckets) {
+      occupied_[static_cast<std::size_t>(bucket) / kWheelSlots] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(bucket) % kWheelSlots);
+    }
+  } else {
+    next_[bk.tail] = slot;
+  }
+  bk.tail = slot;
+}
+
+void TimingWheel::unlink(int bucket, std::uint32_t slot) {
+  Bucket& bk = buckets_[static_cast<std::size_t>(bucket)];
+  if (prev_[slot] != kNil) {
+    next_[prev_[slot]] = next_[slot];
+  } else {
+    bk.head = next_[slot];
+  }
+  if (next_[slot] != kNil) {
+    prev_[next_[slot]] = prev_[slot];
+  } else {
+    bk.tail = prev_[slot];
+  }
+  if (bk.head == kNil && bucket < kNumWheelBuckets) {
+    occupied_[static_cast<std::size_t>(bucket) / kWheelSlots] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(bucket) % kWheelSlots));
+  }
+}
+
+void TimingWheel::insert(std::uint32_t slot, SimTime t) {
+  D2_REQUIRE_MSG(slot < next_.size(),
+                 "timing wheel: insert past capacity (ensure_capacity first)");
+  time_[slot] = t;
+  link(place(t), slot);
+  ++live_;
+  // Strict <: an equal-time incumbent was inserted earlier (smaller seq)
+  // and keeps the head.
+  if (head_ == kNil || t < time_[head_]) head_ = slot;
+}
+
+void TimingWheel::remove(std::uint32_t slot) {
+  D2_REQUIRE_MSG(slot < next_.size() && live_ > 0,
+                 "timing wheel: remove of a non-resident slot");
+  unlink(place(time_[slot]), slot);
+  --live_;
+  if (slot == head_) refresh_head();
+}
+
+std::uint32_t TimingWheel::pop_min() {
+  D2_ASSERT(head_ != kNil);
+  const std::uint32_t slot = head_;
+  const SimTime t = time_[slot];
+  const int bucket = place(t);
+  unlink(bucket, slot);
+  --live_;
+  if (t > cur_) {
+    cur_ = t;
+    // Only the popped minimum's own bucket can hold events whose
+    // placement changed: anything that would now land on a lower level
+    // was already earlier than the minimum — impossible. Level-0 buckets
+    // pin one absolute time each, so they never redistribute.
+    if (bucket >= kWheelSlots) cascade(bucket);
+  }
+  refresh_head();
+  return slot;
+}
+
+void TimingWheel::cascade(int bucket) {
+  Bucket& bk = buckets_[static_cast<std::size_t>(bucket)];
+  std::uint32_t s = bk.head;
+  bk.head = bk.tail = kNil;
+  if (bucket < kNumWheelBuckets) {
+    occupied_[static_cast<std::size_t>(bucket) / kWheelSlots] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(bucket) % kWheelSlots));
+  }
+  // Re-linking in list order preserves seq order: every target bucket at
+  // a lower level is empty (see pop_min), and overflow re-appends keep
+  // their relative order.
+  while (s != kNil) {
+    const std::uint32_t nxt = next_[s];
+    link(place(time_[s]), s);
+    s = nxt;
+  }
+}
+
+void TimingWheel::refresh_head() {
+  if (live_ == 0) {
+    head_ = kNil;
+    return;
+  }
+  // Overdue times sit below cur_ <= every wheel/overflow time.
+  if (buckets_[kOverdueBucket].head != kNil) {
+    head_ = scan_min(kOverdueBucket);
+    return;
+  }
+  // The lowest non-empty level holds the minimum: a level-l resident
+  // agrees with cur_ on all digits above l and exceeds it at digit l, so
+  // lower levels are strictly earlier. Within a level the lowest
+  // occupied bucket is earliest for the same reason, one digit down.
+  for (int level = 0; level < kLevels; ++level) {
+    const std::uint64_t occ = occupied_[static_cast<std::size_t>(level)];
+    if (occ == 0) continue;
+    const int bucket = level * kWheelSlots + std::countr_zero(occ);
+    // Level 0: one absolute time per bucket, list head == minimum seq.
+    head_ = level == 0 ? buckets_[static_cast<std::size_t>(bucket)].head
+                       : scan_min(bucket);
+    return;
+  }
+  head_ = scan_min(kOverflowBucket);
+}
+
+std::uint32_t TimingWheel::scan_min(int bucket) const {
+  std::uint32_t best = buckets_[static_cast<std::size_t>(bucket)].head;
+  SimTime best_time = time_[best];
+  // First occurrence of the minimum time wins: list order == seq order.
+  for (std::uint32_t s = next_[best]; s != kNil; s = next_[s]) {
+    if (time_[s] < best_time) {
+      best = s;
+      best_time = time_[s];
+    }
+  }
+  return best;
+}
+
+}  // namespace d2::sim

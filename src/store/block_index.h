@@ -22,6 +22,7 @@
 
 #include "common/assert.h"
 #include "common/key.h"
+#include "common/key_simd.h"
 
 namespace d2::store {
 
@@ -256,30 +257,13 @@ class SortedKeyIndex {
         (hint_ == 0 || last_[hint_ - 1] < k)) {
       return hint_;
     }
-    std::size_t lo = 0, hi = last_.size();
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (last_[mid] < k) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    hint_ = lo;
-    return lo;
+    // Batched (SIMD-dispatched) search over the contiguous directory.
+    hint_ = key_lower_bound(last_.data(), last_.size(), k);
+    return hint_;
   }
 
   static std::size_t lower_bound_in(const Chunk& c, const Key& k) {
-    std::size_t lo = 0, hi = c.keys.size();
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (c.keys[mid] < k) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+    return key_lower_bound(c.keys.data(), c.keys.size(), k);
   }
 
   /// Splits chunk `ci` in half; the lower half stays in place.
@@ -304,9 +288,11 @@ class SortedKeyIndex {
 
   template <class Fn>
   bool walk_all(Fn&& fn) {
-    for (const auto& c : chunks_) {
-      for (std::size_t i = 0; i < c->keys.size(); ++i) {
-        if (!fn(c->keys[i], c->vals[i])) return false;
+    for (std::size_t ci = 0; ci < chunks_.size(); ++ci) {
+      Chunk& c = *chunks_[ci];
+      if (ci + 1 < chunks_.size()) D2_PREFETCH(chunks_[ci + 1]->keys.data());
+      for (std::size_t i = 0; i < c.keys.size(); ++i) {
+        if (!fn(c.keys[i], c.vals[i])) return false;
       }
     }
     return true;
@@ -317,6 +303,8 @@ class SortedKeyIndex {
   bool walk_range(const Key& from, const Key& to, Fn&& fn) {
     for (std::size_t ci = chunk_for(from); ci < chunks_.size(); ++ci) {
       Chunk& c = *chunks_[ci];
+      // Pull the next chunk's key array while this one streams.
+      if (ci + 1 < chunks_.size()) D2_PREFETCH(chunks_[ci + 1]->keys.data());
       // First key strictly greater than `from` (only relevant in the
       // first candidate chunk; later chunks start past it).
       std::size_t i = upper_bound_in(c, from);
@@ -342,16 +330,7 @@ class SortedKeyIndex {
   }
 
   static std::size_t upper_bound_in(const Chunk& c, const Key& k) {
-    std::size_t lo = 0, hi = c.keys.size();
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (!(k < c.keys[mid])) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+    return key_upper_bound(c.keys.data(), c.keys.size(), k);
   }
 
   std::vector<std::unique_ptr<Chunk>> chunks_;  // ordered by key range

@@ -173,6 +173,93 @@ TEST(ErasureCodec, TinyAndPaddedBlocks) {
   }
 }
 
+// --- SIMD kernel differentials (DESIGN.md §11) ---
+
+TEST(Gf256, MulAccKernelsMatchScalarExhaustively) {
+  // Every kernel runnable on this CPU vs the scalar reference: all 256
+  // coefficients crossed with lengths around the 32-byte vector width
+  // (tail handling) plus a long unaligned-ish run.
+  const auto kernels = gf256::mul_acc_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels.front().name, "scalar");
+  Rng rng(97);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{31},
+                                std::size_t{32}, std::size_t{33},
+                                std::size_t{64}, std::size_t{95},
+                                std::size_t{1000}}) {
+    const std::vector<std::uint8_t> src = random_block(rng, len);
+    const std::vector<std::uint8_t> base = random_block(rng, len);
+    for (int c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<std::uint8_t>(c);
+      std::vector<std::uint8_t> want = base;
+      gf256::mul_acc_scalar(want.data(), src.data(), coeff,
+                            static_cast<Bytes>(len));
+      for (const auto& k : kernels) {
+        std::vector<std::uint8_t> got = base;
+        k.fn(got.data(), src.data(), coeff, static_cast<Bytes>(len));
+        ASSERT_EQ(got, want) << "kernel=" << k.name << " coeff=" << c
+                             << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(Gf256, KernelPinningRoundTrips) {
+  const char* initial = gf256::mul_acc_kernel();
+  for (const auto& k : gf256::mul_acc_kernels()) {
+    gf256::use_mul_acc_kernel(k.name);
+    EXPECT_STREQ(gf256::mul_acc_kernel(), k.name);
+  }
+  gf256::use_mul_acc_kernel("auto");
+  EXPECT_STREQ(gf256::mul_acc_kernel(), initial);
+  EXPECT_THROW(gf256::use_mul_acc_kernel("no-such-kernel"),
+               PreconditionError);
+}
+
+TEST(ErasureCodec, AllErasurePatternsIdenticalAcrossKernels) {
+  // The satellite guarantee behind `--scheduler`-style gating for EC:
+  // encode and every-k-subset decode are byte-identical no matter which
+  // mul_acc kernel is live. k=4, m=3 keeps the subset count (35) small
+  // enough to cross with every kernel pair.
+  Rng rng(61);
+  const int k = 4;
+  const int m = 3;
+  const int n = k + m;
+  const ErasureCodec codec(k, m);
+  const std::vector<std::uint8_t> block = random_block(rng, 4 * 33 + 2);
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> encodes;
+  const auto kernels = gf256::mul_acc_kernels();
+  for (const auto& kern : kernels) {
+    gf256::use_mul_acc_kernel(kern.name);
+    encodes.push_back(codec.encode(block));
+  }
+  for (std::size_t i = 1; i < encodes.size(); ++i) {
+    ASSERT_EQ(encodes[i], encodes[0])
+        << "encode differs: " << kernels[i].name << " vs scalar";
+  }
+
+  const auto& frags = encodes[0];
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) != k) continue;
+    std::vector<int> present;
+    std::vector<const std::uint8_t*> ptrs;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        present.push_back(i);
+        ptrs.push_back(frags[static_cast<std::size_t>(i)].data());
+      }
+    }
+    for (const auto& kern : kernels) {
+      gf256::use_mul_acc_kernel(kern.name);
+      ASSERT_EQ(codec.decode(present, ptrs, static_cast<Bytes>(block.size())),
+                block)
+          << "kernel=" << kern.name << " mask=" << mask;
+    }
+  }
+  gf256::use_mul_acc_kernel("auto");
+}
+
 TEST(ErasureCodec, RejectsBadGeometry) {
   EXPECT_THROW(ErasureCodec(0, 3), PreconditionError);
   EXPECT_THROW(ErasureCodec(200, 100), PreconditionError);

@@ -1,0 +1,331 @@
+// Differential property tests: the timing-wheel scheduler vs the
+// reference binary heap (sim/event_queue.h, DESIGN.md §11).
+//
+// Every test drives two EventQueues — one per SchedulerKind — through an
+// identical op schedule and asserts the *observable* state agrees after
+// every single op: empty/pending, next_time, next_order, cancel results,
+// and the exact (time, id) of every pop. Because slot allocation and seq
+// assignment live in the shared slab (not the scheduler), the EventIds
+// themselves must match too, which pins equal-time FIFO order down to the
+// id. check_invariants() runs on both queues after every op, so any
+// structural drift (wheel bucket membership, heap property, free list)
+// surfaces at the op that caused it, not at the end.
+//
+// Coverage targets the wheel's hard cases: equal-time FIFO runs,
+// cancel-at-top (head-cache refresh without advancing the clock),
+// cascade boundaries (times straddling 64^k digit rollovers), overdue
+// pushes (below the cursor after a pop), overflow times (above bit 47,
+// including kSimTimeNever), seq-tag reuse under slot churn, and long
+// randomized push/cancel/pop schedules over several time magnitudes.
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace d2::sim {
+namespace {
+
+/// Drives a wheel-backed and a heap-backed queue in lockstep and checks
+/// observable equivalence after every operation.
+class QueuePair {
+ public:
+  QueuePair() : wheel_(SchedulerKind::kWheel), heap_(SchedulerKind::kHeap) {}
+
+  EventId push(SimTime t) {
+    const EventId a = wheel_.push(t, [] {});
+    const EventId b = heap_.push(t, [] {});
+    EXPECT_EQ(a, b) << "slot/seq allocation diverged at t=" << t;
+    compare();
+    return a;
+  }
+
+  EventId push_ordered(SimTime t, std::uint64_t order) {
+    const EventId a = wheel_.push_ordered(t, order, [] {});
+    const EventId b = heap_.push_ordered(t, order, [] {});
+    EXPECT_EQ(a, b);
+    compare();
+    return a;
+  }
+
+  bool cancel(EventId id) {
+    const bool a = wheel_.cancel(id);
+    const bool b = heap_.cancel(id);
+    EXPECT_EQ(a, b) << "cancel result diverged for id=" << id;
+    compare();
+    return a;
+  }
+
+  std::pair<SimTime, EventId> pop() {
+    const EventQueue::Event a = wheel_.pop();
+    const EventQueue::Event b = heap_.pop();
+    EXPECT_EQ(a.time, b.time) << "pop time diverged";
+    EXPECT_EQ(a.id, b.id) << "pop id diverged at t=" << a.time;
+    compare();
+    return {a.time, a.id};
+  }
+
+  bool empty() const { return wheel_.empty(); }
+  std::size_t pending() const { return wheel_.pending(); }
+  SimTime next_time() const { return wheel_.next_time(); }
+
+  /// Drains both queues, asserting the merged stream is sorted by
+  /// (time, id-order) — FIFO for equal times because ids carry seqs.
+  std::vector<std::pair<SimTime, EventId>> drain() {
+    std::vector<std::pair<SimTime, EventId>> out;
+    SimTime prev_t = 0;
+    bool first = true;
+    while (!empty()) {
+      const auto [t, id] = pop();
+      if (!first) {
+        EXPECT_LE(prev_t, t) << "pop stream went backwards";
+      }
+      first = false;
+      prev_t = t;
+      out.push_back({t, id});
+    }
+    return out;
+  }
+
+ private:
+  void compare() {
+    ASSERT_NO_THROW(wheel_.check_invariants());
+    ASSERT_NO_THROW(heap_.check_invariants());
+    ASSERT_EQ(wheel_.empty(), heap_.empty());
+    ASSERT_EQ(wheel_.pending(), heap_.pending());
+    if (!wheel_.empty()) {
+      ASSERT_EQ(wheel_.next_time(), heap_.next_time());
+      ASSERT_EQ(wheel_.next_order(), heap_.next_order());
+    }
+  }
+
+  EventQueue wheel_;
+  EventQueue heap_;
+};
+
+TEST(EventQueueDifferential, EqualTimeTiesPopInPushOrder) {
+  QueuePair q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(q.push(seconds(5)));
+  for (int i = 0; i < 200; ++i) {
+    const auto [t, id] = q.pop();
+    EXPECT_EQ(t, seconds(5));
+    EXPECT_EQ(id, ids[static_cast<std::size_t>(i)])
+        << "FIFO order broken at pop " << i;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueDifferential, InterleavedTiesKeepPerTimeFifo) {
+  // Two interleaved time values: ties within each must stay FIFO even
+  // though pushes alternate.
+  QueuePair q;
+  for (int i = 0; i < 50; ++i) {
+    q.push(milliseconds(1 + (i % 2)));
+  }
+  q.drain();
+}
+
+TEST(EventQueueDifferential, CancelAtTopRefreshesHead) {
+  QueuePair q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.push(milliseconds(i)));
+  }
+  // Cancel the current minimum repeatedly; next_time must step forward
+  // without the wheel advancing its clock (later overdue pushes stay
+  // legal, checked by the randomized schedules).
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(q.next_time(), milliseconds(i));
+    EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(q.next_time(), milliseconds(32));
+  q.drain();
+}
+
+TEST(EventQueueDifferential, CancelUnknownAndStaleIdsAreNoOps) {
+  QueuePair q;
+  const EventId id = q.push(seconds(1));
+  EXPECT_FALSE(q.cancel(id + (std::uint64_t{1} << 36)));  // unknown slot
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  const EventId reused = q.push(seconds(2));
+  EXPECT_FALSE(q.cancel(id)) << "stale id cancelled the slot's new tenant";
+  EXPECT_TRUE(q.cancel(reused));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueDifferential, SeqTagReuseUnderSlotChurn) {
+  // Hammer a small slot population so slots recycle constantly; stale
+  // ids from earlier generations must never cancel the new occupant.
+  QueuePair q;
+  Rng rng(11);
+  std::vector<EventId> stale;
+  std::vector<EventId> live;
+  for (int round = 0; round < 400; ++round) {
+    const EventId id = q.push(static_cast<SimTime>(rng.next_below(1000)));
+    live.push_back(id);
+    if (live.size() > 4) {
+      const std::size_t pick = rng.next_below(live.size());
+      q.cancel(live[pick]);
+      stale.push_back(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (!stale.empty() && round % 7 == 0) {
+      EXPECT_FALSE(q.cancel(stale[rng.next_below(stale.size())]));
+    }
+  }
+  q.drain();
+}
+
+TEST(EventQueueDifferential, CascadeBoundaries) {
+  // Times straddling every 64^k digit rollover the wheel can represent:
+  // popping the event just below a boundary forces the event just above
+  // it to cascade down one or more levels.
+  QueuePair q;
+  std::vector<SimTime> times;
+  for (int level = 1; level < 8; ++level) {
+    const SimTime boundary = SimTime{1} << (6 * level);
+    times.push_back(boundary - 1);
+    times.push_back(boundary);
+    times.push_back(boundary + 1);
+    times.push_back(2 * boundary - 1);
+    times.push_back(2 * boundary);
+  }
+  // Push in a fixed shuffled order (worst case for level locality).
+  Rng rng(3);
+  for (std::size_t i = times.size(); i > 1; --i) {
+    std::swap(times[i - 1], times[rng.next_below(i)]);
+  }
+  for (const SimTime t : times) q.push(t);
+  const auto popped = q.drain();
+  std::sort(times.begin(), times.end());
+  ASSERT_EQ(popped.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(popped[i].first, times[i]);
+  }
+}
+
+TEST(EventQueueDifferential, CascadePreservesFifoWithinBoundaryTies) {
+  // Several events at the *same* far-future time, pushed before a near
+  // event; popping the near event cascades the tied group as a unit and
+  // must keep its internal push order.
+  QueuePair q;
+  const SimTime far = (SimTime{1} << 24) + 17;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(q.push(far));
+  q.push(seconds(1));
+  const auto popped = q.drain();
+  ASSERT_EQ(popped.size(), 21u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(popped[static_cast<std::size_t>(i + 1)].second,
+              ids[static_cast<std::size_t>(i)])
+        << "cascade reordered equal-time events";
+  }
+}
+
+TEST(EventQueueDifferential, OverduePushesPopFirst) {
+  QueuePair q;
+  q.push(seconds(10));
+  EXPECT_EQ(q.pop().first, seconds(10));  // wheel cursor is now at 10s
+  q.push(seconds(20));
+  q.push(seconds(3));  // below the cursor: overdue list
+  q.push(seconds(4));
+  EXPECT_EQ(q.next_time(), seconds(3));
+  const auto popped = q.drain();
+  ASSERT_EQ(popped.size(), 3u);
+  EXPECT_EQ(popped[0].first, seconds(3));
+  EXPECT_EQ(popped[1].first, seconds(4));
+  EXPECT_EQ(popped[2].first, seconds(20));
+}
+
+TEST(EventQueueDifferential, OverflowTimesBeyondWheelHorizon) {
+  // Times whose top 16 bits differ from the cursor live on the overflow
+  // list until the clock gets close enough; kSimTimeNever (INT64_MAX)
+  // must be representable and pop last.
+  QueuePair q;
+  const SimTime horizon = SimTime{1} << 48;
+  q.push(kSimTimeNever);
+  q.push(horizon + seconds(1));
+  q.push(horizon);
+  q.push(seconds(1));
+  const auto popped = q.drain();
+  ASSERT_EQ(popped.size(), 4u);
+  EXPECT_EQ(popped[0].first, seconds(1));
+  EXPECT_EQ(popped[1].first, horizon);
+  EXPECT_EQ(popped[2].first, horizon + seconds(1));
+  EXPECT_EQ(popped[3].first, kSimTimeNever);
+}
+
+TEST(EventQueueDifferential, ExplicitMergeOrdersAgree) {
+  // push_ordered carries the simulator's cross-queue merge key; both
+  // backends must surface the same next_order at every step.
+  QueuePair q;
+  std::uint64_t order = 100;
+  Rng rng(17);
+  for (int i = 0; i < 64; ++i) {
+    q.push_ordered(static_cast<SimTime>(rng.next_below(50)), order++);
+  }
+  q.drain();
+}
+
+// Long randomized schedules over several time magnitudes. The magnitude
+// sweep matters: small ranges stress level-0 ties and overdue pushes,
+// large ranges stress multi-level cascades and the overflow list.
+class EventQueueRandomized
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(EventQueueRandomized, SchedulesAgreeOpByOp) {
+  const auto [seed, range] = GetParam();
+  Rng rng(seed);
+  QueuePair q;
+  std::vector<EventId> live;
+  SimTime clock = 0;
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 55 || q.empty()) {
+      // Push around the current clock; one in eight goes far out or to
+      // kSimTimeNever to keep the overflow list busy.
+      SimTime t = clock + static_cast<SimTime>(rng.next_below(range));
+      if (roll % 8 == 0) {
+        t = (rng.next_below(2) != 0) ? kSimTimeNever
+                                     : t + (SimTime{1} << 49);
+      }
+      live.push_back(q.push(t));
+    } else if (roll < 80 && !live.empty()) {
+      const std::size_t pick = rng.next_below(live.size());
+      q.cancel(live[pick]);  // may be stale (already popped): both agree
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      // Overdue events (pushed below the clock) legitimately pop below
+      // it, so the clock only ratchets forward.
+      clock = std::max(clock, q.pop().first);
+      // Occasionally push *behind* the new clock to exercise overdue.
+      if (roll % 5 == 0 && clock > 0) {
+        live.push_back(
+            q.push(static_cast<SimTime>(rng.next_below(
+                static_cast<std::uint64_t>(clock)))));
+      }
+    }
+  }
+  q.drain();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRanges, EventQueueRandomized,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{1, 64},
+                      std::pair<std::uint64_t, std::uint64_t>{2, 4096},
+                      std::pair<std::uint64_t, std::uint64_t>{3, 1u << 20},
+                      std::pair<std::uint64_t, std::uint64_t>{4,
+                                                              1ull << 40}));
+
+}  // namespace
+}  // namespace d2::sim

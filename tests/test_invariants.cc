@@ -37,6 +37,23 @@ struct EventQueueTestPeer {
   static std::vector<std::uint64_t>& meta(EventQueue& q) { return q.meta_; }
   static std::size_t& live(EventQueue& q) { return q.live_; }
   static constexpr std::uint64_t slot_mask() { return EventQueue::kSlotMask; }
+  // Timing-wheel internals (TimingWheel befriends this peer too), for the
+  // wheel corruption-injection tests.
+  static std::vector<SimTime>& wheel_time(EventQueue& q) {
+    return q.wheel_.time_;
+  }
+  static std::vector<std::uint32_t>& wheel_next(EventQueue& q) {
+    return q.wheel_.next_;
+  }
+  static std::vector<std::uint32_t>& wheel_prev(EventQueue& q) {
+    return q.wheel_.prev_;
+  }
+  static std::uint64_t& wheel_occupied(EventQueue& q, int level) {
+    return q.wheel_.occupied_[static_cast<std::size_t>(level)];
+  }
+  static std::uint32_t& wheel_head(EventQueue& q) { return q.wheel_.head_; }
+  static std::size_t& wheel_live(EventQueue& q) { return q.wheel_.live_; }
+  static constexpr std::uint32_t wheel_nil() { return TimingWheel::kNil; }
 };
 
 }  // namespace d2::sim
@@ -230,6 +247,66 @@ TEST(Invariants, EventQueueDetectsLiveCountDrift) {
   ++sim::EventQueueTestPeer::live(q);
   ExpectInvariantNamed([&] { q.check_invariants(); },
                        "live-mark count disagrees with live_");
+}
+
+// ----------------------------------------------------------- timing wheel --
+// Each test breaks one wheel invariant on a healthy wheel-backed queue
+// (the default backend) and asserts the audit names it. Slot ids are the
+// slab allocation order: a fresh queue hands out 0, 1, 2, ...
+
+TEST(Invariants, WheelDetectsWrongBucketForSlotTime) {
+  sim::EventQueue q;
+  q.push(milliseconds(5), [] {});
+  // Rewrite the resident slot's time: place() now maps it elsewhere, so
+  // the bucket it physically sits in no longer matches its time.
+  sim::EventQueueTestPeer::wheel_time(q)[0] = milliseconds(9);
+  ExpectInvariantNamed([&] { q.check_invariants(); },
+                       "wrong bucket for its time");
+}
+
+TEST(Invariants, WheelDetectsBrokenPrevLink) {
+  sim::EventQueue q;
+  q.push(7, [] {});  // slot 0
+  q.push(7, [] {});  // slot 1: same bucket, linked after slot 0
+  sim::EventQueueTestPeer::wheel_prev(q)[1] =
+      sim::EventQueueTestPeer::wheel_nil();
+  ExpectInvariantNamed([&] { q.check_invariants(); }, "prev link broken");
+}
+
+TEST(Invariants, WheelDetectsLinkOutOfRange) {
+  sim::EventQueue q;
+  q.push(7, [] {});
+  q.push(7, [] {});
+  // Point a next link past the slot arrays (but not at the kNil end
+  // marker): the walk must bounds-check before following it.
+  sim::EventQueueTestPeer::wheel_next(q)[0] = 1000000;
+  ExpectInvariantNamed([&] { q.check_invariants(); }, "link out of range");
+}
+
+TEST(Invariants, WheelDetectsStaleOccupancyBit) {
+  sim::EventQueue q;
+  q.push(1, [] {});
+  // Claim some empty far-level bucket is occupied.
+  sim::EventQueueTestPeer::wheel_occupied(q, 5) |= std::uint64_t{1} << 33;
+  ExpectInvariantNamed([&] { q.check_invariants(); },
+                       "occupancy bit disagrees with bucket");
+}
+
+TEST(Invariants, WheelDetectsWrongHeadCache) {
+  sim::EventQueue q;
+  q.push(seconds(1), [] {});  // slot 0: the true minimum
+  q.push(seconds(2), [] {});  // slot 1
+  sim::EventQueueTestPeer::wheel_head(q) = 1;
+  ExpectInvariantNamed([&] { q.check_invariants(); },
+                       "head cache is not the (time, seq) minimum");
+}
+
+TEST(Invariants, WheelDetectsResidentCountDrift) {
+  sim::EventQueue q;
+  q.push(1, [] {});
+  ++sim::EventQueueTestPeer::wheel_live(q);
+  ExpectInvariantNamed([&] { q.check_invariants(); },
+                       "resident count disagrees with owner");
 }
 
 // ----------------------------------------------------------- sorted index --

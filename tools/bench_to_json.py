@@ -95,7 +95,8 @@ def time_d2sim(d2sim):
 # rung needs the arc-partitioned core — a single event queue exhausts its
 # 24-bit slot space holding the ~20M pending TTL events of a 10k-node
 # system, so every rung runs with --arcs=64.
-SCALE_RUNGS = [(256, 2560), (1000, 10000), (10000, 100000)]
+SCALE_RUNGS = [(256, 2560), (1000, 10000), (10000, 100000),
+               (50000, 1000000)]
 
 
 def run_scale_ladder(d2sim, arc_workers):

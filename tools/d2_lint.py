@@ -27,6 +27,12 @@ idioms, so this linter rejects them mechanically:
                        D2_REQUIRE / D2_ASSERT / D2_DCHECK / audit in its
                        body — entry points are expected to validate their
                        inputs or state.
+  priority-queue       std::priority_queue in src/sim/: the hierarchical
+                       timing wheel (sim/timing_wheel.h) is the scheduler
+                       hot path; a heap is only legitimate as the
+                       differential reference inside event_queue, and that
+                       use carries an allow() annotation. Anything else is
+                       a scheduler bypass.
   cross-arc-bypass     arc-sharded state (BlockMap slices, System TTL /
                        extended-set shards, per-arc op lists) indexed by
                        an expression that does not derive from the owning
@@ -60,6 +66,7 @@ RULES = (
     "pointer-key",
     "std-function",
     "unguarded-mutator",
+    "priority-queue",
     "cross-arc-bypass",
 )
 
@@ -117,6 +124,10 @@ UNORDERED_ITER_RE = re.compile(
 )
 POINTER_KEY_RE = re.compile(r"\bstd::(map|set)\s*<\s*[^,<>]*\*")
 STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+
+# Subsystem where a binary heap would bypass the timing-wheel scheduler.
+PRIORITY_QUEUE_DIRS = (os.sep + "sim" + os.sep,)
+PRIORITY_QUEUE_RE = re.compile(r"\bstd::priority_queue\s*<")
 
 # Arc-sharded members (one element per keyspace arc). Indexing one with
 # anything not derived from the owning arc is a partition-confinement
@@ -349,6 +360,24 @@ def lint_file(path, rules=None):
                 )
 
         if (
+            "priority-queue" in rules
+            and any(d in path for d in PRIORITY_QUEUE_DIRS)
+            and PRIORITY_QUEUE_RE.search(code)
+        ):
+            if not allowed(i, "priority-queue"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "priority-queue",
+                        "std::priority_queue in src/sim/ bypasses the "
+                        "timing-wheel scheduler; only event_queue's "
+                        "reference heap may use one (annotate with a "
+                        "d2-lint allow() saying why)",
+                    )
+                )
+
+        if (
             "std-function" in rules
             and any(d in path for d in STD_FUNCTION_DIRS)
             and STD_FUNCTION_RE.search(code)
@@ -523,6 +552,25 @@ SELF_TEST_CASES = [
         "src/store/x.cc",
         "void Table::insert(const Key& k, int v) {\n"
         "  D2_REQUIRE(v >= 0);\n  data_[k] = v;\n}\n",
+        None,
+    ),
+    (
+        "priority_queue in sim flagged",
+        "src/sim/x.h",
+        "std::priority_queue<Entry> heap_;\n",
+        "priority-queue",
+    ),
+    (
+        "priority_queue in sim allowed",
+        "src/sim/x.h",
+        "// d2-lint: allow(priority-queue) -- reference scheduler\n"
+        "std::priority_queue<Entry> heap_;\n",
+        None,
+    ),
+    (
+        "priority_queue outside sim clean",
+        "src/core/x.h",
+        "std::priority_queue<Task> backlog_;\n",
         None,
     ),
     (

@@ -21,6 +21,9 @@
 //                 parallelizes within each trial with identical output;
 //                 capped at hardware concurrency, forced to 1 by
 //                 --trace-out)
+//                 --scheduler=wheel|heap (event-queue backend: hierarchical
+//                 timing wheel, or the binary-heap differential reference;
+//                 output is byte-identical either way, see DESIGN.md §11)
 //                 --paranoid (full invariant audits after topology changes
 //                 and sampled mutations, in any build; slow but catches
 //                 state corruption at the mutation that caused it)
@@ -131,6 +134,8 @@ int usage() {
       "cores)\n"
       "          --arcs=P --arc-workers=W (partitioned simulation core; "
       "identical output for any P/W)\n"
+      "          --scheduler=wheel|heap (event-queue backend; identical "
+      "output, wheel is faster)\n"
       "          --paranoid (run full invariant audits during the "
       "simulation)\n"
       "  scheme: --scheme=d2|traditional|traditional-file|trad+merc\n"
@@ -211,6 +216,19 @@ int arc_workers(const Args& args) {
   return static_cast<int>(std::min(workers, cap));
 }
 
+/// --scheduler: event-queue backend. `wheel` (default) is the
+/// hierarchical timing wheel; `heap` keeps the binary-heap reference.
+/// Output is byte-identical either way.
+sim::SchedulerKind scheduler_kind(const Args& args) {
+  const std::string name = args.str("scheduler", "wheel");
+  if (name == "wheel") return sim::SchedulerKind::kWheel;
+  if (name == "heap") return sim::SchedulerKind::kHeap;
+  std::fprintf(stderr,
+               "invalid value for --scheduler: %s (expected heap|wheel)\n",
+               name.c_str());
+  throw UsageError("bad scheduler");
+}
+
 bool parse_scheme(const std::string& name, fs::KeyScheme* scheme,
                   bool* active_lb) {
   if (name == "d2") {
@@ -243,6 +261,7 @@ core::SystemConfig system_config(const Args& args) {
   c.paranoid_audits = args.flag("paranoid");
   c.arcs = arc_count(args);
   c.arc_workers = arc_workers(args);
+  c.scheduler = scheduler_kind(args);
   if (c.scatter_replicas > 0 && c.arcs > 1) {
     std::fprintf(stderr,
                  "--scatter requires --arcs=1 (hybrid placement couples "
@@ -492,6 +511,7 @@ int cmd_repair(const Args& args) {
   }
   p.repair.seed = static_cast<std::uint64_t>(args.num("seed", 1)) + 2000;
   p.repair.arcs = arc_count(args);
+  p.repair.scheduler = scheduler_kind(args);
   p.arc_workers = arc_workers(args);
   p.blocks_per_node = static_cast<int>(args.num("blocks-per-node", 50));
   p.writes_per_node_per_day = static_cast<double>(args.num("write-rate", 24));

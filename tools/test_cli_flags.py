@@ -23,6 +23,9 @@ CASES = [
     (["--arc-workers=xyz"], USAGE_EXIT, "non-numeric arc workers"),
     (["--accesses=-5"], USAGE_EXIT, "negative access rate"),
     (["--scatter=2", "--arcs=4"], USAGE_EXIT, "scatter with multiple arcs"),
+    (["--scheduler=bogus"], USAGE_EXIT, "unknown scheduler backend"),
+    (["--scheduler=wheel"], 0, "timing-wheel scheduler"),
+    (["--scheduler=heap"], 0, "reference heap scheduler"),
     (["--arcs=4", "--arc-workers=2"], 0, "valid partitioned run"),
     # Oversized worker requests clamp to hardware concurrency, not error.
     (["--arcs=4", "--arc-workers=9999"], 0, "worker count clamps"),
