@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/arena.h"
 #include "core/replay.h"
 #include "core/system.h"
 #include "trace/trace_io.h"
@@ -32,7 +33,8 @@ int main() {
 )";
 
   std::istringstream is(text);
-  const std::vector<trace::TraceRecord> records = trace::read_trace(is);
+  common::Arena arena;  // owns the parsed paths; outlives `records`
+  const std::vector<trace::TraceRecord> records = trace::read_trace(is, arena);
   std::printf("parsed %zu records\n", records.size());
 
   sim::Simulator sim;

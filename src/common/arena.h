@@ -1,0 +1,118 @@
+// Bump-pointer arena for trace generation (ROADMAP item 5).
+//
+// Workload generators and sim::FailureTrace build tens of millions of
+// small immutable objects (file paths, URLs, down-interval arrays) whose
+// lifetime is exactly the lifetime of their producer. Allocating each one
+// through the general-purpose heap dominates the setup phase of
+// million-user runs; an arena turns that into a pointer bump plus one
+// chunk allocation per few thousand objects, and frees everything at once
+// when the producer dies.
+//
+// The arena hands out raw storage (`alloc`), interned string views
+// (`intern`), and arrays of trivially-destructible objects
+// (`alloc_array`). Nothing is ever freed individually and no destructors
+// run, so only trivially-destructible payloads are allowed. Chunks are
+// heap blocks owned via unique_ptr, so moving the Arena (or an object
+// holding one) never invalidates handed-out pointers. Copying is
+// disabled: a copy could not share ownership of the storage behind
+// previously returned views.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace d2::common {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {
+    D2_REQUIRE(chunk_bytes > 0);
+  }
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` bytes at `align` (power of two).
+  /// Oversized requests get a dedicated chunk; the current bump chunk
+  /// stays active so its tail is not wasted.
+  char* alloc(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+    D2_REQUIRE(align > 0 && (align & (align - 1)) == 0);
+    std::size_t head = (used_ + align - 1) & ~(align - 1);
+    if (head + n > cap_) {
+      if (n + align > chunk_bytes_) return new_chunk(n + align, align);
+      grow();
+      head = (used_ + align - 1) & ~(align - 1);
+    }
+    char* p = base_ + head;
+    used_ = head + n;
+    return p;
+  }
+
+  /// Copies `s` into the arena and returns a view of the copy. Each call
+  /// stores a fresh copy — producers intern a path once at creation and
+  /// share the view across every record that mentions it.
+  std::string_view intern(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = alloc(s.size(), 1);
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Value-initialized array of `n` objects. No destructors ever run.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is freed without running destructors");
+    if (n == 0) return nullptr;
+    char* p = alloc(n * sizeof(T), alignof(T));
+    return new (p) T[n]();
+  }
+
+  /// Bytes handed out (excluding alignment padding and chunk slack).
+  std::size_t bytes_used() const { return total_used_; }
+  /// Bytes reserved from the heap across all chunks.
+  std::size_t bytes_reserved() const { return total_reserved_; }
+
+ private:
+  void grow() {
+    total_used_ += used_;
+    chunks_.push_back(std::make_unique<char[]>(chunk_bytes_));
+    base_ = chunks_.back().get();
+    cap_ = chunk_bytes_;
+    used_ = 0;
+    total_reserved_ += chunk_bytes_;
+  }
+
+  // Dedicated chunk for an oversized request; `n` already includes
+  // `align` bytes of slack so the aligned pointer plus the request fits.
+  char* new_chunk(std::size_t n, std::size_t align) {
+    auto block = std::make_unique<char[]>(n);
+    char* raw = block.get();
+    chunks_.push_back(std::move(block));
+    total_reserved_ += n;
+    total_used_ += n;
+    const auto addr = reinterpret_cast<std::uintptr_t>(raw);
+    return raw + ((align - (addr & (align - 1))) & (align - 1));
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* base_ = nullptr;
+  std::size_t used_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t total_used_ = 0;
+  std::size_t total_reserved_ = 0;
+};
+
+}  // namespace d2::common

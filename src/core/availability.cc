@@ -1,6 +1,7 @@
 #include "core/availability.h"
 
 #include <set>
+#include <string_view>
 
 #include "common/assert.h"
 #include "core/op_batch.h"
@@ -58,16 +59,18 @@ AvailabilityResult AvailabilityExperiment::run() {
   struct TaskAgg {
     bool failed = false;
     std::uint64_t blocks = 0;
-    std::set<std::string> files;
+    // Views into the generator's arena (gen outlives the aggregation).
+    std::set<std::string_view> files;
     std::set<int> nodes;
   };
   std::vector<TaskAgg> agg(tasks.size());
 
   AvailabilityResult result;
 
-  // Replay, batched (core/op_batch.h): records stage their ops until an
-  // event fence or the span cap forces a drain, then one arc phase
-  // applies the backlog in-lane. Get outcomes fold into the same task
+  // Replay, batched (core/op_batch.h): records stage their ops until a
+  // *global* event fence forces a drain, then one op window applies the
+  // backlog in-lane with each lane interleaving its arc's timer events
+  // by time (lane_advance). Get outcomes fold into the same task
   // aggregates the serial per-record loop produced (the aggregation is
   // order-insensitive across arcs).
   auto drain = [&] {
@@ -91,7 +94,10 @@ AvailabilityResult AvailabilityExperiment::run() {
     const trace::TraceRecord& r = records[i];
     const SimTime abs_t = params_.warmup + r.time;
     if (batch.should_flush_before(abs_t)) drain();
-    if (sim.next_event_time() <= abs_t) sim.run_until(abs_t);
+    // Only with an empty backlog may the coordinator advance the clock:
+    // a staged batch means no global event is due through abs_t (that is
+    // the fence), and its arc events merge into the op window instead.
+    if (batch.empty() && sim.next_event_time() <= abs_t) sim.run_until(abs_t);
     rec_ops.clear();
     volumes.apply(r, abs_t, rec_ops);
     const std::int32_t ti = record_task[i];
@@ -99,6 +105,9 @@ AvailabilityResult AvailabilityExperiment::run() {
     if (ti >= 0) agg[static_cast<std::size_t>(ti)].files.insert(r.path);
   }
   drain();
+  // Catch up timer events through the last record, as the per-record
+  // serial loop did (lanes leave events past their final op pending).
+  if (!records.empty()) sim.run_until(params_.warmup + records.back().time);
 
   // Aggregate.
   std::map<int, std::pair<std::uint64_t, std::uint64_t>> per_user;  // total, failed

@@ -41,6 +41,7 @@ struct ImbalanceSampler {
     result->imbalance.emplace_back(sim->now() - workload_start,
                                    system->load_imbalance());
     result->max_over_mean.push_back(system->max_over_mean_load());
+    // d2-sched: global — imbalance sample aggregates load across every arc
     sim->schedule_after(interval, *this);
   }
 };
@@ -83,6 +84,7 @@ BalanceResult BalanceExperiment::run() {
     }
     system.start_load_balancing();
     sim.run_until(params_.warmup);
+    // d2-sched: global — kicks off the whole-system imbalance sampler
     sim.schedule_after(0, sample);
 
     int next_day = 0;
@@ -115,6 +117,7 @@ BalanceResult BalanceExperiment::run() {
     WebCache cache(system, params_.system.scheme);
     trace::WebGenerator gen(params_.web);
     system.start_load_balancing();
+    // d2-sched: global — kicks off the whole-system imbalance sampler
     sim.schedule_after(0, sample);
 
     int next_day = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/assert.h"
@@ -22,13 +23,14 @@ std::string padded_index(std::uint64_t idx) {
 }
 
 void expand_range(std::vector<BlockAccess>& out, SimTime time, int user,
-                  const std::string& name, Bytes offset, Bytes length,
+                  std::string_view name, Bytes offset, Bytes length,
                   Bytes block_size) {
   if (length <= 0) return;
   const auto first = static_cast<std::uint64_t>(offset / block_size);
   const auto last = static_cast<std::uint64_t>((offset + length - 1) / block_size);
   for (std::uint64_t i = first; i <= last; ++i) {
-    out.push_back(BlockAccess{time, user, name + "\x01" + padded_index(i)});
+    out.push_back(
+        BlockAccess{time, user, std::string(name) + "\x01" + padded_index(i)});
   }
 }
 
@@ -39,7 +41,8 @@ std::vector<BlockAccess> LocalityAnalysis::from_harvard(
   std::vector<BlockAccess> out;
   // Mirror of file sizes so reads can be clamped to what exists. Keyed
   // find/insert/erase only; never iterated.
-  std::unordered_map<std::string, Bytes> sizes;  // d2-lint: allow(unordered-container)
+  // Arena-backed views from the generator: stable for its lifetime.
+  std::unordered_map<std::string_view, Bytes> sizes;  // d2-lint: allow(unordered-container)
   for (const trace::FileSpec& f : gen.initial_files()) sizes[f.path] = f.size;
 
   for (const trace::TraceRecord& r : gen.records()) {
@@ -81,7 +84,7 @@ std::vector<BlockAccess> LocalityAnalysis::from_hp(const trace::HpGenerator& gen
   std::vector<BlockAccess> out;
   out.reserve(gen.records().size());
   for (const trace::TraceRecord& r : gen.records()) {
-    out.push_back(BlockAccess{r.time, r.user, r.path});
+    out.push_back(BlockAccess{r.time, r.user, std::string(r.path)});
   }
   return out;
 }

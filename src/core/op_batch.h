@@ -3,21 +3,26 @@
 // The serial replay loop alternates run_until(record_time) with put/
 // remove/get calls — one synchronization point per record. With the
 // system sharded into arcs (DESIGN.md §9) the ops themselves are
-// key-local, so a backlog of them can be applied as one run_arc_phase:
-// every op is routed to the arc owning its key and executed *in-lane*,
-// in arrival order, using the explicit-time entry points (put_at et al.)
-// so TTL deadlines and removal delays are anchored exactly where the
-// one-run_until-per-op engine would put them.
+// key-local, so a backlog of them can be applied as one op *window*
+// (sim::Simulator::run_op_window): every op is routed to the arc owning
+// its key and executed in-lane, in arrival order, using the
+// explicit-time entry points (put_at et al.) so TTL deadlines and
+// removal delays are anchored exactly where the one-run_until-per-op
+// engine would put them.
 //
-// Equivalence with the serial loop rests on two flush rules the caller
-// checks via should_flush_before(t) before staging an op at time t:
-//   1. event fence — if any pending simulator event fires at or before
-//      t, it would have run before the op in the serial schedule, so the
-//      backlog must drain (flush, then run_until(t)) first;
-//   2. span cap — a staged op's own side effects land no earlier than
-//      min(remove_delay, block_ttl) after it, so a batch never spans
-//      further than that: everything an op schedules stays strictly
-//      after every op in its batch, exactly as in the serial schedule.
+// Arc-local timer events (TTL expiry, delayed removes, fetch timers) do
+// NOT fence a batch: each lane interleaves its own pending events with
+// its ops by time via lane_advance(op.t) — an event due at or before an
+// op runs first, exactly the serial run_until-then-apply order. Events
+// an op schedules inside the window (a remove's +30s timer, say) land
+// on the lane's own queue and are picked up by a later advance the same
+// way. Only two things force a drain, checked by should_flush_before(t):
+//   1. global-event fence — a pending *global* event (failure
+//      transition, probe commit tick, regeneration check) at or before
+//      t mutates cross-arc state every lane reads, so the backlog must
+//      drain (flush, then run_until(t)) first;
+//   2. batch-size cap — a deterministic op-count bound so staging
+//      memory stays flat on million-user replays.
 // Ops for different keys in the same batch are state-disjoint unless
 // they share an arc, and same-arc ops apply in arrival order — so the
 // interleaving the serial loop would have produced is preserved
@@ -30,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/assert.h"
@@ -53,13 +59,7 @@ class OpBatchRunner {
   OpBatchRunner(System& system, sim::Simulator& sim)
       : system_(system),
         sim_(sim),
-        per_arc_(static_cast<std::size_t>(system.config().arcs)) {
-    span_cap_ = system.config().remove_delay;
-    if (system.config().block_ttl > 0 &&
-        system.config().block_ttl < span_cap_) {
-      span_cap_ = system.config().block_ttl;
-    }
-  }
+        per_arc_(static_cast<std::size_t>(system.config().arcs)) {}
 
   bool empty() const { return items_.empty(); }
 
@@ -67,8 +67,8 @@ class OpBatchRunner {
   /// first (see the flush rules in the file comment).
   bool should_flush_before(SimTime t) const {
     if (items_.empty()) return false;
-    if (sim_.next_event_time() <= t) return true;
-    return span_cap_ > 0 && t - first_time_ >= span_cap_;
+    if (sim_.next_global_event_time() <= t) return true;
+    return items_.size() >= kMaxBatchOps;
   }
 
   /// Stages one op at absolute time `t` (>= every earlier staged time).
@@ -76,8 +76,9 @@ class OpBatchRunner {
   /// the serial loop drops them.
   void add(const fs::StoreOp& op, SimTime t, std::int32_t tag = -1) {
     if (op.kind == fs::StoreOp::Kind::kGet && tag < 0) return;
-    if (items_.empty()) first_time_ = t;
-    D2_REQUIRE_MSG(t >= first_time_, "batched ops must be staged in time order");
+    D2_REQUIRE_MSG(items_.empty() || t >= last_time_,
+                   "batched ops must be staged in time order");
+    last_time_ = t;
     std::size_t slot = 0;
     if (op.kind == fs::StoreOp::Kind::kGet) slot = get_count_++;
     const int arc = system_.block_map().arc_of(op.key);
@@ -85,15 +86,26 @@ class OpBatchRunner {
     items_.push_back(Item{op.key, op.size, t, tag, slot, op.kind});
   }
 
-  /// Applies the backlog as one arc phase and clears it. Get outcomes
+  /// Applies the backlog as one op window and clears it. Get outcomes
   /// (in staging order) are in outcomes() until the next flush.
   void flush() {
     outcomes_.clear();
     if (items_.empty()) return;
     outcomes_.resize(get_count_);
-    sim_.run_arc_phase([this](int arc) {
+    // The window reaches to the next global event (the fence guarantees
+    // it lies past every staged op); with no global pending the window
+    // just needs to clear the last op.
+    SimTime window_end = sim_.next_global_event_time();
+    if (window_end == std::numeric_limits<SimTime>::max()) {
+      window_end = last_time_ + 1;
+    }
+    sim_.run_op_window(window_end, [this](int arc) {
       for (std::size_t idx : per_arc_[static_cast<std::size_t>(arc)]) {
-        apply(items_[idx]);
+        const Item& it = items_[idx];
+        // Run this arc's timer events due up to the op, then the op —
+        // the serial run_until-then-apply order, lane-locally.
+        sim_.lane_advance(it.t);
+        apply(it);
       }
     });
     for (std::vector<std::size_t>& lane : per_arc_) lane.clear();
@@ -104,6 +116,11 @@ class OpBatchRunner {
   const std::vector<GetOutcome>& outcomes() const { return outcomes_; }
 
  private:
+  /// Deterministic staging bound: ~a few MB of Items at the million-user
+  /// scale, far wider than the global-event fence ever allows in
+  /// failure-bearing runs.
+  static constexpr std::size_t kMaxBatchOps = 1 << 16;
+
   struct Item {
     Key key;
     Bytes size = 0;
@@ -138,8 +155,7 @@ class OpBatchRunner {
 
   System& system_;
   sim::Simulator& sim_;
-  SimTime span_cap_ = 0;
-  SimTime first_time_ = 0;
+  SimTime last_time_ = 0;
   std::size_t get_count_ = 0;
   std::vector<Item> items_;                      // staging order
   std::vector<std::vector<std::size_t>> per_arc_;  // item indices per arc

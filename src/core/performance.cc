@@ -86,21 +86,14 @@ std::vector<SimTime> pick_performance_windows(const trace::HarvardParams& wl,
 }
 
 PerformanceResult PerformanceExperiment::run() {
-  // Conservative cross-arc sync horizon (DESIGN.md §9): no remote effect
-  // outruns the fastest one-way link, so parallel windows may extend that
-  // far past their first event. Derived from a scratch latency model
-  // built from a copy of the seed (the real model, constructed after
-  // warm-up, must consume the shared rng in the exact legacy order).
-  SimTime lookahead = 0;
-  if (params_.system.arc_workers > 1) {
-    Rng scratch_rng(params_.system.seed ^ 0x1234567);
-    net::LatencyModel scratch(params_.system.node_count, scratch_rng,
-                              params_.mean_rtt_ms);
-    lookahead = scratch.min_one_way_bound();
-  }
-  sim::Simulator sim(sim::ArcConfig{params_.system.arcs,
-                                    params_.system.arc_workers, lookahead,
-                                    params_.system.scheduler});
+  // Lookahead 0 = adaptive sync horizon (DESIGN.md §12): windows extend
+  // to the next global event, capped by the mailbox watermark only when
+  // a committed cross-arc send is outstanding. The old conservative
+  // min_one_way_bound() horizon survives as the ArcConfig::lookahead
+  // test knob.
+  sim::Simulator sim(
+      sim::ArcConfig{params_.system.arcs, params_.system.arc_workers, 0,
+                     params_.system.scheduler});
   sim.bind_metrics(params_.metrics);
   System system(params_.system, sim, params_.metrics);
   system.set_tracer(params_.tracer);

@@ -135,6 +135,7 @@ bool RepairEngine::write_block(const Key& key, SimTime now, bool in_lane) {
       degraded_since_.emplace(key, now);
       // The members lacking data are down (no transition will fire for
       // them); give the block its own detect-delay re-protection pass.
+      // d2-sched: global — RepairEngine runs an unpartitioned serial sim
       sim_.schedule_after(cfg_.detect_delay, [this, key] {
         if (dead_.count(key) == 0) {
           reconcile(key);
@@ -181,11 +182,13 @@ void RepairEngine::attach_failure_trace(const sim::FailureTrace& trace) {
   for (const sim::FailureTrace::Transition& tr : trace.transitions()) {
     const int node = tr.node;
     if (tr.up) {
+      // d2-sched: global — up/down transitions mutate cross-node state
       sim_.schedule_at(tr.time, [this, node] { on_node_up(node); });
     } else {
       // Drawn here, not at event time, so the loss outcome depends only
       // on the trace — never on event interleaving.
       const bool lose = rng_.bernoulli(cfg_.data_loss_fraction);
+      // d2-sched: global — up/down transitions mutate cross-node state
       sim_.schedule_at(tr.time, [this, node, lose] {
         on_node_down(node, lose);
       });
@@ -207,6 +210,7 @@ void RepairEngine::schedule_next_write(int node) {
   const SimTime next =
       sim_.now() + static_cast<SimTime>(rng_.exponential(write_mean_us_));
   if (next > writes_until_) return;
+  // d2-sched: global — RepairEngine runs an unpartitioned serial sim
   sim_.schedule_at(next, [this, node] { do_foreground_write(node); });
 }
 
@@ -356,6 +360,7 @@ void RepairEngine::on_node_down(int node, bool lose_data) {
     }
     if (dead_.count(key) == 0) update_episode(key, *b);
   }
+  // d2-sched: global — RepairEngine runs an unpartitioned serial sim
   sim_.schedule_after(cfg_.detect_delay, [this, node] {
     if (!node_up(node)) repair_scan(node);
   });
@@ -466,6 +471,7 @@ void RepairEngine::start_repair(const Key& key, int node) {
       // Recoverable, but some needed fragment sits on a down node: back
       // off and retry once its holder may have returned.
       ++repair_retries_;
+      // d2-sched: global — RepairEngine runs an unpartitioned serial sim
       sim_.schedule_after(cfg_.retry_delay, [this, key, node] {
         retry_repair(key, node);
       });
@@ -491,6 +497,7 @@ void RepairEngine::start_repair(const Key& key, int node) {
   inflight_.insert({key, node});
   repair_bytes_ += total;
   ++repairs_started_;
+  // d2-sched: global — RepairEngine runs an unpartitioned serial sim
   sim_.schedule_at(finish, [this, key, node] { finish_repair(key, node); });
 }
 
@@ -521,6 +528,7 @@ void RepairEngine::finish_repair(const Key& key, int node) {
   if (!pick_sources(key, node, sources)) {
     if (intact_indices(key) >= k()) {
       ++repair_retries_;
+      // d2-sched: global — RepairEngine runs an unpartitioned serial sim
       sim_.schedule_after(cfg_.retry_delay, [this, key, node] {
         retry_repair(key, node);
       });

@@ -8,7 +8,7 @@ namespace d2::core {
 VolumeSet::VolumeSet(fs::KeyScheme scheme, SimTime writeback_ttl)
     : scheme_(scheme), writeback_ttl_(writeback_ttl) {}
 
-fs::Volume& VolumeSet::volume_for(const std::string& path,
+fs::Volume& VolumeSet::volume_for(std::string_view path,
                                   std::string* relative) {
   // "home/uN/rest" -> volume "home/uN"; "shared/rest" -> volume "shared";
   // anything else -> volume = first component.

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fs/volume.h"
@@ -40,7 +41,7 @@ class VolumeSet {
   void flush_all(SimTime now, std::vector<fs::StoreOp>& out);
 
   /// Volume (and in-volume relative path) responsible for `path`.
-  fs::Volume& volume_for(const std::string& path, std::string* relative);
+  fs::Volume& volume_for(std::string_view path, std::string* relative);
 
   std::size_t volume_count() const { return volumes_.size(); }
 

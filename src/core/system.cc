@@ -40,7 +40,9 @@ System::System(const SystemConfig& config, sim::Simulator& sim,
       replica_set_scratch_(static_cast<std::size_t>(config.arcs) + 1),
       lane_audit_gates_(static_cast<std::size_t>(config.arcs)),
       user_write_bytes_sh_(static_cast<std::size_t>(config.arcs) + 1, 0),
-      user_removed_bytes_sh_(static_cast<std::size_t>(config.arcs) + 1, 0) {
+      user_removed_bytes_sh_(static_cast<std::size_t>(config.arcs) + 1, 0),
+      migration_bytes_sh_(static_cast<std::size_t>(config.arcs) + 1, 0),
+      fetch_reservations_(static_cast<std::size_t>(config.arcs)) {
   D2_REQUIRE(config.node_count > 0);
   D2_REQUIRE(config.replicas > 0);
   D2_REQUIRE_MSG(config.arcs >= 1, "system needs at least one arc");
@@ -70,7 +72,12 @@ System::System(const SystemConfig& config, sim::Simulator& sim,
     while (ring_.id_taken(id)) id = dht::random_node_id(rng_);
     ring_.add(i, id);
   }
+  // Fetch reservations staged by arc lanes resolve at the simulator's
+  // mode-independent commit points (see resolve_fetch_reservations).
+  sim_.set_commit_hook([this] { resolve_fetch_reservations(); });
 }
+
+System::~System() { sim_.set_commit_hook({}); }
 
 bool System::node_up(int node) const {
   D2_REQUIRE(node >= 0 && node < config_.node_count);
@@ -259,6 +266,7 @@ void System::remove_at(const Key& k, SimTime t) {
   D2_REQUIRE_MSG(t >= sim_.now(), "op time must not precede the clock");
   // Key-local event: runs on the arc that owns `k`, touching only that
   // arc's shards.
+  // d2-sched: arc-local — delayed remove touches only k's shard
   sim_.schedule_arc_at(map_.arc_of(k), t + config_.remove_delay, [this, k] {
     if (const store::BlockState* b = map_.find(k)) {
       add_user_removed_bytes(b->size);
@@ -278,6 +286,7 @@ void System::refresh_at(const Key& k, SimTime t) {
   expiry_shard(k)[k] = deadline;
   // Deadline-check pattern (arc events are not cancellable): a later
   // refresh bumps the shard entry and this event becomes a no-op.
+  // d2-sched: arc-local — TTL expiry touches only k's shard
   sim_.schedule_arc_at(map_.arc_of(k), deadline, [this, k, deadline] {
     auto& shard = expiry_shard(k);
     auto it = shard.find(k);
@@ -298,7 +307,14 @@ void System::refresh_at(const Key& k, SimTime t) {
 // -------------------------------------------------------------- fetches --
 
 void System::schedule_fetch(const Key& k, int node, SimTime delay) {
-  sim_.schedule_after(delay, [this, k, node] { try_fetch(k, node); });
+  // Arc-local by construction: the timer fires on the key's shard (block
+  // lookup + replica flags); the only shared state it would touch — the
+  // node's migration link — is reached through the reservation relay.
+  // Callable from the coordinator (readjustment) or from the key's own
+  // lane (retry path).
+  // d2-sched: arc-local — fetch timer for k runs on k's arc
+  sim_.schedule_arc_after(map_.arc_of(k), delay,
+                          [this, k, node] { try_fetch(k, node); });
 }
 
 void System::try_fetch(const Key& k, int node) {
@@ -331,30 +347,72 @@ void System::try_fetch(const Key& k, int node) {
     transfer_bytes = b->size;
   }
   member->fetch_in_flight = true;
-  migration_bytes_ += transfer_bytes;
+  migration_bytes_sh_[shard_slot()] += transfer_bytes;
   migration_bytes_c_->add(transfer_bytes);
   replica_fetches_c_->add(1);
   if (tracer_ != nullptr) {
     tracer_->record(sim_.now(), obs::EventType::kReplicaFetch, node,
                     transfer_bytes);
   }
-  const SimTime done = nodes_[static_cast<std::size_t>(node)]
-                           .migration_link.enqueue(sim_.now(), transfer_bytes);
-  sim_.schedule_at(done, [this, k, node] {
-    store::BlockState* blk = map_.find_mutable(k);
-    if (blk == nullptr) return;
-    for (store::Replica& r : blk->replicas) {
-      if (r.node == node) {
-        if (!r.has_data && r.fetch_in_flight) {
-          map_.mark_data(k, node);
-          // The member held (at most) a pointer until now; the fetch
-          // completing promotes it to a full data holder.
-          pointer_promotions_c_->add(1);
-        }
-        return;
-      }
+  // The migration link is shared FIFO state (any key whose replica lands
+  // on `node` queues here), so a lane must not enqueue directly: stage a
+  // reservation under the *key's* arc — the same slot in serial and
+  // parallel execution — and let the commit hook resolve it in the
+  // canonical (t, arc, seq) order.
+  fetch_reservations_[static_cast<std::size_t>(map_.arc_of(k))].push_back(
+      FetchReservation{sim_.now(), k, node, transfer_bytes});
+}
+
+void System::resolve_fetch_reservations() {
+  fetch_refs_.clear();
+  for (int arc = 0; arc < config_.arcs; ++arc) {
+    const auto& staged = fetch_reservations_[static_cast<std::size_t>(arc)];
+    for (std::uint32_t seq = 0; seq < staged.size(); ++seq) {
+      fetch_refs_.push_back(FetchRef{staged[seq].t, arc, seq});
     }
-  });
+  }
+  if (fetch_refs_.empty()) return;
+  // (t, arc, seq) is a total order and identical across arcs/workers
+  // settings: per-arc event order is mode-independent, so each arc's
+  // staging sequence is too. Commit points only ever see reservations
+  // from the windows since the previous commit, whose times all follow
+  // the previous batch's — batch-local sorting therefore yields the same
+  // per-link enqueue sequence as one global sort.
+  std::sort(fetch_refs_.begin(), fetch_refs_.end(),
+            [](const FetchRef& a, const FetchRef& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.arc != b.arc) return a.arc < b.arc;
+              return a.seq < b.seq;
+            });
+  for (const FetchRef& ref : fetch_refs_) {
+    const FetchReservation& r =
+        fetch_reservations_[static_cast<std::size_t>(ref.arc)][ref.seq];
+    const SimTime done = nodes_[static_cast<std::size_t>(r.node)]
+                             .migration_link.enqueue(r.t, r.bytes);
+    // The link may have been idle, finishing the transfer before the
+    // coordinator clock; completions still must not run in the past.
+    const SimTime at = std::max(done, sim_.now());
+    // d2-sched: arc-local — completion touches only k's shard
+    sim_.schedule_arc_at(map_.arc_of(r.k), at,
+                         [this, k = r.k, node = r.node] { finish_fetch(k, node); });
+  }
+  for (auto& staged : fetch_reservations_) staged.clear();
+}
+
+void System::finish_fetch(const Key& k, int node) {
+  store::BlockState* blk = map_.find_mutable(k);
+  if (blk == nullptr) return;
+  for (store::Replica& r : blk->replicas) {
+    if (r.node == node) {
+      if (!r.has_data && r.fetch_in_flight) {
+        map_.mark_data(k, node);
+        // The member held (at most) a pointer until now; the fetch
+        // completing promotes it to a full data holder.
+        pointer_promotions_c_->add(1);
+      }
+      return;
+    }
+  }
 }
 
 // --------------------------------------------------------- readjustment --
@@ -423,18 +481,72 @@ void System::readjust_arc(int around_node, SimTime fetch_delay) {
 // ------------------------------------------------------- load balancing --
 
 void System::schedule_probe(int node) {
-  // Jittered interval so probes don't synchronize.
+  if (config_.probe_commit_interval > 0) {
+    schedule_probe_due(node, sim_.now());
+    return;
+  }
+  // Legacy path: one global event per probe. Jittered interval so probes
+  // don't synchronize.
   const auto jitter = static_cast<SimTime>(
       static_cast<double>(config_.probe_interval) * (0.5 + rng_.next_double()));
+  // d2-sched: global — probes read ring/rng/primary counts across arcs
   sim_.schedule_after(jitter, [this, node] {
     if (node_up(node)) probe_once(node);
     schedule_probe(node);
   });
 }
 
+void System::schedule_probe_due(int node, SimTime from) {
+  // Same jittered cadence as the legacy path — and, crucially, the same
+  // rng draw position: the jitter is drawn right after the node's probe
+  // evaluation, so the serial probe-rng stream is reproduced draw for
+  // draw by the tick's (due, node) processing order.
+  const auto jitter = static_cast<SimTime>(
+      static_cast<double>(config_.probe_interval) * (0.5 + rng_.next_double()));
+  const SimTime due = from + jitter;
+  probe_buckets_[probe_epoch(due)].emplace_back(due, node);
+}
+
+void System::schedule_probe_tick() {
+  D2_ASSERT(!probe_buckets_.empty());
+  const std::int64_t epoch = probe_buckets_.begin()->first;
+  // d2-sched: global — the commit tick batches cross-arc probe work
+  sim_.schedule_at(epoch * config_.probe_commit_interval,
+                   [this, epoch] { probe_commit_tick(epoch); });
+}
+
+void System::probe_commit_tick(std::int64_t epoch) {
+  auto it = probe_buckets_.find(epoch);
+  D2_ASSERT_MSG(it != probe_buckets_.end(),
+                "probe tick fired for an empty calendar epoch");
+  std::vector<std::pair<SimTime, int>> due = std::move(it->second);
+  probe_buckets_.erase(it);
+  // (due, node) order: node breaks the (measure-zero) due-time ties so
+  // the batch order is deterministic. Each probe sees system state live
+  // at the tick — that is the probe-commit semantics (config.h) — but
+  // draws from rng_ in exactly the per-probe order the legacy path used.
+  std::sort(due.begin(), due.end());
+  for (const auto& [t, node] : due) {
+    if (node_up(node)) probe_once(node);
+    schedule_probe_due(node, t);
+  }
+  schedule_probe_tick();
+}
+
 void System::start_load_balancing() {
   if (!config_.active_load_balance) return;
+  if (config_.probe_commit_interval > 0) {
+    D2_REQUIRE_MSG(
+        2 * config_.probe_commit_interval <= config_.probe_interval,
+        "probe_commit_interval must be <= probe_interval / 2 (a committed "
+        "probe's next due time, at least half an interval out, must land "
+        "in a later epoch than its tick); set it to 0 for the legacy "
+        "per-probe scheduling");
+  }
   for (int i = 0; i < config_.node_count; ++i) schedule_probe(i);
+  if (config_.probe_commit_interval > 0 && !probe_buckets_.empty()) {
+    schedule_probe_tick();
+  }
 }
 
 bool System::probe_once(int prober) {
@@ -494,8 +606,10 @@ void System::attach_failure_trace(const sim::FailureTrace* trace,
     const SimTime when = offset + t.time;
     if (when < sim_.now()) continue;
     if (t.up) {
+      // d2-sched: global — up/down transitions mutate state every arc reads
       sim_.schedule_at(when, [this, node = t.node] { on_node_up(node); });
     } else {
+      // d2-sched: global — up/down transitions mutate state every arc reads
       sim_.schedule_at(when, [this, node = t.node] { on_node_down(node); });
     }
   }
@@ -508,6 +622,7 @@ void System::on_node_down(int node) {
   }
   // Regenerate this node's blocks elsewhere only if it stays down past the
   // grace period (avoids churning on reboots).
+  // d2-sched: global — regeneration readjusts a ring arc (cross-arc keys)
   sim_.schedule_after(config_.regen_delay, [this, node] {
     if (!nodes_[static_cast<std::size_t>(node)].up) {
       readjust_arc(node, 0);
@@ -548,7 +663,7 @@ void System::on_node_up(int node) {
 void System::reset_traffic_counters() {
   std::fill(user_write_bytes_sh_.begin(), user_write_bytes_sh_.end(), 0);
   std::fill(user_removed_bytes_sh_.begin(), user_removed_bytes_sh_.end(), 0);
-  migration_bytes_ = 0;
+  std::fill(migration_bytes_sh_.begin(), migration_bytes_sh_.end(), 0);
   lb_moves_ = 0;
   user_write_bytes_c_->reset();
   user_removed_bytes_c_->reset();

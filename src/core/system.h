@@ -19,18 +19,32 @@
 //
 // With config.arcs > 1 every piece of keyed state — the block map, TTL
 // deadlines, extended-set membership — is sharded by the key's arc, and
-// the key-local events (TTL expiry, delayed remove) are scheduled onto
-// the key's arc queue. An arc lane (parallel window or batched op phase)
-// may therefore run put/remove/refresh/get for its own keys touching
-// only its shard: cross-cutting state (ring, scatter index, migration
-// links, the global rng) stays coordinator-only, which is why fetches,
-// probes and failure transitions remain global-queue events.
+// the key-local events (TTL expiry, delayed remove, fetch timers) are
+// scheduled onto the key's arc queue. An arc lane (parallel window or
+// batched op phase) may therefore run put/remove/refresh/get/try_fetch
+// for its own keys touching only its shard. Cross-cutting state stays
+// coordinator-only, reached from lanes through two deterministic relays
+// (DESIGN.md §12's event-class taxonomy):
+//   - migration links: a fetch admitted by a lane stages a bandwidth
+//     reservation; the simulator's commit hook resolves all staged
+//     reservations in (time, arc, seq) order on the coordinator, so the
+//     shared FIFO links see one canonical enqueue order in every
+//     arcs/workers configuration;
+//   - probes: per-node jittered due times live in a coordinator-side
+//     commit calendar; one global tick per probe_commit_interval
+//     evaluates every probe due in the last epoch in (due, node) order
+//     against live state (probes read ring/rng/primary counts, so they
+//     are genuinely global — the tick just batches them).
+// Failure transitions remain individually global: they mutate node
+// up/down state every arc reads.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/assert.h"
@@ -56,6 +70,13 @@ class System {
   /// legacy accessors below are shims over them.
   System(const SystemConfig& config, sim::Simulator& sim,
          obs::Registry* metrics = nullptr);
+
+  /// Unregisters the commit hook (the system registers itself as the
+  /// simulator's single commit-hook client for fetch reservations).
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
 
   const SystemConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
@@ -146,7 +167,7 @@ class System {
   Bytes user_removed_bytes() const {
     return sum_shards(user_removed_bytes_sh_);
   }
-  Bytes migration_bytes() const { return migration_bytes_; }
+  Bytes migration_bytes() const { return sum_shards(migration_bytes_sh_); }
   std::int64_t lb_moves() const { return lb_moves_; }
   void reset_traffic_counters();
 
@@ -187,6 +208,18 @@ class System {
   void register_scatter(const Key& k);
   void forget_scatter(const Key& k);
   void schedule_probe(int node);
+  /// Files node's next probe, due jitter past `from`, in the commit
+  /// calendar (probe_commit_interval > 0 paths).
+  void schedule_probe_due(int node, SimTime from);
+  /// Schedules the global tick for the first non-empty calendar epoch.
+  void schedule_probe_tick();
+  /// Processes every probe due in `epoch`, in (due, node) order, then
+  /// chains the next tick.
+  void probe_commit_tick(std::int64_t epoch);
+  std::int64_t probe_epoch(SimTime due) const {
+    return (due + config_.probe_commit_interval - 1) /
+           config_.probe_commit_interval;
+  }
   void execute_move(const dht::MoveDecision& decision);
   /// Recomputes replica sets for all blocks in the cover arc around
   /// `around_node` (its (r+2) predecessors through itself) and schedules
@@ -197,6 +230,14 @@ class System {
   void note_set_shape(const Key& k, std::size_t set_size);
   void schedule_fetch(const Key& k, int node, SimTime delay);
   void try_fetch(const Key& k, int node);
+  /// Resolves every staged bandwidth reservation in (time, arc, seq)
+  /// order: enqueue on the node's migration link, then schedule the
+  /// fetch-completion event on the key's arc. Runs at the simulator's
+  /// commit points (coordinator only) — see the class comment.
+  void resolve_fetch_reservations();
+  /// Fetch-completion arc event: promotes the member to a data holder if
+  /// the fetch is still wanted.
+  void finish_fetch(const Key& k, int node);
   void on_node_down(int node);
   void on_node_up(int node);
   std::optional<int> fetch_source(const store::BlockState& b) const;
@@ -275,8 +316,33 @@ class System {
   // the scratch (slot arcs = coordinator) ...
   std::vector<Bytes> user_write_bytes_sh_;
   std::vector<Bytes> user_removed_bytes_sh_;
-  Bytes migration_bytes_ = 0;
+  std::vector<Bytes> migration_bytes_sh_;
   std::int64_t lb_moves_ = 0;
+
+  /// A fetch admitted inside an arc lane cannot touch its node's shared
+  /// FIFO migration link directly, so it stages a reservation in its
+  /// arc's slot (single-writer; the coordinator slot covers serial
+  /// execution too — staging is keyed by the *key's* arc in both modes so
+  /// (t, arc, seq) is mode-independent). resolve_fetch_reservations()
+  /// drains them at commit points.
+  struct FetchReservation {
+    SimTime t;  // lane event time of the admitting try_fetch
+    Key k;
+    int node;
+    Bytes bytes;
+  };
+  std::vector<std::vector<FetchReservation>> fetch_reservations_;
+  struct FetchRef {
+    SimTime t;
+    int arc;
+    std::uint32_t seq;
+  };
+  std::vector<FetchRef> fetch_refs_;  // scratch, reused across commits
+
+  /// Probe commit calendar: epoch -> (due, node) for every probe due in
+  /// ((epoch-1)*Q, epoch*Q]. Ordered map so the tick chain always hops
+  /// to the first non-empty epoch deterministically.
+  std::map<std::int64_t, std::vector<std::pair<SimTime, int>>> probe_buckets_;
   // ... and the registry instruments that mirror them system-wide.
   // Stable instrument addresses, bound once in the constructor.
   obs::Counter* user_write_bytes_c_;

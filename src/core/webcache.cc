@@ -37,7 +37,7 @@ WebCache::WebCache(System& system, fs::KeyScheme scheme, WebCacheConfig config)
   schedule_sweep();
 }
 
-Key WebCache::key_for(const std::string& url) const {
+Key WebCache::key_for(std::string_view url) const {
   if (scheme_ == fs::KeyScheme::kD2) {
     const std::string reversed = fs::reverse_domain_url(url);
     const fs::EncodedPath path = fs::encode_url_path(reversed);
@@ -46,19 +46,19 @@ Key WebCache::key_for(const std::string& url) const {
   return dht::hashed_key(url);
 }
 
-SimTime WebCache::change_interval(const std::string& url) const {
+SimTime WebCache::change_interval(std::string_view url) const {
   if (config_.dynamic_fraction <= 0) return kSimTimeNever;
   // Deterministic per-URL classification and interval.
   const std::uint64_t h = mix64(fnv1a64(url));
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
   if (u >= config_.dynamic_fraction) return kSimTimeNever;
-  const std::uint64_t h2 = mix64(fnv1a64(url + "#interval"));
+  const std::uint64_t h2 = mix64(fnv1a64(std::string(url) + "#interval"));
   const auto span = static_cast<std::uint64_t>(config_.max_change_interval -
                                                config_.min_change_interval + 1);
   return config_.min_change_interval + static_cast<SimTime>(h2 % span);
 }
 
-bool WebCache::request(const std::string& url, Bytes size) {
+bool WebCache::request(std::string_view url, Bytes size) {
   const Key k = key_for(url);
   const SimTime now = system_.simulator().now();
   const SimTime interval = change_interval(url);
@@ -86,6 +86,7 @@ bool WebCache::request(const std::string& url, Bytes size) {
 }
 
 void WebCache::schedule_sweep() {
+  // d2-sched: global — the TTL sweep walks entries across every arc
   system_.simulator().schedule_after(kSweepInterval, [this] {
     sweep();
     schedule_sweep();

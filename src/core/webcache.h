@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/key.h"
@@ -44,13 +45,13 @@ class WebCache {
   /// Processes a client request for `url` at the current simulated time.
   /// Returns true on a *fresh* cache hit; a miss — or a hit on a stale
   /// version of a dynamic object — (re)inserts the object.
-  bool request(const std::string& url, Bytes size);
+  bool request(std::string_view url, Bytes size);
 
   /// Key under which `url` is cached (scheme-dependent).
-  Key key_for(const std::string& url) const;
+  Key key_for(std::string_view url) const;
 
   /// Change interval for `url` (kSimTimeNever for static objects).
-  SimTime change_interval(const std::string& url) const;
+  SimTime change_interval(std::string_view url) const;
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

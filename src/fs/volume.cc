@@ -114,7 +114,7 @@ Key Volume::root_key() const { return meta_key(*root_, 1); }
 
 // ------------------------------------------------------------- resolve --
 
-Volume::Node* Volume::resolve(const std::string& path) const {
+Volume::Node* Volume::resolve(std::string_view path) const {
   Node* cur = root_.get();
   for (const std::string& c : split_path(path)) {
     if (!cur->is_dir) return nullptr;
@@ -125,7 +125,7 @@ Volume::Node* Volume::resolve(const std::string& path) const {
   return cur;
 }
 
-Volume::Node* Volume::resolve_parent(const std::string& path,
+Volume::Node* Volume::resolve_parent(std::string_view path,
                                      std::string* leaf) const {
   std::vector<std::string> parts = split_path(path);
   if (parts.empty()) return nullptr;
@@ -140,18 +140,18 @@ Volume::Node* Volume::resolve_parent(const std::string& path,
   return cur->is_dir ? cur : nullptr;
 }
 
-bool Volume::exists(const std::string& path) const {
+bool Volume::exists(std::string_view path) const {
   return resolve(path) != nullptr;
 }
 
-bool Volume::is_directory(const std::string& path) const {
+bool Volume::is_directory(std::string_view path) const {
   const Node* n = resolve(path);
   return n != nullptr && n->is_dir;
 }
 
-Bytes Volume::file_size(const std::string& path) const {
+Bytes Volume::file_size(std::string_view path) const {
   const Node* n = resolve(path);
-  D2_REQUIRE_MSG(n != nullptr && !n->is_dir, "not a file: " + path);
+  D2_REQUIRE_MSG(n != nullptr && !n->is_dir, "not a file: " + std::string(path));
   return n->size;
 }
 
@@ -287,7 +287,7 @@ Volume::Node* Volume::ensure_directory(const std::vector<std::string>& component
 
 // ------------------------------------------------------------- actions --
 
-void Volume::write(const std::string& path, Bytes offset, Bytes len, SimTime now,
+void Volume::write(std::string_view path, Bytes offset, Bytes len, SimTime now,
                    std::vector<StoreOp>& out) {
   D2_REQUIRE(offset >= 0 && len >= 0);
   cache_.collect_expired(now, out);
@@ -300,7 +300,7 @@ void Volume::write(const std::string& path, Bytes offset, Bytes len, SimTime now
     file = create_file(parent, parts.back(), now, out);
   } else {
     file = it->second.get();
-    D2_REQUIRE_MSG(!file->is_dir, "write to a directory: " + path);
+    D2_REQUIRE_MSG(!file->is_dir, "write to a directory: " + std::string(path));
   }
 
   const Bytes old_size = file->size;
@@ -363,13 +363,13 @@ void Volume::read_meta_chain(Node* leaf, SimTime now, std::vector<StoreOp>& out)
   }
 }
 
-void Volume::read(const std::string& path, Bytes offset, Bytes len, SimTime now,
+void Volume::read(std::string_view path, Bytes offset, Bytes len, SimTime now,
                   std::vector<StoreOp>& out) {
   D2_REQUIRE(offset >= 0 && len >= 0);
   cache_.collect_expired(now, out);
   Node* file = resolve(path);
-  D2_REQUIRE_MSG(file != nullptr, "read of missing path: " + path);
-  D2_REQUIRE_MSG(!file->is_dir, "read of a directory: " + path);
+  D2_REQUIRE_MSG(file != nullptr, "read of missing path: " + std::string(path));
+  D2_REQUIRE_MSG(!file->is_dir, "read of a directory: " + std::string(path));
 
   read_meta_chain(file, now, out);
 
@@ -425,34 +425,34 @@ void Volume::remove_node_blocks(Node* n, SimTime now, std::vector<StoreOp>& out)
   }
 }
 
-void Volume::remove(const std::string& path, SimTime now,
+void Volume::remove(std::string_view path, SimTime now,
                     std::vector<StoreOp>& out) {
   cache_.collect_expired(now, out);
   std::string leaf;
   Node* parent = resolve_parent(path, &leaf);
-  D2_REQUIRE_MSG(parent != nullptr, "remove of missing path: " + path);
+  D2_REQUIRE_MSG(parent != nullptr, "remove of missing path: " + std::string(path));
   auto it = parent->children.find(leaf);
-  D2_REQUIRE_MSG(it != parent->children.end(), "remove of missing path: " + path);
+  D2_REQUIRE_MSG(it != parent->children.end(), "remove of missing path: " + std::string(path));
   remove_node_blocks(it->second.get(), now, out);
   parent->children.erase(it);
   dirty_meta_chain(parent, now);
 }
 
-void Volume::rename(const std::string& from, const std::string& to, SimTime now,
+void Volume::rename(std::string_view from, std::string_view to, SimTime now,
                     std::vector<StoreOp>& out) {
   cache_.collect_expired(now, out);
   std::string from_leaf;
   Node* from_parent = resolve_parent(from, &from_leaf);
-  D2_REQUIRE_MSG(from_parent != nullptr, "rename of missing path: " + from);
+  D2_REQUIRE_MSG(from_parent != nullptr, "rename of missing path: " + std::string(from));
   auto it = from_parent->children.find(from_leaf);
   D2_REQUIRE_MSG(it != from_parent->children.end(),
-                 "rename of missing path: " + from);
+                 "rename of missing path: " + std::string(from));
 
   std::vector<std::string> to_parts = split_path(to);
   D2_REQUIRE_MSG(!to_parts.empty(), "empty rename target");
   Node* to_parent = ensure_directory(to_parts, to_parts.size() - 1, now, out);
   D2_REQUIRE_MSG(to_parent->children.count(to_parts.back()) == 0,
-                 "rename target exists: " + to);
+                 "rename target exists: " + std::string(to));
 
   std::unique_ptr<Node> node = std::move(it->second);
   from_parent->children.erase(it);
@@ -466,7 +466,7 @@ void Volume::rename(const std::string& from, const std::string& to, SimTime now,
   dirty_meta_chain(to_parent, now);
 }
 
-void Volume::mkdir(const std::string& path, SimTime now,
+void Volume::mkdir(std::string_view path, SimTime now,
                    std::vector<StoreOp>& out) {
   cache_.collect_expired(now, out);
   std::vector<std::string> parts = split_path(path);
@@ -508,9 +508,9 @@ Sha1Digest Volume::node_digest(const Node& n) const {
 
 Sha1Digest Volume::integrity_digest() const { return node_digest(*root_); }
 
-std::vector<StoreOp> Volume::uncached_read_ops(const std::string& path) const {
+std::vector<StoreOp> Volume::uncached_read_ops(std::string_view path) const {
   Node* file = resolve(path);
-  D2_REQUIRE_MSG(file != nullptr && !file->is_dir, "not a file: " + path);
+  D2_REQUIRE_MSG(file != nullptr && !file->is_dir, "not a file: " + std::string(path));
   std::vector<StoreOp> out;
   std::vector<Node*> chain;
   for (Node* n = file; n != nullptr; n = n->parent) chain.push_back(n);

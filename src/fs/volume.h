@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/key.h"
@@ -66,33 +67,33 @@ class Volume {
   /// Writes [offset, offset+len) to `path`, creating the file (and any
   /// missing parent directories) if needed. Store operations — including
   /// any write-back flushes that came due — are appended to `out`.
-  void write(const std::string& path, Bytes offset, Bytes len, SimTime now,
+  void write(std::string_view path, Bytes offset, Bytes len, SimTime now,
              std::vector<StoreOp>& out);
 
   /// Reads [offset, offset+len) from `path` (must exist). Emits get ops
   /// for blocks not covered by the buffer cache, including the metadata
   /// chain from the root.
-  void read(const std::string& path, Bytes offset, Bytes len, SimTime now,
+  void read(std::string_view path, Bytes offset, Bytes len, SimTime now,
             std::vector<StoreOp>& out);
 
   /// Removes a file, or a directory and everything beneath it.
-  void remove(const std::string& path, SimTime now, std::vector<StoreOp>& out);
+  void remove(std::string_view path, SimTime now, std::vector<StoreOp>& out);
 
   /// Moves `from` to `to` (creating target parents). Block keys do not
   /// change — D2-FS keeps original keys for renamed files (§4.2); only
   /// the affected directory metadata is rewritten.
-  void rename(const std::string& from, const std::string& to, SimTime now,
+  void rename(std::string_view from, std::string_view to, SimTime now,
               std::vector<StoreOp>& out);
 
   /// Creates a directory (and parents).
-  void mkdir(const std::string& path, SimTime now, std::vector<StoreOp>& out);
+  void mkdir(std::string_view path, SimTime now, std::vector<StoreOp>& out);
 
   /// Flushes every dirty block regardless of age.
   void flush(SimTime now, std::vector<StoreOp>& out);
 
-  bool exists(const std::string& path) const;
-  bool is_directory(const std::string& path) const;
-  Bytes file_size(const std::string& path) const;
+  bool exists(std::string_view path) const;
+  bool is_directory(std::string_view path) const;
+  Bytes file_size(std::string_view path) const;
 
   std::uint64_t file_count() const { return files_; }
   std::uint64_t dir_count() const { return dirs_; }
@@ -108,7 +109,7 @@ class Volume {
   /// Keys a full sequential read of `path` would touch right now,
   /// ignoring the buffer cache (metadata chain + all data blocks).
   /// Useful to experiments that reason about placement.
-  std::vector<StoreOp> uncached_read_ops(const std::string& path) const;
+  std::vector<StoreOp> uncached_read_ops(std::string_view path) const;
 
   /// Integrity chain digest (paper §3): because D2 keys are not content
   /// hashes, every metadata block stores the content hash of each block
@@ -121,8 +122,8 @@ class Volume {
  private:
   struct Node;
 
-  Node* resolve(const std::string& path) const;
-  Node* resolve_parent(const std::string& path, std::string* leaf) const;
+  Node* resolve(std::string_view path) const;
+  Node* resolve_parent(std::string_view path, std::string* leaf) const;
   Node* ensure_directory(const std::vector<std::string>& components,
                          std::size_t count, SimTime now,
                          std::vector<StoreOp>& out);

@@ -14,22 +14,6 @@ namespace {
 SimTime hours_to_sim(double h) {
   return static_cast<SimTime>(h * 3600.0 * 1e6);
 }
-
-// Merge overlapping [start, end) intervals in place.
-void merge_intervals(std::vector<std::pair<SimTime, SimTime>>& iv) {
-  if (iv.empty()) return;
-  std::sort(iv.begin(), iv.end());
-  std::vector<std::pair<SimTime, SimTime>> out;
-  out.push_back(iv[0]);
-  for (std::size_t i = 1; i < iv.size(); ++i) {
-    if (iv[i].first <= out.back().second) {
-      out.back().second = std::max(out.back().second, iv[i].second);
-    } else {
-      out.push_back(iv[i]);
-    }
-  }
-  iv = std::move(out);
-}
 }  // namespace
 
 FailureTrace FailureTrace::generate(const FailureParams& params, Rng& rng) {
@@ -38,7 +22,10 @@ FailureTrace FailureTrace::generate(const FailureParams& params, Rng& rng) {
   FailureTrace trace;
   trace.node_count_ = params.node_count;
   trace.duration_ = params.duration;
-  trace.down_.resize(static_cast<std::size_t>(params.node_count));
+
+  // Raw intervals accumulate in one flat buffer; finalize() sorts them
+  // per node and packs them into the arena.
+  std::vector<DownInterval> raw;
 
   // Independent per-node exponential up/down alternation.
   for (int n = 0; n < params.node_count; ++n) {
@@ -51,8 +38,7 @@ FailureTrace FailureTrace::generate(const FailureParams& params, Rng& rng) {
       t += up;
       if (t >= params.duration) break;
       const SimTime down = hours_to_sim(rng.exponential(params.mttr_hours));
-      trace.down_[static_cast<std::size_t>(n)].emplace_back(
-          t, std::min(t + down, params.duration));
+      raw.push_back(DownInterval{n, t, std::min(t + down, params.duration)});
       t += down;
     }
   }
@@ -66,15 +52,14 @@ FailureTrace FailureTrace::generate(const FailureParams& params, Rng& rng) {
           hours_to_sim(rng.exponential(params.correlated_outage_hours));
       for (int n = 0; n < params.node_count; ++n) {
         if (rng.bernoulli(params.correlated_fraction)) {
-          trace.down_[static_cast<std::size_t>(n)].emplace_back(
-              t, std::min(t + outage, params.duration));
+          raw.push_back(DownInterval{n, t, std::min(t + outage, params.duration)});
         }
       }
       t += static_cast<SimTime>(rng.exponential(1.0 / events_per_us));
     }
   }
 
-  trace.finalize();
+  trace.finalize(raw);
   return trace;
 }
 
@@ -90,18 +75,19 @@ FailureTrace FailureTrace::all_up(int node_count, SimTime duration) {
 FailureTrace FailureTrace::from_intervals(
     int node_count, SimTime duration, const std::vector<DownInterval>& downs) {
   FailureTrace trace = all_up(node_count, duration);
+  std::vector<DownInterval> raw;
+  raw.reserve(downs.size());
   for (const DownInterval& d : downs) {
     D2_REQUIRE(d.node >= 0 && d.node < node_count);
     D2_REQUIRE(d.start < d.end);
     // Clamp to the trace window. An interval starting at/after `duration`
-    // lies entirely outside the trace: skip it rather than emplacing an
+    // lies entirely outside the trace: skip it rather than keeping an
     // inverted [start, min(end, duration)) pair, which would corrupt
-    // merge_intervals ordering, the is_up binary search and finalize().
+    // interval merging, the is_up binary search and finalize().
     if (d.start >= duration) continue;
-    trace.down_[static_cast<std::size_t>(d.node)].emplace_back(
-        d.start, std::min(d.end, duration));
+    raw.push_back(DownInterval{d.node, d.start, std::min(d.end, duration)});
   }
-  trace.finalize();
+  trace.finalize(raw);
   return trace;
 }
 
@@ -146,12 +132,44 @@ void FailureTrace::write(std::ostream& os) const {
   }
 }
 
-void FailureTrace::finalize() {
+void FailureTrace::finalize(std::vector<DownInterval>& raw) {
+  // Group per node and merge overlaps: sorting by (node, start, end)
+  // makes each node's run contiguous and start-ordered, so one linear
+  // pass merges in place exactly like the old per-node vectors did.
+  std::sort(raw.begin(), raw.end(),
+            [](const DownInterval& a, const DownInterval& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  std::size_t merged = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (merged > 0 && raw[merged - 1].node == raw[i].node &&
+        raw[i].start <= raw[merged - 1].end) {
+      raw[merged - 1].end = std::max(raw[merged - 1].end, raw[i].end);
+    } else {
+      raw[merged++] = raw[i];
+    }
+  }
+  raw.resize(merged);
+
+  // Pack every interval into one arena block; down_[n] views its run.
+  auto* flat = arena_.alloc_array<std::pair<SimTime, SimTime>>(raw.size());
+  down_.assign(static_cast<std::size_t>(node_count_), {});
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const int n = raw[i].node;
+    const std::size_t first = i;
+    for (; i < raw.size() && raw[i].node == n; ++i) {
+      flat[i] = {raw[i].start, raw[i].end};
+    }
+    down_[static_cast<std::size_t>(n)] = {flat + first, i - first};
+  }
+
   transitions_.clear();
+  transitions_.reserve(2 * raw.size());
   for (int n = 0; n < node_count_; ++n) {
-    auto& iv = down_[static_cast<std::size_t>(n)];
-    merge_intervals(iv);
-    for (const auto& [start, end] : iv) {
+    for (const auto& [start, end] : down_[static_cast<std::size_t>(n)]) {
       transitions_.push_back(Transition{start, n, false});
       // Nodes still down when the trace ends come back at the boundary,
       // so consumers see a well-defined all-up state after the trace.
@@ -177,7 +195,7 @@ bool FailureTrace::is_up(int node, SimTime t) const {
   return t >= it->second;
 }
 
-const std::vector<std::pair<SimTime, SimTime>>& FailureTrace::down_intervals(
+std::span<const std::pair<SimTime, SimTime>> FailureTrace::down_intervals(
     int node) const {
   D2_REQUIRE(node >= 0 && node < node_count_);
   return down_[static_cast<std::size_t>(node)];

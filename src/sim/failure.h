@@ -12,8 +12,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/units.h"
 
@@ -71,7 +74,8 @@ class FailureTrace {
   bool is_up(int node, SimTime t) const;
 
   /// Down intervals [start, end) for one node, sorted, non-overlapping.
-  const std::vector<std::pair<SimTime, SimTime>>& down_intervals(int node) const;
+  /// A view into the trace's arena; valid while the trace lives.
+  std::span<const std::pair<SimTime, SimTime>> down_intervals(int node) const;
 
   /// All up/down transitions across nodes, sorted by time.
   const std::vector<Transition>& transitions() const { return transitions_; }
@@ -87,10 +91,16 @@ class FailureTrace {
  private:
   int node_count_ = 0;
   SimTime duration_ = 0;
-  std::vector<std::vector<std::pair<SimTime, SimTime>>> down_;
+  // All intervals live in one arena block (generation at the 50k-node
+  // scale would otherwise make one small heap vector per node); down_
+  // holds per-node views into it. The arena makes the trace move-only.
+  common::Arena arena_;
+  std::vector<std::span<const std::pair<SimTime, SimTime>>> down_;
   std::vector<Transition> transitions_;
 
-  void finalize();
+  /// Sorts and merges raw (possibly overlapping) down intervals, packs
+  /// them into the arena, and derives the transition list.
+  void finalize(std::vector<DownInterval>& raw);
 };
 
 }  // namespace d2::sim

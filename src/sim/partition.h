@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -34,11 +35,16 @@ namespace d2::sim {
 struct ArcConfig {
   int arcs = 1;     // keyspace partitions (P)
   int workers = 1;  // lanes executed concurrently; 1 = fully serial
-  /// Conservative lookahead (sync horizon): parallel windows never span
-  /// more than this much simulated time, so a lane cannot outrun a
-  /// cross-arc message by more than one barrier. 0 = windows bounded by
-  /// global events only (correct whenever cross-arc effects go through
-  /// the global queue or the mailbox, which the lane rules enforce).
+  /// Conservative sync-horizon cap, kept as an explicit fallback / test
+  /// knob: when > 0, parallel windows never span more than this much
+  /// simulated time past their first event. The default 0 engages the
+  /// adaptive horizon (DESIGN.md §12): windows extend all the way to the
+  /// next global event, further capped by the mailbox watermark only when
+  /// a committed cross-arc send is outstanding at window open — which the
+  /// barrier discipline (every barrier fully drains the mailbox) makes
+  /// impossible today, so 0 is both the fastest and an always-correct
+  /// setting. Output is byte-identical for any value (window-trace
+  /// differential tests in tests/test_partition.cc).
   SimTime lookahead = 0;
   /// Scheduler backend for every queue: the timing wheel, or the binary
   /// heap kept as the differential reference (`--scheduler heap`). Pop
@@ -52,8 +58,12 @@ struct ArcConfig {
 /// drains everything in (time, src_arc, seq) order.
 class Mailbox {
  public:
+  /// watermark() when nothing is staged.
+  static constexpr SimTime kNoWatermark = std::numeric_limits<SimTime>::max();
+
   void reset(int arcs) {
     lanes_.assign(static_cast<std::size_t>(arcs), {});
+    floor_ = 0;
   }
 
   /// Stages `fn` for arc `dst_arc` at simulated time `time`. Only the
@@ -74,6 +84,39 @@ class Mailbox {
     std::size_t n = 0;
     for (const auto& lane : lanes_) n += lane.size();
     return n;
+  }
+
+  /// The earliest committed-but-undelivered cross-arc send across all
+  /// source lanes, or kNoWatermark when nothing is staged. This is the
+  /// adaptive sync horizon's per-window bound (DESIGN.md §12): a window
+  /// may extend to the next global event unless a committed send would
+  /// land inside it first. Coordinator-only (lanes may be appending).
+  SimTime watermark() const {
+    SimTime wm = kNoWatermark;
+    for (const auto& lane : lanes_) {
+      for (const Msg& m : lane) wm = std::min(wm, m.time);
+    }
+    return wm;
+  }
+
+  /// Sets the delivery floor: the start of the window whose lanes are
+  /// about to post. Every message staged from now on must target a time
+  /// at or after it — a send into the past would mean a lane outran the
+  /// horizon, the exact corruption the watermark invariant guards.
+  void set_floor(SimTime floor) { floor_ = floor; }
+  SimTime floor() const { return floor_; }
+
+  /// Audits the watermark invariant: no staged message precedes the
+  /// delivery floor. Throws InvariantError naming the violation.
+  /// Coordinator-only, like watermark().
+  void check_invariants() const {
+    for (const auto& lane : lanes_) {
+      for (const Msg& m : lane) {
+        D2_ASSERT_MSG(m.time >= floor_,
+                      "mailbox: staged cross-arc send precedes the window "
+                      "delivery floor");
+      }
+    }
   }
 
   /// Drains every staged message into `sink(time, src_arc, seq, dst_arc,
@@ -113,6 +156,7 @@ class Mailbox {
   };
   std::vector<std::vector<Msg>> lanes_;  // index = source arc
   std::vector<Ref> refs_;                // scratch, reused across barriers
+  SimTime floor_ = 0;                    // delivery floor (watermark invariant)
 };
 
 /// Fixed pool of threads that executes fn(arc) for every arc of a phase

@@ -177,12 +177,62 @@ class Simulator {
   // d2-lint: allow(std-function) — one type-erased call per phase barrier
   void run_arc_phase(const std::function<void(int)>& fn);
 
+  /// Runs fn(arc) for every arc as lanes with an *open push window* ending
+  /// at `window_end` (exclusive): unlike run_arc_phase, lanes may advance
+  /// their own clock and interleave their arc's pending events with bulk
+  /// work via lane_advance(). The caller guarantees every lane_advance
+  /// target lies strictly before `window_end`, which must not span a
+  /// pending global event. Used by core/op_batch.h to merge replayed
+  /// workload ops with arc-local timer events in one barrier (DESIGN.md
+  /// §12). Events left in a lane's queue past its last advance stay
+  /// pending; the coordinator clock afterwards is the furthest lane time,
+  /// capped back to the earliest still-pending event.
+  // d2-lint: allow(std-function) — one type-erased call per window barrier
+  void run_op_window(SimTime window_end, const std::function<void(int)>& fn);
+
+  /// From inside a run_op_window lane: pops and executes this lane's
+  /// events with time <= t (events tied with an op run first, matching
+  /// the serial run_until-then-apply schedule), then sets the lane clock
+  /// to t. Requires t < the window end and t >= the lane clock.
+  void lane_advance(SimTime t);
+
+  /// Registers a hook the simulator invokes at every *commit point*: just
+  /// before a global-queue event is popped, at the idle fixpoint of run /
+  /// run_until, and at the start of an arc phase or op window. Commit
+  /// points are mode-independent — they fall at the same simulated times
+  /// with the same coordinator clock for any arcs/workers setting — so
+  /// cross-arc commitments staged by arc lanes (e.g. core::System's
+  /// bandwidth-link reservations) resolve identically in serial and
+  /// parallel execution. The hook may schedule events (clamped >= now())
+  /// but must not pop any; it is called once per global event / barrier,
+  /// not per event.
+  // d2-lint: allow(std-function) — invoked per commit point, not per event
+  void set_commit_hook(std::function<void()> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
   /// Earliest pending event time across all queues, or
   /// std::numeric_limits<SimTime>::max() when idle.
   SimTime next_event_time() const;
 
+  /// Earliest pending *global-queue* event, or max() when none. This is
+  /// the op-batch fence: arc-local events merge into op windows, so only
+  /// a global event forces a flush (core/op_batch.h).
+  SimTime next_global_event_time() const;
+
   std::uint64_t events_processed() const { return events_processed_; }
   std::size_t events_pending() const;
+
+  /// Order-insensitive digest of everything executed: the wrapping sum of
+  /// all executed event times. Within one engine mode the execution order
+  /// is deterministic, but window *boundaries* differ between adaptive
+  /// and conservative horizons — this digest is equal whenever the same
+  /// multiset of events ran, which is what the window-trace differential
+  /// tests assert (tests/test_partition.cc).
+  std::uint64_t event_time_checksum() const { return time_checksum_; }
+
+  /// Parallel windows executed so far (event windows + op windows).
+  std::uint64_t windows_executed() const { return windows_; }
 
  private:
   /// Per-thread lane binding. Keyed by owner so nested simulators
@@ -217,6 +267,12 @@ class Simulator {
   void run_window(SimTime window_end);
   /// Releases mailboxed messages into their queues with fresh merge keys.
   void deliver_mailbox();
+  /// Runs the commit hook (if any); true when it scheduled new events,
+  /// meaning the merged head must be re-evaluated before popping.
+  bool commit();
+  /// Folds per-lane counters/digests into the totals after a barrier and
+  /// updates the window metrics; returns the furthest lane time.
+  SimTime fold_lanes(SimTime window_start, SimTime window_end);
 
   // constinit: no dynamic-init TLS wrapper. Besides being faster, the
   // wrapper trips a GCC 12 UBSan false positive ("member access within
@@ -237,9 +293,24 @@ class Simulator {
   std::vector<std::uint64_t> lane_pushes_;
   std::vector<std::uint64_t> lane_events_;  // events processed per lane
   std::vector<SimTime> lane_last_time_;     // last event time per lane
+  std::vector<std::uint64_t> lane_time_sum_;  // per-lane checksum partials
 
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t time_checksum_ = 0;
+  // d2-lint: allow(std-function) — invoked per commit point, not per event
+  std::function<void()> commit_hook_;
+
+  // Partition-coordinator observability (exported as sim.window.*): how
+  // many windows ran, how wide they were, how much work they carried and
+  // how evenly the lanes shared it.
+  std::uint64_t windows_ = 0;
+  SimTime window_span_sum_ = 0;
+  SimTime window_span_max_ = 0;
+  std::uint64_t window_events_ = 0;
+  std::uint64_t lane_busy_num_ = 0;  // sum over windows of total lane events
+  std::uint64_t lane_busy_den_ = 0;  // sum over windows of arcs * max lane
+
   obs::Registry* metrics_ = nullptr;
   obs::Counter* events_counter_ = nullptr;
 };

@@ -27,6 +27,17 @@ std::string HarvardGenerator::user_home(int user) {
   return "home/u" + std::to_string(user);
 }
 
+std::string_view HarvardGenerator::make_path(std::string_view dir,
+                                             std::string_view stem, int id,
+                                             std::string_view suffix) {
+  scratch_.clear();
+  scratch_.append(dir);
+  scratch_.append(stem);
+  scratch_.append(std::to_string(id));
+  scratch_.append(suffix);
+  return arena_.intern(scratch_);
+}
+
 HarvardGenerator::HarvardGenerator(const HarvardParams& params)
     : params_(params) {
   D2_REQUIRE(params.users > 0);
@@ -74,7 +85,7 @@ void HarvardGenerator::build_shared_volume(Rng& rng) {
     const int nfiles = static_cast<int>(1 + rng.next_below(24));
     for (int f = 0; f < nfiles && used < budget; ++f) {
       GenFile gf;
-      gf.path = dir + "/lib" + std::to_string(f) + ".so";
+      gf.path = make_path(dir, "/lib", f, ".so");
       gf.size = sample_file_size(rng);
       gf.dir_index = -1;
       gf.shared = true;
@@ -106,7 +117,7 @@ void HarvardGenerator::build_user_tree(UserState& u, Rng& rng) {
   // Mailbox: one growing file, ~10% of the budget (email workload).
   {
     GenFile mbox;
-    mbox.path = u.home + "/mail/inbox.mbox";
+    mbox.path = arena_.intern(u.home + "/mail/inbox.mbox");
     mbox.size = std::max<Bytes>(kB(64), budget / 10);
     mbox.dir_index = 0;
     u.resident_bytes += mbox.size;
@@ -123,7 +134,7 @@ void HarvardGenerator::build_user_tree(UserState& u, Rng& rng) {
   while (u.resident_bytes < budget) {
     const std::size_t d = dir_zipf.sample(rng);
     GenFile gf;
-    gf.path = u.dirs[d] + "/f" + std::to_string(u.next_file_id++);
+    gf.path = make_path(u.dirs[d], "/f", u.next_file_id++);
     gf.size = sample_file_size(rng);
     gf.dir_index = static_cast<int>(d);
     u.resident_bytes += gf.size;
@@ -196,8 +207,8 @@ void HarvardGenerator::generate_user_activity(UserState& u, Rng& rng) {
           if (fi >= 0) {
             GenFile& gf = u.files[static_cast<std::size_t>(fi)];
             const std::size_t d = working[rng.next_below(working.size())];
-            std::string to =
-                u.dirs[d] + "/mv" + std::to_string(u.next_file_id++);
+            const std::string_view to =
+                make_path(u.dirs[d], "/mv", u.next_file_id++);
             records_.push_back(TraceRecord{t, u.user, TraceRecord::Op::kRename,
                                            gf.path, to, 0, 0});
             // Track the move in the mirror namespace (the old dir's index
@@ -210,7 +221,7 @@ void HarvardGenerator::generate_user_activity(UserState& u, Rng& rng) {
           // Create a new file in a working directory.
           const std::size_t d = working[rng.next_below(working.size())];
           GenFile gf;
-          gf.path = u.dirs[d] + "/n" + std::to_string(u.next_file_id++);
+          gf.path = make_path(u.dirs[d], "/n", u.next_file_id++);
           gf.size = std::min(sample_file_size(rng), create_budget);
           gf.dir_index = static_cast<int>(d);
           create_budget -= gf.size;

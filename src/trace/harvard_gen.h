@@ -23,8 +23,10 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "trace/workload.h"
 
@@ -65,8 +67,10 @@ class HarvardGenerator {
   static std::string user_home(int user);
 
  private:
+  // Paths live in arena_: interned once when the file is created (or
+  // renamed) and shared by value across every record touching the file.
   struct GenFile {
-    std::string path;
+    std::string_view path;
     Bytes size;
     int dir_index;
     bool alive = true;
@@ -78,8 +82,12 @@ class HarvardGenerator {
   void build_user_tree(UserState& u, Rng& rng);
   void generate_user_activity(UserState& u, Rng& rng);
   Bytes sample_file_size(Rng& rng) const;
+  std::string_view make_path(std::string_view dir, std::string_view stem,
+                             int id, std::string_view suffix = {});
 
   HarvardParams params_;
+  common::Arena arena_;
+  std::string scratch_;  // reused path-assembly buffer
   std::vector<FileSpec> initial_files_;
   std::vector<TraceRecord> records_;
   std::vector<GenFile> shared_files_;

@@ -65,7 +65,8 @@ HpGenerator::HpGenerator(const HpParams& params) : params_(params) {
         for (std::int64_t i = 0; i < run; ++i) {
           if (pos >= ext.start + ext.len) break;
           records_.push_back(TraceRecord{t, a, TraceRecord::Op::kRead,
-                                         block_name(pos), "", 0, kBlockSize});
+                                         arena_.intern(block_name(pos)), "", 0,
+                                         kBlockSize});
           pos += 1;
           t += 1000 + static_cast<SimTime>(app_rng.exponential(0.02) * 1e6);
           --remaining;

@@ -12,8 +12,10 @@
 // equals numeric (disk) order, exactly the "ordered" scenario of §4.1.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "trace/workload.h"
 
@@ -41,6 +43,7 @@ class HpGenerator {
 
  private:
   HpParams params_;
+  common::Arena arena_;
   std::vector<TraceRecord> records_;
 };
 

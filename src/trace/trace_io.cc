@@ -64,9 +64,10 @@ void write_trace_file(const std::string& path,
   write_trace(os, records);
 }
 
-std::vector<TraceRecord> read_trace(std::istream& is) {
+std::vector<TraceRecord> read_trace(std::istream& is, common::Arena& arena) {
   std::vector<TraceRecord> out;
   std::string line;
+  std::string path;
   int line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
@@ -75,11 +76,12 @@ std::vector<TraceRecord> read_trace(std::istream& is) {
     std::istringstream ls(line);
     TraceRecord r;
     std::string op;
-    if (!(ls >> r.time >> r.user >> op >> r.path)) {
+    if (!(ls >> r.time >> r.user >> op >> path)) {
       D2_REQUIRE_MSG(false, "malformed trace line " + std::to_string(line_no) +
                                 ": " + line);
     }
     r.op = parse_op(op);
+    r.path = arena.intern(path);
     switch (r.op) {
       case TraceRecord::Op::kRead:
       case TraceRecord::Op::kWrite:
@@ -93,10 +95,11 @@ std::vector<TraceRecord> read_trace(std::istream& is) {
       }
       case TraceRecord::Op::kRename: {
         std::string arrow;
-        if (!(ls >> arrow >> r.path2) || arrow != "->") {
+        if (!(ls >> arrow >> path) || arrow != "->") {
           D2_REQUIRE_MSG(false, "malformed rename on line " +
                                     std::to_string(line_no) + ": " + line);
         }
+        r.path2 = arena.intern(path);
         break;
       }
       default:
@@ -104,7 +107,7 @@ std::vector<TraceRecord> read_trace(std::istream& is) {
     }
     D2_REQUIRE_MSG(r.time >= 0,
                    "negative timestamp on line " + std::to_string(line_no));
-    out.push_back(std::move(r));
+    out.push_back(r);
   }
   std::stable_sort(out.begin(), out.end(),
                    [](const TraceRecord& a, const TraceRecord& b) {
@@ -113,10 +116,11 @@ std::vector<TraceRecord> read_trace(std::istream& is) {
   return out;
 }
 
-std::vector<TraceRecord> read_trace_file(const std::string& path) {
+std::vector<TraceRecord> read_trace_file(const std::string& path,
+                                         common::Arena& arena) {
   std::ifstream is(path);
   D2_REQUIRE_MSG(is.good(), "cannot open trace file: " + path);
-  return read_trace(is);
+  return read_trace(is, arena);
 }
 
 }  // namespace d2::trace

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "trace/workload.h"
 
 namespace d2::trace {
@@ -29,9 +30,11 @@ void write_trace_file(const std::string& path,
                       const std::vector<TraceRecord>& records);
 
 /// Parses the v1 text format. Throws d2::PreconditionError with the line
-/// number on malformed input. Records are returned sorted by time.
-std::vector<TraceRecord> read_trace(std::istream& is);
-std::vector<TraceRecord> read_trace_file(const std::string& path);
+/// number on malformed input. Records are returned sorted by time. Parsed
+/// paths are interned into `arena`, which must outlive the records.
+std::vector<TraceRecord> read_trace(std::istream& is, common::Arena& arena);
+std::vector<TraceRecord> read_trace_file(const std::string& path,
+                                         common::Arena& arena);
 
 /// Round-trip helpers for ops.
 std::string op_name(TraceRecord::Op op);

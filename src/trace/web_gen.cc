@@ -26,6 +26,7 @@ WebGenerator::WebGenerator(const WebParams& params) : params_(params) {
       const int d = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ndirs)));
       std::string path = "/d" + std::to_string(d) + "/obj" + std::to_string(o) +
                          (o % 5 == 0 ? ".html" : ".gif");
+      site.object_urls.push_back(arena_.intern(site.domain + path));
       site.object_paths.push_back(std::move(path));
       site.object_sizes.push_back(std::clamp<Bytes>(
           static_cast<Bytes>(rng.lognormal(size_mu, params.object_size_sigma)),
@@ -48,6 +49,8 @@ WebGenerator::WebGenerator(const WebParams& params) : params_(params) {
       // URLs; stories are Zipf-popular so some re-hit while the long tail
       // is fetched once and evicted the next day.
       ZipfDistribution story_zipf(4000, 0.7);
+      // Day-stamped story URLs recur across the burst; intern each once.
+      std::vector<std::string_view> story_urls(4000);
       while (remaining > 0) {
         if (flash && crng.bernoulli(params.flash_new_content_fraction)) {
           // A news-reading burst: several stories in one sitting, so the
@@ -55,14 +58,18 @@ WebGenerator::WebGenerator(const WebParams& params) : params_(params) {
           const auto burst = static_cast<std::int64_t>(4 + crng.next_below(12));
           for (std::int64_t b = 0; b < burst && remaining > 0; ++b) {
             const std::size_t story = story_zipf.sample(crng);
-            std::string url = "www.newswire.com/day" + std::to_string(day) +
-                              "/story" + std::to_string(story) + ".html";
+            if (story_urls[story].empty()) {
+              story_urls[story] = arena_.intern(
+                  "www.newswire.com/day" + std::to_string(day) + "/story" +
+                  std::to_string(story) + ".html");
+            }
+            const std::string_view url = story_urls[story];
             // Deterministic per-URL size so repeated fetches agree.
             const Bytes size =
                 256 + static_cast<Bytes>(fnv1a64(url) %
                                          static_cast<std::uint64_t>(kB(48)));
-            records_.push_back(TraceRecord{t, c, TraceRecord::Op::kRead,
-                                           std::move(url), "", 0, size});
+            records_.push_back(
+                TraceRecord{t, c, TraceRecord::Op::kRead, url, "", 0, size});
             --remaining;
             t += static_cast<SimTime>(crng.exponential(8.0) * 1e6);
           }
@@ -76,19 +83,18 @@ WebGenerator::WebGenerator(const WebParams& params) : params_(params) {
         const int pages = 1 + static_cast<int>(crng.next_below(12));
         for (int p = 0; p < pages && remaining > 0; ++p) {
           const std::size_t oi = obj_zipf.sample(crng);
-          records_.push_back(TraceRecord{
-              t, c, TraceRecord::Op::kRead, site.domain + site.object_paths[oi],
-              "", 0, site.object_sizes[oi]});
+          records_.push_back(TraceRecord{t, c, TraceRecord::Op::kRead,
+                                         site.object_urls[oi], "", 0,
+                                         site.object_sizes[oi]});
           --remaining;
           // Embedded objects: quick follow-ups from the same site.
           const int embedded = static_cast<int>(crng.next_below(4));
           for (int e = 0; e < embedded && remaining > 0; ++e) {
             t += 50'000 + static_cast<SimTime>(crng.exponential(0.1) * 1e6);
             const std::size_t ei = obj_zipf.sample(crng);
-            records_.push_back(TraceRecord{
-                t, c, TraceRecord::Op::kRead,
-                site.domain + site.object_paths[ei], "", 0,
-                site.object_sizes[ei]});
+            records_.push_back(TraceRecord{t, c, TraceRecord::Op::kRead,
+                                           site.object_urls[ei], "", 0,
+                                           site.object_sizes[ei]});
             --remaining;
           }
           t += static_cast<SimTime>(crng.exponential(15.0) * 1e6);  // dwell
@@ -104,10 +110,10 @@ WebGenerator::WebGenerator(const WebParams& params) : params_(params) {
                    });
 }
 
-Bytes WebGenerator::object_size(const std::string& url) const {
+Bytes WebGenerator::object_size(std::string_view url) const {
   for (const Site& site : sites_) {
-    if (url.rfind(site.domain, 0) == 0) {
-      const std::string rel = url.substr(site.domain.size());
+    if (url.substr(0, site.domain.size()) == site.domain) {
+      const std::string_view rel = url.substr(site.domain.size());
       for (std::size_t i = 0; i < site.object_paths.size(); ++i) {
         if (site.object_paths[i] == rel) return site.object_sizes[i];
       }

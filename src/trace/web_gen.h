@@ -15,8 +15,10 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "trace/workload.h"
 
@@ -53,16 +55,18 @@ class WebGenerator {
   WorkloadSummary summary() const { return summarize(records_, {}); }
 
   /// Size of the object at `url` (stable across the trace).
-  Bytes object_size(const std::string& url) const;
+  Bytes object_size(std::string_view url) const;
 
  private:
   struct Site {
     std::string domain;
     std::vector<std::string> object_paths;  // relative, e.g. "/d0/p3.html"
+    std::vector<std::string_view> object_urls;  // arena-interned full URLs
     std::vector<Bytes> object_sizes;
   };
 
   WebParams params_;
+  common::Arena arena_;
   std::vector<Site> sites_;
   std::vector<TraceRecord> records_;
 };

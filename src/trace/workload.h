@@ -4,10 +4,18 @@
 // Generators return records sorted by time; experiment drivers replay
 // them through a fs::Volume (or the Webcache adapter) to obtain store
 // operations.
+//
+// Paths are std::string_view, NOT owned by the record: they point into
+// storage held by whatever produced the record — a generator's
+// common::Arena (each path interned once at file creation and shared by
+// every record that mentions it) or the Arena passed to read_trace.
+// Keep the producer alive for as long as its records are in use. This is
+// what makes million-user generation cheap: a record is a flat 56-byte
+// value, no per-record heap traffic.
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.h"
@@ -20,16 +28,17 @@ struct TraceRecord {
   SimTime time = 0;
   int user = 0;
   Op op = Op::kRead;
-  std::string path;
-  std::string path2;  // rename target
+  std::string_view path;
+  std::string_view path2;  // rename target
   Bytes offset = 0;
   Bytes length = 0;
 };
 
 /// A file present before the trace starts (the paper initializes each
 /// simulation by inserting all files that exist at the trace beginning).
+/// `path` is arena-backed like TraceRecord::path.
 struct FileSpec {
-  std::string path;
+  std::string_view path;
   Bytes size = 0;
 };
 

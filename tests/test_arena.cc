@@ -1,0 +1,98 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace d2::common {
+namespace {
+
+TEST(Arena, AllocReturnsAlignedDistinctBlocks) {
+  Arena a;
+  char* p1 = a.alloc(10);
+  char* p2 = a.alloc(10);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % alignof(std::max_align_t),
+            0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p2) % alignof(std::max_align_t),
+            0u);
+  char* p8 = a.alloc(3, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p8) % 8, 0u);
+  // Writes to one block must not clobber another.
+  std::memset(p1, 0xaa, 10);
+  std::memset(p2, 0xbb, 10);
+  EXPECT_EQ(static_cast<unsigned char>(p1[9]), 0xaa);
+  EXPECT_EQ(static_cast<unsigned char>(p2[0]), 0xbb);
+}
+
+TEST(Arena, InternCopiesAndOutlivesTheSource) {
+  Arena a;
+  std::string_view v;
+  {
+    std::string s = "hello, arena interning";
+    v = a.intern(s);
+    s.assign(s.size(), 'x');  // clobber the source
+  }
+  EXPECT_EQ(v, "hello, arena interning");
+  // Each intern is a fresh copy (no dedup): same content, new storage.
+  const std::string_view w = a.intern(v);
+  EXPECT_EQ(w, v);
+  EXPECT_NE(w.data(), v.data());
+  EXPECT_EQ(a.intern("").size(), 0u);
+}
+
+TEST(Arena, PointersSurviveChunkGrowthAndMove) {
+  Arena a(/*chunk_bytes=*/256);
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 200; ++i) {
+    views.push_back(a.intern("path/to/file" + std::to_string(i)));
+  }
+  // Growth allocated many chunks; earlier views must still be intact.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(views[static_cast<std::size_t>(i)],
+              "path/to/file" + std::to_string(i));
+  }
+  // Moving the arena moves chunk ownership, not chunk storage.
+  Arena b = std::move(a);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(views[static_cast<std::size_t>(i)],
+              "path/to/file" + std::to_string(i));
+  }
+  EXPECT_GT(b.bytes_used(), 0u);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk) {
+  Arena a(/*chunk_bytes=*/64);
+  char* small1 = a.alloc(8);
+  char* big = a.alloc(1000);  // larger than a whole chunk
+  char* small2 = a.alloc(8);
+  std::memset(big, 0x5a, 1000);
+  EXPECT_EQ(static_cast<unsigned char>(big[999]), 0x5a);
+  // The oversized allocation must not reset the current bump chunk:
+  // small allocations before and after stay densely packed.
+  EXPECT_EQ(small2, small1 + 16);  // 8 rounded up to max_align
+  EXPECT_GE(a.bytes_reserved(), a.bytes_used());
+  EXPECT_GE(a.bytes_used(), 1016u);
+}
+
+TEST(Arena, AllocArrayValueInitializes) {
+  Arena a;
+  const std::size_t n = 37;
+  int* xs = a.alloc_array<int>(n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(xs[i], 0);
+  xs[0] = 1;
+  xs[n - 1] = 2;
+  // A second array does not overlap the first.
+  int* ys = a.alloc_array<int>(n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(ys[i], 0);
+  EXPECT_EQ(xs[0], 1);
+  EXPECT_EQ(xs[n - 1], 2);
+}
+
+}  // namespace
+}  // namespace d2::common

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/assert.h"
@@ -140,7 +141,10 @@ TEST(FailureTraceIo, RoundTrips) {
   EXPECT_EQ(parsed.node_count(), original.node_count());
   EXPECT_EQ(parsed.duration(), original.duration());
   for (int n = 0; n < original.node_count(); ++n) {
-    EXPECT_EQ(parsed.down_intervals(n), original.down_intervals(n)) << n;
+    const auto a = parsed.down_intervals(n);
+    const auto b = original.down_intervals(n);
+    ASSERT_EQ(a.size(), b.size()) << n;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << n;
   }
   EXPECT_EQ(parsed.transitions().size(), original.transitions().size());
 }

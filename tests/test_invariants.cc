@@ -25,6 +25,7 @@
 #include "core/system.h"
 #include "dht/ring.h"
 #include "sim/event_queue.h"
+#include "sim/partition.h"
 #include "sim/simulator.h"
 #include "store/block_index.h"
 #include "store/block_map.h"
@@ -247,6 +248,24 @@ TEST(Invariants, EventQueueDetectsLiveCountDrift) {
   ++sim::EventQueueTestPeer::live(q);
   ExpectInvariantNamed([&] { q.check_invariants(); },
                        "live-mark count disagrees with live_");
+}
+
+// --------------------------------------------------------------- mailbox --
+
+TEST(Invariants, MailboxDetectsSendBelowTheDeliveryFloor) {
+  // Watermark invariant (DESIGN.md §12): once a window opens, every
+  // staged cross-arc send must target a time at or after its delivery
+  // floor — a send into the past means a lane outran the sync horizon,
+  // which would corrupt the deterministic (time, src, seq) release order.
+  sim::Mailbox mbox;
+  mbox.reset(2);
+  mbox.set_floor(1000);
+  mbox.post(0, 1000, 0, sim::EventFn([] {}));  // exactly at the floor: fine
+  mbox.post(1, 2500, 1, sim::EventFn([] {}));
+  EXPECT_NO_THROW(mbox.check_invariants());
+  mbox.post(1, 999, 0, sim::EventFn([] {}));  // one tick below the floor
+  ExpectInvariantNamed([&] { mbox.check_invariants(); },
+                       "precedes the window delivery floor");
 }
 
 // ----------------------------------------------------------- timing wheel --

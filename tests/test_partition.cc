@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/system.h"
+#include "sim/failure.h"
 #include "sim/partition.h"
 #include "sim/simulator.h"
 
@@ -172,9 +174,15 @@ TEST(PartitionedSimulator, GlobalQueueInterleavesWithArcQueues) {
 // in-window reschedules and past-window mailboxed pushes) plus global
 // events reading every shard must produce the same state as workers=1.
 
-std::pair<std::vector<std::uint64_t>, std::uint64_t> chained_run(int arcs,
-                                                                 int workers) {
-  sim::Simulator sim(sim::ArcConfig{arcs, workers, 0});
+struct ChainedRun {
+  std::vector<std::uint64_t> acc;
+  std::uint64_t global_acc;
+  std::uint64_t checksum;  // order-insensitive digest of executed events
+  std::uint64_t windows;
+};
+
+ChainedRun chained_run(int arcs, int workers, SimTime lookahead = 0) {
+  sim::Simulator sim(sim::ArcConfig{arcs, workers, lookahead});
   std::vector<std::uint64_t> acc(static_cast<std::size_t>(arcs), 0);
   std::uint64_t global_acc = 0;
   constexpr SimTime kEnd = 5000;
@@ -215,14 +223,41 @@ std::pair<std::vector<std::uint64_t>, std::uint64_t> chained_run(int arcs,
   };
   sim.schedule_at(100, Global{&sim, &acc, &global_acc});
 
-  sim.run();
-  return {acc, global_acc};
+  // run_until, not run(): only the bounded runner opens parallel windows,
+  // and every event above lies strictly before kEnd.
+  sim.run_until(kEnd);
+  return {acc, global_acc, sim.event_time_checksum(), sim.windows_executed()};
 }
 
 TEST(PartitionedSimulator, ParallelWindowsMatchSerialExactly) {
   const auto serial = chained_run(/*arcs=*/6, /*workers=*/1);
-  EXPECT_EQ(chained_run(6, 2), serial);
-  EXPECT_EQ(chained_run(6, 4), serial);
+  for (int workers : {2, 4}) {
+    const auto parallel = chained_run(6, workers);
+    EXPECT_EQ(parallel.acc, serial.acc) << workers;
+    EXPECT_EQ(parallel.global_acc, serial.global_acc) << workers;
+    EXPECT_EQ(parallel.checksum, serial.checksum) << workers;
+  }
+}
+
+TEST(PartitionedSimulator, AdaptiveHorizonRunsTheSameEventsAsConservative) {
+  // Window-trace differential (DESIGN.md §12): the adaptive horizon
+  // (lookahead 0, windows extend to the next global event) and a
+  // conservative cap chop the run into different windows, yet the
+  // executed event multiset — and therefore the final state — must be
+  // identical. The checksum is order-insensitive, so it is the digest of
+  // *what ran*, not of how the run was windowed.
+  const auto adaptive = chained_run(6, 4, 0);
+  for (SimTime cap : {SimTime{50}, SimTime{250}, SimTime{1000}}) {
+    const auto conservative = chained_run(6, 4, cap);
+    EXPECT_EQ(conservative.acc, adaptive.acc) << "cap=" << cap;
+    EXPECT_EQ(conservative.global_acc, adaptive.global_acc) << "cap=" << cap;
+    EXPECT_EQ(conservative.checksum, adaptive.checksum) << "cap=" << cap;
+    // Capping can only add barriers: adaptive windows are maximal.
+    EXPECT_LE(adaptive.windows, conservative.windows) << "cap=" << cap;
+  }
+  // A cap short enough to split inter-global stretches must actually
+  // produce more windows, or the differential is vacuous.
+  EXPECT_GT(chained_run(6, 4, 50).windows, adaptive.windows);
 }
 
 TEST(PartitionedSimulator, ArcPhaseMailboxesLaneSchedulesDeterministically) {
@@ -308,6 +343,77 @@ TEST(PartitionedSystem, TtlAndRemovalIdenticalAcrossArcCounts) {
   EXPECT_EQ(system_run_digest(16, 1), base);
   EXPECT_EQ(system_run_digest(4, 2), base);
   EXPECT_EQ(system_run_digest(16, 4), base);
+}
+
+// ---------------------------------------------------------------------------
+// Queue-placement properties (DESIGN.md §12): key-local timers must live
+// on their owner arc's queue — every event on the global queue is a
+// parallel-window barrier, so a misplaced timer silently serializes the
+// run even though the output stays correct.
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+TEST(PartitionedSystem, FetchAndTtlTimersLandOnArcQueuesNotTheGlobalQueue) {
+  core::SystemConfig cfg;
+  cfg.node_count = 16;
+  cfg.replicas = 3;
+  cfg.seed = 7;
+  cfg.block_ttl = hours(6);
+  cfg.arcs = 8;
+  sim::Simulator sim(sim::ArcConfig{cfg.arcs, 1, 0});
+  core::System system(cfg, sim);
+
+  Rng rng(11);
+  std::vector<Key> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(Key::random(rng));
+  for (const Key& k : keys) system.put(k, kB(4));
+
+  // Every block now has a pending TTL expiry timer — and the global
+  // queue must hold none of them.
+  EXPECT_GT(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.next_global_event_time(), kNever);
+
+  // A node outage triggers readjustment: the regen-delay event it leaves
+  // behind is legitimately global (it readjusts a ring arc), but every
+  // fetch timer and transfer completion it spawns must land on the owner
+  // key's arc queue.
+  const auto trace = sim::FailureTrace::from_intervals(
+      cfg.node_count, days(1), {{0, minutes(10), hours(3)}});
+  system.attach_failure_trace(&trace, 0);
+  sim.run_until(minutes(11));  // past the down transition
+  EXPECT_EQ(sim.next_global_event_time(), minutes(10) + cfg.regen_delay);
+
+  // Step just past the readjustment: the fetch transfers it started are
+  // still in flight, so their completion events are pending — and if they
+  // sit on arc queues, the earliest pending event is strictly earlier
+  // than the earliest global event (the recovery at hours(3)). A
+  // misrouted completion makes the two coincide.
+  sim.run_until(minutes(10) + cfg.regen_delay + milliseconds(1));
+  ASSERT_GT(sim.events_pending(), 0u);
+  EXPECT_LT(sim.next_event_time(), sim.next_global_event_time());
+  EXPECT_EQ(sim.next_global_event_time(), hours(3));  // the recovery only
+}
+
+TEST(PartitionedSystem, ProbeWorkReachesGlobalQueueOnlyAsCommitTicks) {
+  core::SystemConfig cfg;
+  cfg.node_count = 16;
+  cfg.replicas = 3;
+  cfg.seed = 7;
+  cfg.arcs = 8;
+  ASSERT_GT(cfg.probe_commit_interval, 0);
+  sim::Simulator sim(sim::ArcConfig{cfg.arcs, 1, 0});
+  core::System system(cfg, sim);
+  system.start_load_balancing();
+
+  // Per-node probe due times are jittered (almost surely off any epoch
+  // boundary), yet the only global events the probe machinery creates
+  // are its epoch-aligned commit ticks.
+  ASSERT_LT(sim.next_global_event_time(), kNever);
+  for (int tick = 0; tick < 5; ++tick) {
+    EXPECT_EQ(sim.next_global_event_time() % cfg.probe_commit_interval, 0)
+        << "tick " << tick;
+    sim.run_until(sim.next_global_event_time());
+  }
 }
 
 }  // namespace

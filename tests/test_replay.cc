@@ -7,9 +7,11 @@
 namespace d2::core {
 namespace {
 
-trace::TraceRecord rec(trace::TraceRecord::Op op, const std::string& path,
+// Literal-backed views: callers pass string literals, so the records
+// never dangle.
+trace::TraceRecord rec(trace::TraceRecord::Op op, std::string_view path,
                        Bytes offset = 0, Bytes length = 0,
-                       const std::string& path2 = "") {
+                       std::string_view path2 = "") {
   return trace::TraceRecord{0, 0, op, path, path2, offset, length};
 }
 

@@ -96,7 +96,7 @@ TEST(HarvardGenerator, SessionLocalityPresent) {
   for (const TraceRecord& r : gen.records()) {
     if (r.op != TraceRecord::Op::kRead) continue;
     const auto slash = r.path.find_last_of('/');
-    const std::string dir = r.path.substr(0, slash);
+    const std::string dir(r.path.substr(0, slash));
     auto it = last_dir.find(r.user);
     if (it != last_dir.end()) {
       ++total;
@@ -151,7 +151,9 @@ TEST(HpGenerator, SequentialRunsPresent) {
     if (it != last.end()) {
       ++total;
       if (r.path > it->second &&
-          std::stoll(r.path.substr(1)) - std::stoll(it->second.substr(1)) == 1) {
+          std::stoll(std::string(r.path.substr(1))) -
+              std::stoll(it->second.substr(1)) ==
+          1) {
         ++adjacent;
       }
     }
@@ -184,7 +186,7 @@ TEST(WebGenerator, SitePopularityZipf) {
   WebGenerator gen(p);
   std::unordered_map<std::string, int> site_counts;
   for (const TraceRecord& r : gen.records()) {
-    site_counts[r.path.substr(0, r.path.find('/'))]++;
+    site_counts[std::string(r.path.substr(0, r.path.find('/')))]++;
   }
   // The most popular site should dwarf the median site.
   int max_count = 0;
@@ -215,7 +217,7 @@ TEST(WebGenerator, BrowsingLocalityPresent) {
   std::unordered_map<int, std::string> last_site;
   int same = 0, total = 0;
   for (const TraceRecord& r : gen.records()) {
-    const std::string site = r.path.substr(0, r.path.find('/'));
+    const std::string site(r.path.substr(0, r.path.find('/')));
     auto it = last_site.find(r.user);
     if (it != last_site.end()) {
       ++total;

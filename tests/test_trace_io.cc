@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/arena.h"
 #include "common/assert.h"
 #include "trace/harvard_gen.h"
 
@@ -22,7 +23,8 @@ TEST(TraceIo, RoundTripsAllOps) {
   std::ostringstream os;
   write_trace(os, records);
   std::istringstream is(os.str());
-  const std::vector<TraceRecord> parsed = read_trace(is);
+  common::Arena arena;
+  const std::vector<TraceRecord> parsed = read_trace(is, arena);
   ASSERT_EQ(parsed.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     EXPECT_EQ(parsed[i].time, records[i].time) << i;
@@ -41,7 +43,8 @@ TEST(TraceIo, SkipsCommentsAndBlankLines) {
       "\n"
       "   # indented comment\n"
       "5 0 read a/b 0 100\n");
-  const auto parsed = read_trace(is);
+  common::Arena arena;
+  const auto parsed = read_trace(is, arena);
   ASSERT_EQ(parsed.size(), 1u);
   EXPECT_EQ(parsed[0].path, "a/b");
 }
@@ -50,7 +53,8 @@ TEST(TraceIo, SortsByTime) {
   std::istringstream is(
       "10 0 read b 0 1\n"
       "5 0 read a 0 1\n");
-  const auto parsed = read_trace(is);
+  common::Arena arena;
+  const auto parsed = read_trace(is, arena);
   ASSERT_EQ(parsed.size(), 2u);
   EXPECT_EQ(parsed[0].path, "a");
   EXPECT_TRUE(is_sorted_by_time(parsed));
@@ -58,25 +62,28 @@ TEST(TraceIo, SortsByTime) {
 
 TEST(TraceIo, OptionalOffsetLength) {
   std::istringstream is("5 0 read a/b\n");
-  const auto parsed = read_trace(is);
+  common::Arena arena;
+  const auto parsed = read_trace(is, arena);
   ASSERT_EQ(parsed.size(), 1u);
   EXPECT_EQ(parsed[0].offset, 0);
   EXPECT_EQ(parsed[0].length, 0);
 }
 
 TEST(TraceIo, MalformedLineThrows) {
+  common::Arena arena;
   std::istringstream bad1("what\n");
-  EXPECT_THROW(read_trace(bad1), PreconditionError);
+  EXPECT_THROW(read_trace(bad1, arena), PreconditionError);
   std::istringstream bad2("5 0 teleport a/b\n");
-  EXPECT_THROW(read_trace(bad2), PreconditionError);
+  EXPECT_THROW(read_trace(bad2, arena), PreconditionError);
   std::istringstream bad3("5 0 rename a/b\n");  // missing "-> target"
-  EXPECT_THROW(read_trace(bad3), PreconditionError);
+  EXPECT_THROW(read_trace(bad3, arena), PreconditionError);
   std::istringstream bad4("-5 0 read a 0 1\n");
-  EXPECT_THROW(read_trace(bad4), PreconditionError);
+  EXPECT_THROW(read_trace(bad4, arena), PreconditionError);
 }
 
 TEST(TraceIo, MissingFileThrows) {
-  EXPECT_THROW(read_trace_file("/nonexistent/path/to/trace"),
+  common::Arena arena;
+  EXPECT_THROW(read_trace_file("/nonexistent/path/to/trace", arena),
                PreconditionError);
 }
 
@@ -90,7 +97,8 @@ TEST(TraceIo, GeneratorRoundTrip) {
   std::ostringstream os;
   write_trace(os, gen.records());
   std::istringstream is(os.str());
-  const auto parsed = read_trace(is);
+  common::Arena arena;
+  const auto parsed = read_trace(is, arena);
   ASSERT_EQ(parsed.size(), gen.records().size());
   for (std::size_t i = 0; i < parsed.size(); ++i) {
     EXPECT_EQ(parsed[i].path, gen.records()[i].path);

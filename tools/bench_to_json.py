@@ -29,6 +29,7 @@ found a regression beyond the threshold.
 """
 
 import argparse
+import hashlib
 import json
 import subprocess
 import sys
@@ -99,34 +100,94 @@ SCALE_RUNGS = [(256, 2560), (1000, 10000), (10000, 100000),
                (50000, 1000000)]
 
 
-def run_scale_ladder(d2sim, arc_workers):
-    rungs = []
-    for nodes, users in SCALE_RUNGS:
-        cmd = [
-            d2sim, "availability", f"--nodes={nodes}", f"--users={users}",
-            "--days=1", "--accesses=20", "--seed=1", "--trials=1",
-            "--jobs=1", "--arcs=64", f"--arc-workers={arc_workers}",
-        ]
-        start = time.monotonic()
-        proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True,
-                              text=True)
-        elapsed = time.monotonic() - start
-        tasks = 0
-        for line in proc.stdout.splitlines():
-            if line.startswith("trial=") and " tasks=" in line:
+def run_scale_rung(d2sim, nodes, users, arc_workers):
+    """One seeded availability trial. The returned rung carries its own
+    arc_workers (rungs at different worker counts coexist in a snapshot)
+    and a digest of the per-trial result lines: equal digests at
+    different --arc-workers is the byte-identical-output check straight
+    from the committed snapshot."""
+    cmd = [
+        d2sim, "availability", f"--nodes={nodes}", f"--users={users}",
+        "--days=1", "--accesses=20", "--seed=1", "--trials=1",
+        "--jobs=1", "--arcs=64", f"--arc-workers={arc_workers}",
+    ]
+    start = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True,
+                          text=True)
+    elapsed = time.monotonic() - start
+    tasks = 0
+    trial_lines = []
+    for line in proc.stdout.splitlines():
+        if line.startswith("trial="):
+            trial_lines.append(line)
+            if " tasks=" in line:
                 tasks = int(line.split(" tasks=")[1].split()[0])
-        rung = {
-            "nodes": nodes,
-            "users": users,
-            "command": " ".join(cmd[1:]),
-            "wall_seconds": round(elapsed, 3),
-            "tasks": tasks,
-            "tasks_per_second": round(tasks / elapsed, 1) if elapsed else 0,
-        }
-        rungs.append(rung)
-        print(f"scale rung nodes={nodes}: {elapsed:.1f}s, "
-              f"{rung['tasks_per_second']} tasks/s")
-    return {"arc_workers": arc_workers, "rungs": rungs}
+    digest = hashlib.sha256("\n".join(trial_lines).encode()).hexdigest()
+    rung = {
+        "nodes": nodes,
+        "users": users,
+        "arc_workers": arc_workers,
+        "command": " ".join(cmd[1:]),
+        "wall_seconds": round(elapsed, 3),
+        "tasks": tasks,
+        "tasks_per_second": round(tasks / elapsed, 1) if elapsed else 0,
+        "output_sha256": digest[:16],
+    }
+    print(f"scale rung nodes={nodes} w{arc_workers}: {elapsed:.1f}s, "
+          f"{rung['tasks_per_second']} tasks/s, output {digest[:16]}")
+    return rung
+
+
+def note_scale_regressions(rungs, prior_section):
+    """Annotates any rung whose throughput fell more than
+    REGRESSION_FACTOR below the committed snapshot's same-shape rung
+    (matched on nodes/users/arc_workers; legacy snapshots without
+    per-rung arc_workers match on the section-level value). The note
+    lands in the snapshot itself so a slow rung is visible in review,
+    not only in a CI log."""
+    prior = {}
+    if prior_section:
+        section_workers = prior_section.get("arc_workers")
+        for r in prior_section.get("rungs", []):
+            w = r.get("arc_workers", section_workers)
+            prior[(r.get("nodes"), r.get("users"), w)] = r
+        for r in prior_section.get("worker_scaling", []):
+            prior[(r.get("nodes"), r.get("users"), r.get("arc_workers"))] = r
+    for rung in rungs:
+        old = prior.get((rung["nodes"], rung["users"], rung["arc_workers"]))
+        if not old:
+            continue
+        old_tps = old.get("tasks_per_second", 0)
+        if old_tps > 0 and rung["tasks_per_second"] * REGRESSION_FACTOR < old_tps:
+            rung["regression_note"] = (
+                f"tasks_per_second {rung['tasks_per_second']} is more than "
+                f"{REGRESSION_FACTOR}x below the committed {old_tps}; "
+                "investigate or re-record the snapshot")
+            print(f"WARNING scale rung nodes={rung['nodes']} "
+                  f"w{rung['arc_workers']}: {rung['regression_note']}")
+
+
+# Worker-scaling sweep: rungs wide enough for parallel windows to matter.
+WORKER_SCALING_MIN_NODES = 10000
+
+
+def run_scale_ladder(d2sim, arc_workers, prior_section=None,
+                     extra_workers=()):
+    rungs = [run_scale_rung(d2sim, nodes, users, arc_workers)
+             for nodes, users in SCALE_RUNGS]
+    section = {"arc_workers": arc_workers, "rungs": rungs}
+    scaling = []
+    for w in extra_workers:
+        if w == arc_workers:
+            continue
+        for nodes, users in SCALE_RUNGS:
+            if nodes < WORKER_SCALING_MIN_NODES:
+                continue
+            scaling.append(run_scale_rung(d2sim, nodes, users, w))
+    if scaling:
+        section["worker_scaling"] = scaling
+    note_scale_regressions(rungs + scaling, prior_section)
+    return section
 
 
 # Durability probe (EXPERIMENTS.md "durability under correlated
@@ -299,7 +360,7 @@ def main():
                          "one-sided in --compare (newly added, or filtered "
                          "out); repeatable. Timing regressions still gate.")
     ap.add_argument("--e2e-scale", action="store_true",
-                    help="run the availability scale ladder (256/1k/10k "
+                    help="run the availability scale ladder (256/1k/10k/50k "
                          "nodes, --arcs=64) and merge it into --e2e-out; "
                          "requires --d2sim")
     ap.add_argument("--e2e-durability", action="store_true",
@@ -309,14 +370,27 @@ def main():
     ap.add_argument("--e2e-out", default="BENCH_e2e.json")
     ap.add_argument("--e2e-arc-workers", type=int, default=1,
                     help="--arc-workers for the e2e scale/durability runs")
+    ap.add_argument("--e2e-scale-workers", action="append", type=int,
+                    default=[], metavar="W",
+                    help="additionally run the wide scale rungs (>= "
+                         f"{WORKER_SCALING_MIN_NODES} nodes) at this "
+                         "--arc-workers count, recorded under "
+                         "worker_scaling; repeatable")
     args = ap.parse_args()
 
     if args.e2e_scale or args.e2e_durability:
         if not args.d2sim:
             ap.error("--e2e-scale/--e2e-durability require --d2sim")
         if args.e2e_scale:
+            try:
+                with open(args.e2e_out) as f:
+                    prior_section = json.load(f).get("e2e_scale")
+            except (OSError, ValueError):
+                prior_section = None
             merge_e2e(args.e2e_out, "e2e_scale",
-                      run_scale_ladder(args.d2sim, args.e2e_arc_workers),
+                      run_scale_ladder(args.d2sim, args.e2e_arc_workers,
+                                       prior_section,
+                                       args.e2e_scale_workers),
                       args.label)
         if args.e2e_durability:
             merge_e2e(args.e2e_out, "e2e_durability",

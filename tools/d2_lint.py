@@ -41,6 +41,15 @@ idioms, so this linter rejects them mechanically:
                        simulator mailbox or run on the coordinator
                        (DESIGN.md §9); a raw index is how a lane reaches
                        into a shard it does not own.
+  sched-class          a schedule_at/schedule_after/schedule_arc_at/
+                       schedule_arc_after call in src/core/*.cc with no
+                       `// d2-sched: arc-local|mailbox|global` tag on the
+                       line or the line above. Every core timer must be
+                       classified (DESIGN.md §12): arc-local events run on
+                       the owning arc's queue, mailbox effects cross arcs
+                       through staged delivery, and only events that read
+                       or mutate state spanning arcs may sit on the global
+                       queue (each one is a parallel-window barrier).
 
 Escape hatch: a line (or its predecessor) containing
     // d2-lint: allow(<rule>[, <rule>...])
@@ -68,6 +77,7 @@ RULES = (
     "unguarded-mutator",
     "priority-queue",
     "cross-arc-bypass",
+    "sched-class",
 )
 
 ALLOW_RE = re.compile(r"//.*d2-lint:\s*allow\(([^)]*)\)")
@@ -138,6 +148,12 @@ ARC_SHARD_RE = re.compile(
 )
 # Index expressions that visibly derive from the owning arc.
 ARC_DERIVED_RE = re.compile(r"arc|shard")
+
+# Scheduler calls in core/ must carry a placement classification so every
+# global-queue event (a parallel-window barrier) is a deliberate choice.
+SCHED_CALL_DIRS = (os.sep + "core" + os.sep,)
+SCHED_CALL_RE = re.compile(r"\bschedule_(?:arc_)?(?:at|after)\s*\(")
+SCHED_ANNOT_RE = re.compile(r"//\s*d2-sched:\s*(arc-local|mailbox|global)\b")
 
 
 class Finding:
@@ -360,6 +376,30 @@ def lint_file(path, rules=None):
                 )
 
         if (
+            "sched-class" in rules
+            and path.endswith(".cc")
+            and any(d in path for d in SCHED_CALL_DIRS)
+            and SCHED_CALL_RE.search(code)
+        ):
+            prev_raw = raw_lines[i - 1] if i > 0 else ""
+            if not (
+                SCHED_ANNOT_RE.search(raw_lines[i])
+                or SCHED_ANNOT_RE.search(prev_raw)
+            ) and not allowed(i, "sched-class"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "sched-class",
+                        "scheduler call lacks a placement tag; add "
+                        "`// d2-sched: arc-local|mailbox|global — <why>` "
+                        "on this line or the line above (global-queue "
+                        "events are parallel-window barriers and must "
+                        "justify themselves)",
+                    )
+                )
+
+        if (
             "priority-queue" in rules
             and any(d in path for d in PRIORITY_QUEUE_DIRS)
             and PRIORITY_QUEUE_RE.search(code)
@@ -512,6 +552,7 @@ SELF_TEST_CASES = [
         "sim-time names clean",
         "src/core/x.cc",
         "SimTime next_time(int i);\n"
+        "// d2-sched: global — fixture\n"
         "void f() { SimTime t = next_time(3); schedule_at(t, cb); }\n",
         None,
     ),
@@ -607,6 +648,60 @@ SELF_TEST_CASES = [
         "  // Coordinator-side audit walks every shard."
         "  // d2-lint: allow(cross-arc-bypass)\n"
         "  slices_[i].check();\n"
+        "}\n",
+        None,
+    ),
+    (
+        "sched-class unannotated flagged",
+        "src/core/x.cc",
+        "void System::arm() {\n"
+        "  sim_.schedule_after(delay, [this] { fire(); });\n"
+        "}\n",
+        "sched-class",
+    ),
+    (
+        "sched-class arc variant flagged",
+        "src/core/x.cc",
+        "void System::arm(const Key& k) {\n"
+        "  sim_.schedule_arc_at(map_.arc_of(k), t, [this] { fire(); });\n"
+        "}\n",
+        "sched-class",
+    ),
+    (
+        "sched-class same-line tag clean",
+        "src/core/x.cc",
+        "void System::arm() {\n"
+        "  sim_.schedule_after(delay, cb);  // d2-sched: global — barrier\n"
+        "}\n",
+        None,
+    ),
+    (
+        "sched-class line-above tag clean",
+        "src/core/x.cc",
+        "void System::arm(const Key& k) {\n"
+        "  // d2-sched: arc-local — timer touches only k's shard\n"
+        "  sim_.schedule_arc_at(map_.arc_of(k), t, cb);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "sched-class outside core clean",
+        "src/sim/x.cc",
+        "void f() { sim.schedule_after(delay, cb); }\n",
+        None,
+    ),
+    (
+        "sched-class header clean",
+        "src/core/x.h",
+        "void arm() { sim_.schedule_after(delay_, cb_); }\n",
+        None,
+    ),
+    (
+        "sched-class allow escape clean",
+        "src/core/x.cc",
+        "void System::arm() {\n"
+        "  // d2-lint: allow(sched-class) -- classified at the call site\n"
+        "  sim_.schedule_after(delay, cb);\n"
         "}\n",
         None,
     ),

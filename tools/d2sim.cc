@@ -561,31 +561,38 @@ int cmd_repair(const Args& args) {
 
 int cmd_trace_gen(const Args& args) {
   const std::string workload = args.str("workload", "harvard");
-  std::vector<trace::TraceRecord> records;
-  if (workload == "harvard") {
-    records = trace::HarvardGenerator(harvard_params(args)).records();
-  } else if (workload == "hp") {
-    trace::HpParams p;
-    p.apps = static_cast<int>(args.num("users", 20));
-    p.days = static_cast<int>(args.num("days", 7));
-    records = trace::HpGenerator(p).records();
-  } else if (workload == "web") {
-    trace::WebParams p;
-    p.clients = static_cast<int>(args.num("users", 40));
-    p.days = static_cast<int>(args.num("days", 7));
-    records = trace::WebGenerator(p).records();
-  } else {
-    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
-    return 2;
-  }
   const std::string out = args.str("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "trace-gen requires --out=FILE\n");
     return 2;
   }
-  trace::write_trace_file(out, records);
-  std::printf("wrote %zu records to %s\n", records.size(), out.c_str());
-  return 0;
+  // Record paths are views into the generator's arena, so the generator
+  // must stay alive until the records are written.
+  const auto emit = [&](const std::vector<trace::TraceRecord>& records) {
+    trace::write_trace_file(out, records);
+    std::printf("wrote %zu records to %s\n", records.size(), out.c_str());
+    return 0;
+  };
+  if (workload == "harvard") {
+    trace::HarvardGenerator gen(harvard_params(args));
+    return emit(gen.records());
+  }
+  if (workload == "hp") {
+    trace::HpParams p;
+    p.apps = static_cast<int>(args.num("users", 20));
+    p.days = static_cast<int>(args.num("days", 7));
+    trace::HpGenerator gen(p);
+    return emit(gen.records());
+  }
+  if (workload == "web") {
+    trace::WebParams p;
+    p.clients = static_cast<int>(args.num("users", 40));
+    p.days = static_cast<int>(args.num("days", 7));
+    trace::WebGenerator gen(p);
+    return emit(gen.records());
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+  return 2;
 }
 
 }  // namespace
