@@ -1,0 +1,82 @@
+// Thread-local lane ownership, and the paranoid runtime cross-check for
+// the arc-confinement model (DESIGN.md §9/§13).
+//
+// The parallel-window engine binds each worker thread to one arc while
+// it drains that arc's window (sim::Simulator's LaneGuard calls
+// lane::bind/unbind). Arc-sharded containers in store/ and core/ may
+// then assert, at their mutating entry points, that the executing
+// thread actually owns the shard it is touching:
+//
+//   D2_ASSERT_OWNER_LANE(plan_.arc_of(k));
+//
+// Rules: an *unbound* thread (the coordinator between windows, test
+// code, experiment setup) passes every check — cross-arc mutation from
+// the coordinator is legal by design (readjustment, recovery sweeps).
+// A *bound* thread must name its own arc; anything else throws
+// d2::InvariantError. The check compiles out entirely unless
+// D2_PARANOID is on, making it the runtime mirror of the static model
+// enforced by tools/d2_arc_check.py: the AST checker proves index
+// expressions are derived from the owning arc, this assert proves the
+// thread executing them is the arc's lane.
+//
+// Lives in common/ (not sim/) so store:: and core:: can consult the
+// binding without depending on the simulator.
+#pragma once
+
+#include <string>
+
+#include "common/assert.h"
+
+namespace d2::lane {
+
+/// Which lane, if any, the current thread is bound to. `owner`
+/// discriminates independent pools (e.g. two Simulators in one test
+/// process on the same thread would rebind, last-wins — fine, binding
+/// is scoped to a window).
+struct Binding {
+  const void* owner = nullptr;  ///< nullptr = unbound (coordinator).
+  int arc = -1;
+};
+
+// constinit forces static initialization so GCC 12's UBSan does not
+// instrument a TLS init-on-first-use wrapper (same rationale as
+// Simulator::tl_lane_ in sim/simulator.h).
+inline thread_local constinit Binding tl_binding{};
+
+inline void bind(const void* owner, int arc) { tl_binding = {owner, arc}; }
+inline void unbind() { tl_binding = {}; }
+
+/// True when the current thread is bound to some lane.
+inline bool bound() { return tl_binding.owner != nullptr; }
+
+/// The bound arc, or -1 when unbound.
+inline int current_arc() { return tl_binding.owner == nullptr ? -1 : tl_binding.arc; }
+
+namespace detail {
+[[noreturn]] inline void fail_owner_lane(int arc, const char* file, int line) {
+  ::d2::detail::fail_assert(
+      "lane owns shard", file, line,
+      "thread bound to lane arc " + std::to_string(tl_binding.arc) +
+          " touched arc " + std::to_string(arc) + "'s shard");
+}
+
+inline void check_owner_lane(int arc, const char* file, int line) {
+  const Binding b = tl_binding;
+  if (b.owner != nullptr && b.arc != arc) fail_owner_lane(arc, file, line);
+}
+}  // namespace detail
+
+}  // namespace d2::lane
+
+#ifdef D2_PARANOID
+/// Asserts the current thread may mutate arc `arc`'s shard (see file
+/// comment for the rules). Paranoid builds only.
+#define D2_ASSERT_OWNER_LANE(arc) \
+  ::d2::lane::detail::check_owner_lane((arc), __FILE__, __LINE__)
+#else
+// Parsed but never evaluated, mirroring D2_DCHECK.
+#define D2_ASSERT_OWNER_LANE(arc) \
+  do {                            \
+    (void)sizeof((arc));          \
+  } while (0)
+#endif

@@ -1,0 +1,85 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §13).
+//
+// The d2 concurrency model has exactly two kinds of shared state:
+//   - mutex-guarded structures (obs instruments, the worker pools), and
+//   - arc-sharded containers confined to their owner lane (sim/core/store).
+// The first kind is machine-checked at compile time by Clang's
+// -Wthread-safety analysis through these macros: members carry
+// D2_GUARDED_BY(mu_), private _locked() helpers carry D2_REQUIRES(mu_),
+// and the d2::Mutex/d2::MutexLock wrappers (common/mutex.h) give the
+// analysis the capability model std::mutex lacks. The second kind is
+// checked by tools/d2_arc_check.py via the D2_SHARDED_BY_ARC marker
+// below, plus the D2_ASSERT_OWNER_LANE runtime cross-check
+// (common/lane.h) in paranoid builds.
+//
+// Under GCC (the container toolchain) every macro expands to nothing, so
+// tier-1 builds are unaffected; the thread-safety CI job builds with
+// Clang and -Werror=thread-safety to make the annotations load-bearing.
+#pragma once
+
+#if defined(__clang__)
+#define D2_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define D2_THREAD_ANNOTATION(x)  // GCC warns on unknown attributes; elide.
+#endif
+
+/// Declares a type to be a capability (lockable): d2::Mutex.
+#define D2_CAPABILITY(x) D2_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability:
+/// d2::MutexLock.
+#define D2_SCOPED_CAPABILITY D2_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members readable/writable only while holding `x`.
+#define D2_GUARDED_BY(x) D2_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members whose *pointee* is guarded by `x`.
+#define D2_PT_GUARDED_BY(x) D2_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions callable only while holding the listed capabilities — the
+/// `_locked()` helper convention.
+#define D2_REQUIRES(...) D2_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Functions that acquire (and do not release) the listed capabilities.
+#define D2_ACQUIRE(...) D2_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Functions that release previously held capabilities.
+#define D2_RELEASE(...) D2_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Functions that acquire the capability iff they return `val`.
+#define D2_TRY_ACQUIRE(val, ...) \
+  D2_THREAD_ANNOTATION(try_acquire_capability(val, __VA_ARGS__))
+
+/// Functions that must NOT be entered holding the listed capabilities
+/// (deadlock prevention for self-locking public APIs).
+#define D2_EXCLUDES(...) D2_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Functions returning a reference to a capability.
+#define D2_RETURN_CAPABILITY(x) D2_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch. Every use must carry a comment justifying why the
+/// analysis cannot see the invariant (the thread-safety CI job greps for
+/// bare uses); prefer restructuring over opting out.
+#define D2_NO_THREAD_SAFETY_ANALYSIS \
+  D2_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks a container as sharded by an index domain for the arc-ownership
+/// checker (tools/d2_arc_check.py). Placed after the member name:
+///
+///   std::vector<Slice> slices_ D2_SHARDED_BY_ARC(arc);
+///
+/// Domains (DESIGN.md §13): `arc` — indexed by an expression derived
+/// from arc_of()/lane_arc() or an owning arc loop variable; `slot` —
+/// additionally admits shard_slot() (lane slot or the coordinator's
+/// extra slot); `queue` — additionally admits queue_index()/min_queue()
+/// (per-arc queues plus the global queue). The equivalent comment form
+/// `// d2-arc: sharded(<domain>)` on the declaration line works where a
+/// macro cannot (e.g. local typedefs). Expands to a Clang `annotate`
+/// attribute so the marker also survives into the AST for the libclang
+/// engine; GCC sees nothing.
+#if defined(__clang__)
+#define D2_SHARDED_BY_ARC(domain) \
+  __attribute__((annotate("d2-arc:sharded:" #domain)))
+#else
+#define D2_SHARDED_BY_ARC(domain)
+#endif

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/thread_annotations.h"
 #include "core/system.h"
 #include "fs/writeback_cache.h"
 #include "sim/simulator.h"
@@ -157,8 +158,9 @@ class OpBatchRunner {
   sim::Simulator& sim_;
   SimTime last_time_ = 0;
   std::size_t get_count_ = 0;
-  std::vector<Item> items_;                      // staging order
-  std::vector<std::vector<std::size_t>> per_arc_;  // item indices per arc
+  std::vector<Item> items_;  // staging order
+  // Item indices per arc.
+  std::vector<std::vector<std::size_t>> per_arc_ D2_SHARDED_BY_ARC(arc);
   std::vector<GetOutcome> outcomes_;
 };
 

@@ -128,7 +128,7 @@ PerformanceResult PerformanceExperiment::run() {
   // iteration (the miss-rate fold below) is order-insensitive up to FP
   // rounding and pinned by the determinism goldens.
   std::unordered_map<int, int> user_node;  // d2-lint: allow(unordered-container)
-  std::unordered_map<int, store::LookupCache> caches;  // d2-lint: allow(unordered-container)
+  std::unordered_map<int, store::LookupCache> caches;  // d2-lint: allow(unordered-container) -- keyed lookup; the fold is order-insensitive
   auto cache_of = [&](int user) -> store::LookupCache& {
     auto it = caches.find(user);
     if (it == caches.end()) {

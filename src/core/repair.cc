@@ -5,6 +5,7 @@
 #include <bitset>
 
 #include "common/assert.h"
+#include "common/lane.h"
 
 namespace d2::core {
 
@@ -71,6 +72,7 @@ std::vector<std::uint8_t> RepairEngine::payload_of(const Key& key) const {
 }
 
 RepairEngine::FragSet& RepairEngine::frag_set(const Key& key) {
+  D2_ASSERT_OWNER_LANE(map_.arc_of(key));
   return frag_shards_[static_cast<std::size_t>(map_.arc_of(key))][key];
 }
 

@@ -41,6 +41,7 @@
 #include "common/key.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "dht/ring.h"
 #include "net/latency.h"
@@ -228,7 +229,7 @@ class RepairEngine {
   /// Fragment sidecar, sharded by arc so populate lanes stay confined.
   /// Keyed find/emplace/erase only; iterated solely by check_invariants.
   // d2-lint: allow(unordered-container) -- keyed access only; audits count
-  std::vector<std::unordered_map<Key, FragSet, KeyHash>> frag_shards_;
+  std::vector<std::unordered_map<Key, FragSet, KeyHash>> frag_shards_ D2_SHARDED_BY_ARC(arc);
 
   /// Blocks that became unrecoverable (ever); never leaves the set.
   std::set<Key> dead_;

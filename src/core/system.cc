@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/lane.h"
 #include "common/stats.h"
 #include "dht/consistent_hash.h"
 
@@ -232,6 +233,7 @@ std::optional<int> System::serving_node(const Key& k) const {
 void System::put_at(const Key& k, Bytes size, SimTime t) {
   D2_REQUIRE(size >= 0);
   D2_REQUIRE_MSG(t >= sim_.now(), "op time must not precede the clock");
+  D2_ASSERT_OWNER_LANE(map_.arc_of(k));
   add_user_write_bytes(size);
   bool fresh_key = true;
   if (const store::BlockState* existing = map_.find(k)) {
@@ -268,6 +270,7 @@ void System::remove_at(const Key& k, SimTime t) {
   // arc's shards.
   // d2-sched: arc-local — delayed remove touches only k's shard
   sim_.schedule_arc_at(map_.arc_of(k), t + config_.remove_delay, [this, k] {
+    D2_ASSERT_OWNER_LANE(map_.arc_of(k));
     if (const store::BlockState* b = map_.find(k)) {
       add_user_removed_bytes(b->size);
       map_.erase(k);
@@ -282,12 +285,14 @@ void System::remove_at(const Key& k, SimTime t) {
 void System::refresh_at(const Key& k, SimTime t) {
   if (config_.block_ttl <= 0) return;
   if (!map_.contains(k)) return;
+  D2_ASSERT_OWNER_LANE(map_.arc_of(k));
   const SimTime deadline = t + config_.block_ttl;
   expiry_shard(k)[k] = deadline;
   // Deadline-check pattern (arc events are not cancellable): a later
   // refresh bumps the shard entry and this event becomes a no-op.
   // d2-sched: arc-local — TTL expiry touches only k's shard
   sim_.schedule_arc_at(map_.arc_of(k), deadline, [this, k, deadline] {
+    D2_ASSERT_OWNER_LANE(map_.arc_of(k));
     auto& shard = expiry_shard(k);
     auto it = shard.find(k);
     if (it == shard.end() || it->second != deadline) return;  // refreshed
@@ -318,6 +323,7 @@ void System::schedule_fetch(const Key& k, int node, SimTime delay) {
 }
 
 void System::try_fetch(const Key& k, int node) {
+  D2_ASSERT_OWNER_LANE(map_.arc_of(k));
   store::BlockState* b = map_.find_mutable(k);
   if (b == nullptr) return;  // removed meanwhile
   store::Replica* member = nullptr;
@@ -418,6 +424,7 @@ void System::finish_fetch(const Key& k, int node) {
 // --------------------------------------------------------- readjustment --
 
 void System::note_set_shape(const Key& k, std::size_t set_size) {
+  D2_ASSERT_OWNER_LANE(map_.arc_of(k));
   if (static_cast<int>(set_size) != effective_replicas()) {
     extended_shard(k).insert(k);
   } else {

@@ -50,6 +50,7 @@
 #include "common/assert.h"
 #include "common/key.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "dht/load_balance.h"
 #include "dht/ring.h"
@@ -292,7 +293,7 @@ class System {
   /// Block TTL deadlines, one shard per arc (the owning lane's private
   /// state). Keyed lookup/erase only outside audits, so the hash order
   /// cannot leak into event order.
-  std::vector<std::unordered_map<Key, SimTime, KeyHash>> expiry_;  // d2-lint: allow(unordered-container)
+  std::vector<std::unordered_map<Key, SimTime, KeyHash>> expiry_ D2_SHARDED_BY_ARC(arc);  // d2-lint: allow(unordered-container)
   /// scatter position -> block key, for hybrid placement readjustment.
   /// Couples arbitrary keys, hence scatter requires config.arcs == 1.
   std::multimap<Key, Key> scatter_index_;
@@ -301,22 +302,23 @@ class System {
   /// concatenated in arc order enumerate keys ascending, exactly like
   /// the single pre-sharding set. Re-canonicalized on recoveries,
   /// regardless of how far load balancing has shifted ring ranks.
-  std::vector<std::set<Key>> extended_;
+  std::vector<std::set<Key>> extended_ D2_SHARDED_BY_ARC(arc);
   dht::LoadBalancer balancer_;
   std::vector<NodeState> nodes_;
   /// Scratch for target_replica_set results on the put/reassign hot path
   /// (avoids a heap allocation per block write / replica adjustment).
   /// One buffer per shard slot so concurrent lanes don't share it.
-  mutable std::vector<std::vector<int>> replica_set_scratch_;
-  ParanoidGate audit_gate_;                    // paces sampled full audits
-  std::vector<ParanoidGate> lane_audit_gates_;  // pace per-slice lane audits
+  mutable std::vector<std::vector<int>> replica_set_scratch_ D2_SHARDED_BY_ARC(slot);
+  ParanoidGate audit_gate_;  // paces sampled full audits
+  // Pace per-slice lane audits.
+  std::vector<ParanoidGate> lane_audit_gates_ D2_SHARDED_BY_ARC(arc);
   const sim::FailureTrace* failure_trace_ = nullptr;
 
   // Per-instance traffic totals (the accessors above), lane-sharded like
   // the scratch (slot arcs = coordinator) ...
-  std::vector<Bytes> user_write_bytes_sh_;
-  std::vector<Bytes> user_removed_bytes_sh_;
-  std::vector<Bytes> migration_bytes_sh_;
+  std::vector<Bytes> user_write_bytes_sh_ D2_SHARDED_BY_ARC(slot);
+  std::vector<Bytes> user_removed_bytes_sh_ D2_SHARDED_BY_ARC(slot);
+  std::vector<Bytes> migration_bytes_sh_ D2_SHARDED_BY_ARC(slot);
   std::int64_t lb_moves_ = 0;
 
   /// A fetch admitted inside an arc lane cannot touch its node's shared
@@ -331,7 +333,7 @@ class System {
     int node;
     Bytes bytes;
   };
-  std::vector<std::vector<FetchReservation>> fetch_reservations_;
+  std::vector<std::vector<FetchReservation>> fetch_reservations_ D2_SHARDED_BY_ARC(arc);
   struct FetchRef {
     SimTime t;
     int arc;

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/assert.h"
+#include "common/mutex.h"
 
 namespace d2::core {
 
@@ -44,7 +44,9 @@ void TrialRunner::run(int count,
   }
 
   std::atomic<int> next{0};
-  std::mutex error_mu;
+  // Locals, so no D2_GUARDED_BY (the analysis only tracks members); the
+  // d2::Mutex still participates in lock/unlock balance checking.
+  Mutex error_mu;
   int first_error_trial = -1;
   std::exception_ptr first_error;
 
@@ -55,7 +57,7 @@ void TrialRunner::run(int count,
       try {
         fn(trial);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (first_error_trial < 0 || trial < first_error_trial) {
           first_error_trial = trial;
           first_error = std::current_exception();

@@ -50,14 +50,14 @@ Histogram::Shard& Histogram::shard_for_this_thread() {
 
 void Histogram::record(double v) {
   Shard& s = shard_for_this_thread();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.stats.add(v);
 }
 
 std::size_t Histogram::count() const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     n += s.stats.count();
   }
   return n;
@@ -66,7 +66,7 @@ std::size_t Histogram::count() const {
 Stats Histogram::merged() const {
   std::vector<double> all;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     const std::vector<double>& v = s.stats.samples();
     all.insert(all.end(), v.begin(), v.end());
   }
@@ -81,7 +81,7 @@ Stats Histogram::merged() const {
 
 void Histogram::reset() {
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.stats = Stats{};
   }
 }
@@ -103,55 +103,55 @@ void Registry::check_name(const std::string& name, const char* kind) const {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   check_name(name, "counter");
   return counters_[name];
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   check_name(name, "gauge");
   return gauges_[name];
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   check_name(name, "histogram");
   return histograms_[name];
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::find_histogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::size_t Registry::instrument_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
 }
 
 std::string Registry::to_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {

@@ -37,10 +37,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace d2::obs {
@@ -87,8 +88,8 @@ class Histogram {
   // the same mutex. Power of two for cheap thread-id hashing.
   static constexpr std::size_t kShards = 8;
   struct Shard {
-    mutable std::mutex mu;
-    Stats stats;
+    mutable Mutex mu;
+    Stats stats D2_GUARDED_BY(mu);
   };
   Shard& shard_for_this_thread();
 
@@ -132,16 +133,17 @@ class Registry {
   void write_json_file(const std::string& path) const;
 
  private:
-  void check_name(const std::string& name, const char* kind) const;
+  void check_name(const std::string& name, const char* kind) const
+      D2_REQUIRES(mu_);
 
   // Guards the instrument maps (creation, lookup, iteration). Instrument
   // *values* have their own synchronization, so bound pointers are used
   // without this lock.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map gives stable element addresses and sorted JSON output.
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Counter> counters_ D2_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ D2_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ D2_GUARDED_BY(mu_);
 };
 
 }  // namespace d2::obs

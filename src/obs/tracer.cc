@@ -43,22 +43,22 @@ void Tracer::record_locked(const Event& e) {
 
 void Tracer::record(SimTime time, EventType type, std::int64_t a,
                     std::int64_t b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   record_locked(Event{time, type, a, b});
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t Tracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_ - ring_.size();
 }
 
@@ -73,19 +73,19 @@ std::vector<Event> Tracer::events_locked() const {
 }
 
 std::vector<Event> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_locked();
 }
 
 void Tracer::append(const Tracer& other) {
   D2_REQUIRE_MSG(&other != this, "cannot append a tracer to itself");
   const std::vector<Event> incoming = other.events();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Event& e : incoming) record_locked(e);
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
@@ -94,7 +94,7 @@ void Tracer::clear() {
 std::string Tracer::to_json_lines() const {
   std::vector<Event> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot = events_locked();
   }
   std::string out;

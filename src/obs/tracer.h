@@ -19,10 +19,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace d2::obs {
@@ -84,14 +85,16 @@ class Tracer {
   void write_json_lines_file(const std::string& path) const;
 
  private:
-  void record_locked(const Event& e);
-  std::vector<Event> events_locked() const;
+  void record_locked(const Event& e) D2_REQUIRES(mu_);
+  std::vector<Event> events_locked() const D2_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::vector<Event> ring_;   // grows to capacity_, then circular
-  std::size_t next_ = 0;      // overwrite position once full
-  std::uint64_t recorded_ = 0;
+  mutable Mutex mu_;
+  const std::size_t capacity_;
+  // Grows to capacity_, then circular; next_ is the overwrite position
+  // once full.
+  std::vector<Event> ring_ D2_GUARDED_BY(mu_);
+  std::size_t next_ D2_GUARDED_BY(mu_) = 0;
+  std::uint64_t recorded_ D2_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace d2::obs

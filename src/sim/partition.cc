@@ -14,7 +14,7 @@ WorkerPool::WorkerPool(int workers) : workers_(workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -30,8 +30,14 @@ void WorkerPool::run_arcs(int arcs, const std::function<void(int)>& fn) {
     for (int a = 0; a < arcs; ++a) fn(a);
     return;
   }
-  std::unique_lock<std::mutex> lk(mu_);
-  D2_REQUIRE_MSG(job_ == nullptr, "run_arcs is not reentrant");
+  mu_.lock();
+  if (job_ != nullptr) {
+    // Unlock before throwing (fail_require is [[noreturn]], keeping the
+    // thread-safety analysis's lock state consistent at the merge).
+    mu_.unlock();
+    ::d2::detail::fail_require("job_ == nullptr", __FILE__, __LINE__,
+                               "run_arcs is not reentrant");
+  }
   job_ = &fn;
   arcs_total_ = arcs;
   next_arc_ = 0;
@@ -39,46 +45,50 @@ void WorkerPool::run_arcs(int arcs, const std::function<void(int)>& fn) {
   first_error_ = nullptr;
   ++generation_;
   start_cv_.notify_all();
-  work(lk, fn);  // the caller is one of the workers
-  done_cv_.wait(lk, [&] { return done_arcs_ == arcs_total_; });
+  work(fn);  // the caller is one of the workers
+  done_cv_.wait(mu_, [&]() D2_REQUIRES(mu_) {
+    return done_arcs_ == arcs_total_;
+  });
   job_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
-    lk.unlock();
-    std::rethrow_exception(err);
-  }
+  std::exception_ptr err = std::exchange(first_error_, nullptr);
+  mu_.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 void WorkerPool::worker_loop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.lock();
   while (true) {
-    start_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
-    if (shutdown_) return;
+    start_cv_.wait(mu_, [&]() D2_REQUIRES(mu_) {
+      return shutdown_ || generation_ != seen;
+    });
+    if (shutdown_) {
+      mu_.unlock();
+      return;
+    }
     seen = generation_;
     // A slow waker can arrive after the coordinator drained every arc
     // and already cleared job_ — nothing left to do for this generation.
     if (job_ == nullptr) continue;
-    const std::function<void(int)>& fn = *job_;  // d2-lint: allow(std-function)
-    work(lk, fn);
+    const std::function<void(int)>& fn = *job_;  // d2-lint: allow(std-function) -- one deref per wake, not per event
+    work(fn);
   }
 }
 
 void WorkerPool::work(
-    std::unique_lock<std::mutex>& lk,
-    const std::function<void(int)>& fn) {  // d2-lint: allow(std-function)
+    const std::function<void(int)>& fn) {  // d2-lint: allow(std-function) -- one call per barrier, not per event
   while (next_arc_ < arcs_total_) {
     const int arc = next_arc_++;
-    lk.unlock();
+    mu_.unlock();
     try {
       fn(arc);
     } catch (...) {
-      lk.lock();
+      mu_.lock();
       if (!first_error_) first_error_ = std::current_exception();
       if (++done_arcs_ == arcs_total_) done_cv_.notify_all();
       continue;
     }
-    lk.lock();
+    mu_.lock();
     if (++done_arcs_ == arcs_total_) done_cv_.notify_all();
   }
 }

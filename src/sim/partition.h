@@ -15,16 +15,16 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "sim/event_queue.h"
 
@@ -125,20 +125,20 @@ class Mailbox {
   template <class Sink>
   void deliver(Sink&& sink) {
     refs_.clear();
-    for (std::uint32_t src = 0; src < lanes_.size(); ++src) {
-      const auto& lane = lanes_[src];
+    for (std::uint32_t src_arc = 0; src_arc < lanes_.size(); ++src_arc) {
+      const auto& lane = lanes_[src_arc];
       for (std::uint32_t seq = 0; seq < lane.size(); ++seq) {
-        refs_.push_back(Ref{lane[seq].time, src, seq});
+        refs_.push_back(Ref{lane[seq].time, src_arc, seq});
       }
     }
     std::sort(refs_.begin(), refs_.end(), [](const Ref& a, const Ref& b) {
       if (a.time != b.time) return a.time < b.time;
-      if (a.src != b.src) return a.src < b.src;
+      if (a.src_arc != b.src_arc) return a.src_arc < b.src_arc;
       return a.seq < b.seq;
     });
     for (const Ref& r : refs_) {
-      const Msg& m = lanes_[r.src][r.seq];
-      sink(m.time, static_cast<int>(r.src), r.seq, m.dst, m.fn);
+      const Msg& m = lanes_[r.src_arc][r.seq];
+      sink(m.time, static_cast<int>(r.src_arc), r.seq, m.dst_arc, m.fn);
     }
     for (auto& lane : lanes_) lane.clear();
   }
@@ -146,17 +146,20 @@ class Mailbox {
  private:
   struct Msg {
     SimTime time;
-    int dst;
+    int dst_arc;
     EventFn fn;  // trivially copyable; stored by value
   };
   struct Ref {
     SimTime time;
-    std::uint32_t src;
+    std::uint32_t src_arc;
     std::uint32_t seq;
   };
-  std::vector<std::vector<Msg>> lanes_;  // index = source arc
-  std::vector<Ref> refs_;                // scratch, reused across barriers
-  SimTime floor_ = 0;                    // delivery floor (watermark invariant)
+  // Not mutex-guarded: each source lane writes only its own staging
+  // vector (single-writer rule) and the coordinator drains between
+  // windows — the arc checker, not a capability, owns this invariant.
+  std::vector<std::vector<Msg>> lanes_ D2_SHARDED_BY_ARC(arc);  // index = source arc
+  std::vector<Ref> refs_;  // scratch, reused across barriers
+  SimTime floor_ = 0;      // delivery floor (watermark invariant)
 };
 
 /// Fixed pool of threads that executes fn(arc) for every arc of a phase
@@ -185,25 +188,25 @@ class WorkerPool {
 
  private:
   void worker_loop();
-  /// Claims and runs arcs until none remain. `lk` must hold mu_ on entry
-  /// and holds it again on return; it is released around each fn() call.
+  /// Claims and runs arcs until none remain. Entered and left holding
+  /// mu_; the lock is dropped around each fn() call.
   // d2-lint: allow(std-function) — one call per barrier, not per event
-  void work(std::unique_lock<std::mutex>& lk, const std::function<void(int)>& fn);
+  void work(const std::function<void(int)>& fn) D2_REQUIRES(mu_);
 
   const int workers_;
   std::vector<std::thread> threads_;  // workers_ - 1 of them
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  Mutex mu_;
+  CondVar start_cv_;
+  CondVar done_cv_;
   // d2-lint: allow(std-function) — handoff pointer, never invoked per event
-  const std::function<void(int)>* job_ = nullptr;  // null = idle
-  std::uint64_t generation_ = 0;  // bumped per run_arcs call
-  int arcs_total_ = 0;
-  int next_arc_ = 0;   // next unclaimed arc, advanced under mu_
-  int done_arcs_ = 0;  // completed lane executions this generation
-  std::exception_ptr first_error_;
-  bool shutdown_ = false;
+  const std::function<void(int)>* job_ D2_GUARDED_BY(mu_) = nullptr;  // null = idle
+  std::uint64_t generation_ D2_GUARDED_BY(mu_) = 0;  // bumped per run_arcs call
+  int arcs_total_ D2_GUARDED_BY(mu_) = 0;
+  int next_arc_ D2_GUARDED_BY(mu_) = 0;   // next unclaimed arc
+  int done_arcs_ D2_GUARDED_BY(mu_) = 0;  // completed lanes this generation
+  std::exception_ptr first_error_ D2_GUARDED_BY(mu_);
+  bool shutdown_ D2_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace d2::sim

@@ -297,11 +297,11 @@ void Simulator::run_arc_phase(const std::function<void(int)>& fn) {
 }
 
 void Simulator::deliver_mailbox() {
-  mailbox_.deliver([this](SimTime t, int /*src*/, std::uint32_t /*seq*/,
-                          int dst, const EventFn& fn) {
+  mailbox_.deliver([this](SimTime t, int /*src_arc*/, std::uint32_t /*seq*/,
+                          int dst_arc, const EventFn& fn) {
     D2_ASSERT_MSG(t >= now_, "mailboxed event scheduled into the past");
-    queues_[static_cast<std::size_t>(dst)].push_ordered(t, order_counter_++,
-                                                        fn);
+    queues_[static_cast<std::size_t>(dst_arc)].push_ordered(
+        t, order_counter_++, fn);
   });
 }
 

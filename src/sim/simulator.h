@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/lane.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
@@ -242,12 +244,19 @@ class Simulator {
     int arc = -1;
     SimTime now = 0;
   };
-  /// RAII lane binding for the duration of one lane execution.
+  /// RAII lane binding for the duration of one lane execution. Also
+  /// mirrors the binding into the process-wide lane::tl_binding so
+  /// store/core shard mutators can run their D2_ASSERT_OWNER_LANE
+  /// cross-check without depending on the simulator (common/lane.h).
   struct LaneGuard {
     LaneGuard(const Simulator* owner, int arc, SimTime now) {
       tl_lane_ = LaneCtx{owner, arc, now};
+      lane::bind(owner, arc);
     }
-    ~LaneGuard() { tl_lane_ = LaneCtx{}; }
+    ~LaneGuard() {
+      lane::unbind();
+      tl_lane_ = LaneCtx{};
+    }
   };
 
   /// Merge-key stride reserved per lane per window; bounds how many
@@ -281,7 +290,8 @@ class Simulator {
 
   int arcs_;
   SimTime lookahead_;
-  std::vector<EventQueue> queues_;  // [0, arcs_) arc-local; [arcs_] global
+  // [0, arcs_) arc-local; [arcs_] global — hence the `queue` domain.
+  std::vector<EventQueue> queues_ D2_SHARDED_BY_ARC(queue);
   std::uint64_t order_counter_ = 1;
   Mailbox mailbox_;
   WorkerPool pool_;
@@ -290,10 +300,11 @@ class Simulator {
   // each lane writes only its own lane_* slot).
   SimTime window_end_ = 0;  // exclusive; 0 = no window open
   std::uint64_t window_base_ = 0;
-  std::vector<std::uint64_t> lane_pushes_;
-  std::vector<std::uint64_t> lane_events_;  // events processed per lane
-  std::vector<SimTime> lane_last_time_;     // last event time per lane
-  std::vector<std::uint64_t> lane_time_sum_;  // per-lane checksum partials
+  std::vector<std::uint64_t> lane_pushes_ D2_SHARDED_BY_ARC(arc);
+  // Per-lane events processed / last event time / checksum partials.
+  std::vector<std::uint64_t> lane_events_ D2_SHARDED_BY_ARC(arc);
+  std::vector<SimTime> lane_last_time_ D2_SHARDED_BY_ARC(arc);
+  std::vector<std::uint64_t> lane_time_sum_ D2_SHARDED_BY_ARC(arc);
 
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;

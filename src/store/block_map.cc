@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/lane.h"
 
 namespace d2::store {
 
@@ -65,6 +66,7 @@ void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
   D2_REQUIRE_MSG(size >= 0, "negative block size");
   D2_REQUIRE_MSG(member_bytes <= size, "member bytes exceed block size");
   for (int n : nodes) D2_REQUIRE(n >= 0 && n < node_count_);
+  D2_ASSERT_OWNER_LANE(plan_.arc_of(k));
   Slice& s = slice_of(k);
   BlockState b;
   b.size = size;
@@ -84,6 +86,7 @@ void BlockMap::insert(const Key& k, Bytes size, const std::vector<int>& nodes,
 }
 
 void BlockMap::erase(const Key& k) {
+  D2_ASSERT_OWNER_LANE(plan_.arc_of(k));
   Slice& s = slice_of(k);
   BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "erasing unknown block");
@@ -178,6 +181,7 @@ std::vector<Key> BlockMap::keys_in_arc(const Key& from, const Key& to) const {
 void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
                                  SimTime now) {
   D2_REQUIRE(!nodes.empty());
+  D2_ASSERT_OWNER_LANE(plan_.arc_of(k));
   Slice& s = slice_of(k);
   BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "reassigning unknown block");
@@ -242,6 +246,7 @@ void BlockMap::reassign_replicas(const Key& k, const std::vector<int>& nodes,
 }
 
 void BlockMap::mark_data(const Key& k, int node) {
+  D2_ASSERT_OWNER_LANE(plan_.arc_of(k));
   Slice& s = slice_of(k);
   BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "mark_data on unknown block");
@@ -262,6 +267,7 @@ void BlockMap::mark_data(const Key& k, int node) {
 }
 
 void BlockMap::mark_missing(const Key& k, int node) {
+  D2_ASSERT_OWNER_LANE(plan_.arc_of(k));
   Slice& s = slice_of(k);
   BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "mark_missing on unknown block");
@@ -281,6 +287,7 @@ void BlockMap::mark_missing(const Key& k, int node) {
 }
 
 void BlockMap::drop_stale(const Key& k, int node) {
+  D2_ASSERT_OWNER_LANE(plan_.arc_of(k));
   Slice& s = slice_of(k);
   BlockState* bp = s.index.find(k);
   D2_REQUIRE_MSG(bp != nullptr, "drop_stale on unknown block");

@@ -36,6 +36,7 @@
 
 #include "common/arc_plan.h"
 #include "common/key.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "store/block_index.h"
 
@@ -244,12 +245,12 @@ class BlockMap {
     return slices_[static_cast<std::size_t>(plan_.arc_of(k))];
   }
 
-  /// Runs `fn` over slices [first, last] with the slice-level walk
-  /// bounds (from, to]; fn returns false to stop.
+  /// Runs `fn` over slices [first_arc, last_arc] with the slice-level
+  /// walk bounds (from, to]; fn returns false to stop.
   template <class Fn>
-  void walk_slices(int first, int last, const Key& from, const Key& to,
+  void walk_slices(int first_arc, int last_arc, const Key& from, const Key& to,
                    Fn&& fn) {
-    for (int arc = first; arc <= last; ++arc) {
+    for (int arc = first_arc; arc <= last_arc; ++arc) {
       bool more = true;
       slices_[static_cast<std::size_t>(arc)].index.walk_in_arc(
           from, to, [&](const Key& k, BlockState& b) {
@@ -268,7 +269,7 @@ class BlockMap {
 
   int node_count_;
   ArcPlan plan_;
-  std::vector<Slice> slices_;
+  std::vector<Slice> slices_ D2_SHARDED_BY_ARC(arc);
 };
 
 }  // namespace d2::store

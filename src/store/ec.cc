@@ -179,6 +179,8 @@ __attribute__((target("gfni,avx2"))) void mul_acc_gfni(std::uint8_t* out,
 #if defined(D2_FORCE_SCALAR)
   return true;
 #else
+  // getenv is only racy against setenv, which this process never
+  // calls. NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("D2_FORCE_SCALAR");
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 #endif

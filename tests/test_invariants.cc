@@ -20,6 +20,7 @@
 
 #include "common/assert.h"
 #include "common/key.h"
+#include "common/lane.h"
 #include "common/units.h"
 #include "core/config.h"
 #include "core/system.h"
@@ -467,6 +468,75 @@ TEST(Invariants, RuntimeParanoidFlagAuditsWithoutParanoidBuild) {
   system.start_load_balancing();
   sim.run_until(hours(2));
   EXPECT_NO_THROW(system.check_invariants());
+}
+
+// ----------------------------------------------------------- lane binding --
+
+// RAII around lane::bind so a failed assertion cannot leak a binding
+// into later tests on the same thread.
+struct ScopedLaneBinding {
+  ScopedLaneBinding(const void* owner, int arc) { lane::bind(owner, arc); }
+  ~ScopedLaneBinding() { lane::unbind(); }
+};
+
+TEST(LaneOwnership, UnboundThreadMutatesAnyShard) {
+  // Coordinator semantics: with no lane binding, cross-arc mutation is
+  // legal by design (readjustment, recovery sweeps, test setup).
+  ASSERT_FALSE(lane::bound());
+  store::BlockMap map(8, /*arcs=*/4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_NO_THROW(
+        map.insert(Key::from_high64(i << 62), 100, {0, 1, 2}));
+  }
+}
+
+TEST(LaneOwnership, BoundThreadMutatesItsOwnShard) {
+  store::BlockMap map(8, /*arcs=*/4);
+  const Key k = Key::from_high64(std::uint64_t{1} << 62);  // arc 1
+  ASSERT_EQ(map.arc_of(k), 1);
+  ScopedLaneBinding binding(&map, 1);
+  EXPECT_NO_THROW(map.insert(k, 100, {0, 1, 2}));
+  EXPECT_NO_THROW(map.mark_missing(k, 1));
+}
+
+TEST(LaneOwnership, WrongLaneMutationFiresOwnerLaneAssert) {
+  if (!kParanoid) {
+    GTEST_SKIP() << "D2_ASSERT_OWNER_LANE compiles out without D2_PARANOID";
+  }
+  store::BlockMap map(8, /*arcs=*/4);
+  const Key k = Key::from_high64(std::uint64_t{3} << 62);  // arc 3
+  ASSERT_EQ(map.arc_of(k), 3);
+  ScopedLaneBinding binding(&map, 1);  // thread claims to be arc 1's lane
+  ExpectInvariantNamed([&] { map.insert(k, 100, {0, 1, 2}); },
+                       "touched arc 3's shard");
+}
+
+TEST(LaneOwnership, WrongLaneSystemWriteFiresOwnerLaneAssert) {
+  if (!kParanoid) {
+    GTEST_SKIP() << "D2_ASSERT_OWNER_LANE compiles out without D2_PARANOID";
+  }
+  // The stamped entry points in core::System (put_at et al.) consult the
+  // same thread-local binding; with arcs=1 every key lives on arc 0, so
+  // a thread bound to arc 1 must be rejected.
+  core::SystemConfig config;
+  config.node_count = 8;
+  sim::Simulator sim;
+  core::System system(config, sim);
+  ScopedLaneBinding binding(&system, 1);
+  ExpectInvariantNamed([&] { system.put(K(42), 1024); },
+                       "touched arc 0's shard");
+}
+
+TEST(LaneOwnership, BindingClearsOnUnbind) {
+  EXPECT_FALSE(lane::bound());
+  EXPECT_EQ(lane::current_arc(), -1);
+  {
+    ScopedLaneBinding binding(this, 2);
+    EXPECT_TRUE(lane::bound());
+    EXPECT_EQ(lane::current_arc(), 2);
+  }
+  EXPECT_FALSE(lane::bound());
+  EXPECT_EQ(lane::current_arc(), -1);
 }
 
 // ---------------------------------------------------------- preconditions --

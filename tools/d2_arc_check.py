@@ -1,0 +1,778 @@
+#!/usr/bin/env python3
+"""d2_arc_check — arc-ownership checker for the partitioned simulator.
+
+The parallel-window engine's safety property (DESIGN.md §9/§12/§13) is
+that arc-sharded state is only ever indexed by an expression derived
+from the owning arc, and that every scheduler call lands where its
+`// d2-sched:` class says it does. d2_lint.py used to approximate the
+first half with a regex over a hard-coded member list; this tool checks
+it semantically, for any member declared sharded at its declaration
+site, with real index-expression analysis.
+
+Sharded members are declared in the source, not in this tool:
+
+    std::vector<Slice> slices_ D2_SHARDED_BY_ARC(arc);
+    std::vector<Gate> gates_;  // d2-arc: sharded(arc)
+
+The macro form (common/thread_annotations.h) also plants a Clang
+`annotate` attribute so the member survives into the AST. Index domains:
+
+    arc    index must derive from arc_of()/lane_arc(), an arc/lane/shard
+           -named variable, or a loop variable whose bound is arc-derived
+           (the "owning loop variable" rule).
+    slot   arc, plus shard_slot() and slot-named variables (lane slot or
+           the coordinator's extra slot).
+    queue  arc, plus queue_index()/min_queue() and queue/qi-named
+           variables (per-arc queues plus the global queue).
+
+Diagnostics:
+
+    unowned-sharded-access  first subscript of a sharded member does not
+                            derive from its declared index domain.
+    sched-class-mismatch    a schedule_* call's `// d2-sched:` tag does
+                            not match where the closure actually lands:
+                            `global` requires schedule_at/schedule_after
+                            (or an explicit kGlobalArc), `arc-local` and
+                            `mailbox` require schedule_arc_at/
+                            schedule_arc_after onto a real arc.
+
+Derivation analysis is token-level with per-file provenance: a local
+initialized from a derived expression, or a for-loop variable whose
+bound is derived, becomes derived itself (iterated to a fixpoint).
+Scope tracking is per file, which is sound for flagging (identifiers
+are checked, never trusted blindly across functions unless some
+function derived that name — a deliberate false-negative trade; the
+D2_ASSERT_OWNER_LANE runtime cross-check in common/lane.h covers the
+residue).
+
+Escape hatch: a line (or its predecessor) containing
+    // d2-arc: allow(<diagnostic>) — <why it is safe>
+suppresses that diagnostic for the line.
+
+Engines:
+    --engine=internal   (default) self-contained token/provenance
+                        analysis over the raw sources. No dependencies;
+                        this is the engine ctest and the lint CI gate
+                        run.
+    --engine=libclang   drives libclang over an exported
+                        compile_commands.json (--compdb, default
+                        build/compile_commands.json): sharded members
+                        are discovered from their AST annotate
+                        attributes and subscripts are located as AST
+                        expressions, then validated with the same
+                        domain analysis. When the clang python bindings
+                        or the compilation database are unavailable the
+                        tool says so and falls back to the internal
+                        engine, so CI stays green on toolchain-less
+                        hosts.
+
+Usage:
+    tools/d2_arc_check.py [--self-test] [--engine=E] [paths...]
+    (default path: src/)
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from d2_lint import preprocess  # noqa: E402  (shared comment/string stripper)
+
+DIAGNOSTICS = ("unowned-sharded-access", "sched-class-mismatch")
+
+# ---------------------------------------------------------------- domains --
+
+DOMAINS = {
+    "arc": {
+        "calls": {"arc_of", "lane_arc"},
+        "segments": {"arc", "arcs", "lane", "lanes", "shard", "shards"},
+    },
+    "slot": {
+        "calls": {"arc_of", "lane_arc", "shard_slot"},
+        "segments": {"arc", "arcs", "lane", "lanes", "shard", "shards", "slot"},
+    },
+    "queue": {
+        "calls": {"arc_of", "lane_arc", "queue_index", "min_queue"},
+        "segments": {"arc", "arcs", "lane", "lanes", "shard", "shards",
+                     "queue", "queues", "qi"},
+    },
+}
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+MACRO_DECL_RE = re.compile(r"\b([A-Za-z_]\w*)\s+D2_SHARDED_BY_ARC\((\w+)\)")
+COMMENT_DECL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:=[^;]*)?;.*//\s*d2-arc:\s*sharded\((\w+)\)"
+)
+ALLOW_RE = re.compile(r"//.*d2-arc:\s*allow\(([^)]*)\)")
+
+# Local initializations and for-loops that propagate derivation.
+INIT_RE = re.compile(
+    r"\b(?:const\s+)?(?:std::)?(?:auto|int|long|unsigned|size_t|"
+    r"uint32_t|uint64_t|int32_t|int64_t|ptrdiff_t)\b[\w\s:<>]*?"
+    r"\b([A-Za-z_]\w*)\s*=\s*([^;,]+)[;,]"
+)
+FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:]+\s+([A-Za-z_]\w*)\s*=\s*[^;]*;"
+    r"\s*([^;]*);"
+)
+
+SCHED_CALL_RE = re.compile(
+    r"\b(schedule_at|schedule_after|schedule_arc_at|schedule_arc_after)\s*\("
+)
+SCHED_TAG_RE = re.compile(r"//\s*d2-sched:\s*(arc-local|mailbox|global)\b")
+SCHED_DIRS = (os.sep + "core" + os.sep,)
+
+
+class Finding:
+    def __init__(self, path, line, diag, message):
+        self.path = path
+        self.line = line
+        self.diag = diag
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.diag}] {self.message}"
+
+
+def segments(ident):
+    return {s for s in ident.lower().split("_") if s}
+
+
+def expr_is_derived(expr, domain, extra_derived):
+    """True when `expr` visibly derives from `domain`'s owning index:
+    a domain call, a domain-named identifier, or a tracked derived
+    local."""
+    spec = DOMAINS[domain]
+    for call in spec["calls"]:
+        if re.search(rf"\b{call}\s*\(", expr):
+            return True
+    for tok in IDENT_RE.findall(expr):
+        if tok in extra_derived:
+            return True
+        if segments(tok) & spec["segments"]:
+            return True
+    return False
+
+
+def derived_locals(code_lines, registry):
+    """Identifiers that become arc-derived through initialization or a
+    for-loop bound, per file, to a fixpoint. Domain-blind on purpose: a
+    name derived in any domain's terms is tracked, and the subscript
+    check still applies the *member's* domain to the final index
+    expression."""
+    union_segments = set()
+    union_calls = set()
+    for spec in DOMAINS.values():
+        union_segments |= spec["segments"]
+        union_calls |= spec["calls"]
+
+    def any_domain_derived(expr, extra):
+        for call in union_calls:
+            if re.search(rf"\b{call}\s*\(", expr):
+                return True
+        for tok in IDENT_RE.findall(expr):
+            if tok in extra or segments(tok) & union_segments:
+                return True
+        return False
+
+    derived = set()
+    for _ in range(3):  # fixpoint: chains of 3+ hops don't occur
+        grew = False
+        for code in code_lines:
+            for m in INIT_RE.finditer(code):
+                name, init = m.group(1), m.group(2)
+                if name not in derived and any_domain_derived(init, derived):
+                    derived.add(name)
+                    grew = True
+            for m in FOR_RE.finditer(code):
+                name, bound = m.group(1), m.group(2)
+                if name not in derived and any_domain_derived(bound, derived):
+                    derived.add(name)
+                    grew = True
+        if not grew:
+            break
+    return derived
+
+
+# ---------------------------------------------------------------- registry --
+
+
+def collect_registry(files):
+    """{member name: (domain, decl_path, decl_line)} from macro and
+    comment sharding declarations across the tree."""
+    registry = {}
+    for path in files:
+        raw = read_lines(path)
+        if raw is None:
+            continue
+        for i, line in enumerate(raw):
+            if line.lstrip().startswith("#"):
+                continue  # the macro's own #define is not a declaration
+            for pattern in (MACRO_DECL_RE, COMMENT_DECL_RE):
+                m = pattern.search(line)
+                if not m:
+                    continue
+                name, domain = m.group(1), m.group(2)
+                if domain not in DOMAINS:
+                    registry[name] = ("?bad?", path, i + 1)
+                    continue
+                registry[name] = (domain, path, i + 1)
+    return registry
+
+
+def read_lines(path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            return f.read().splitlines()
+    except OSError:
+        return None
+
+
+def allowed(raw_lines, i, diag):
+    for text in (raw_lines[i], raw_lines[i - 1] if i > 0 else ""):
+        m = ALLOW_RE.search(text)
+        if m and diag in {d.strip() for d in m.group(1).split(",")}:
+            return True
+    return False
+
+
+def first_subscript(text, start):
+    """(index expression, end) for the bracket opening at text[start]
+    == '['; None when unbalanced (continuation handled by caller)."""
+    depth = 0
+    for j in range(start, len(text)):
+        if text[j] == "[":
+            depth += 1
+        elif text[j] == "]":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1:j], j
+    return None
+
+
+# ------------------------------------------------------- internal engine --
+
+
+def check_sharded_access(path, raw_lines, code_lines, registry, findings):
+    derived = derived_locals(code_lines, registry)
+    for name, (domain, decl_path, decl_line) in registry.items():
+        member_re = re.compile(rf"\b{name}\s*\[")
+        for i, code in enumerate(code_lines):
+            for m in member_re.finditer(code):
+                # Join a few continuation lines so a subscript split
+                # across lines still parses.
+                text = code
+                sub = first_subscript(text, m.end() - 1)
+                extra = 0
+                while sub is None and extra < 3 and i + extra + 1 < len(code_lines):
+                    extra += 1
+                    text = " ".join(code_lines[i:i + extra + 1])
+                    m2 = member_re.search(text, m.start())
+                    if m2 is None:
+                        break
+                    sub = first_subscript(text, m2.end() - 1)
+                if sub is None:
+                    continue
+                index_expr = sub[0]
+                if domain == "?bad?":
+                    findings.append(Finding(
+                        path, i + 1, "unowned-sharded-access",
+                        f"'{name}' is declared sharded with an unknown "
+                        f"index domain (see {decl_path}:{decl_line}); "
+                        f"use one of {sorted(DOMAINS)}"))
+                    continue
+                if expr_is_derived(index_expr, domain, derived):
+                    continue
+                if allowed(raw_lines, i, "unowned-sharded-access"):
+                    continue
+                findings.append(Finding(
+                    path, i + 1, "unowned-sharded-access",
+                    f"sharded member '{name}' (domain '{domain}', declared "
+                    f"at {decl_path}:{decl_line}) indexed by "
+                    f"'{index_expr.strip()}', which does not derive from "
+                    "the owning " + domain + "; route through " +
+                    "/".join(sorted(DOMAINS[domain]["calls"])) + " or an "
+                    "owning loop variable, or annotate why this "
+                    "coordinator-side access is safe with "
+                    "`// d2-arc: allow(unowned-sharded-access)`"))
+
+
+def first_argument(text, call_end):
+    """First top-level argument of the call whose '(' is at
+    text[call_end - 1]; None when the parens don't close in `text`."""
+    depth = 0
+    for j in range(call_end - 1, len(text)):
+        c = text[j]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                return text[call_end:j]
+        elif c == "," and depth == 1:
+            return text[call_end:j]
+    return None
+
+
+def check_sched_class(path, raw_lines, code_lines, findings):
+    if not path.endswith(".cc") or not any(d in path for d in SCHED_DIRS):
+        return
+    for i, code in enumerate(code_lines):
+        m = SCHED_CALL_RE.search(code)
+        if not m:
+            continue
+        tag = None
+        for text in (raw_lines[i], raw_lines[i - 1] if i > 0 else ""):
+            t = SCHED_TAG_RE.search(text)
+            if t:
+                tag = t.group(1)
+                break
+        if tag is None:
+            continue  # presence is d2_lint's sched-class rule
+        call = m.group(1)
+        if call in ("schedule_at", "schedule_after"):
+            lands_global = True
+        else:
+            text = " ".join(code_lines[i:i + 3])
+            m2 = SCHED_CALL_RE.search(text)
+            arg = first_argument(text, m2.end()) if m2 else None
+            lands_global = arg is not None and "kGlobalArc" in arg
+        tag_global = tag == "global"
+        if tag_global == lands_global:
+            continue
+        if allowed(raw_lines, i, "sched-class-mismatch"):
+            continue
+        where = "the global queue" if lands_global else "an arc queue"
+        findings.append(Finding(
+            path, i + 1, "sched-class-mismatch",
+            f"`// d2-sched: {tag}` on a {call}() whose closure lands on "
+            f"{where}; global tags belong on schedule_at/schedule_after "
+            "(or explicit kGlobalArc) and arc-local/mailbox tags on "
+            "schedule_arc_* onto a real arc"))
+
+
+def run_internal(files, registry):
+    findings = []
+    for path in files:
+        raw_lines = read_lines(path)
+        if raw_lines is None:
+            findings.append(Finding(path, 0, "io", "unreadable"))
+            continue
+        code_lines = preprocess(raw_lines)
+        check_sharded_access(path, raw_lines, code_lines, registry, findings)
+        check_sched_class(path, raw_lines, code_lines, findings)
+    return findings
+
+
+# ------------------------------------------------------- libclang engine --
+
+
+def load_cindex():
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    for lib in (None, "libclang.so", "libclang-14.so.1", "libclang.so.1"):
+        try:
+            if lib is not None:
+                cindex.Config.set_library_file(lib)
+            cindex.Index.create()
+            return cindex
+        except Exception:  # noqa: BLE001 — probe alternatives
+            # Config is sticky once loaded; a hard failure here means the
+            # next probe needs a fresh interpreter, so just give up.
+            if cindex.Config.loaded:
+                return None
+    return None
+
+
+def run_libclang(files, registry, compdb_dir):
+    """AST-grade pass: sharded members come from their `annotate`
+    attributes, subscripts are located as AST expressions (raw [] and
+    overloaded operator[]), and the index tokens run through the same
+    domain analysis. Returns None when the toolchain is unavailable, so
+    the caller can fall back to the internal engine."""
+    cindex = load_cindex()
+    if cindex is None:
+        return None
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+    except Exception:  # noqa: BLE001
+        return None
+
+    want = {os.path.abspath(p) for p in files}
+    findings = []
+    index = cindex.Index.create()
+    seen_members = {}
+
+    def member_annotation(field_cursor):
+        for ch in field_cursor.get_children():
+            if ch.kind == cindex.CursorKind.ANNOTATE_ATTR and \
+                    ch.spelling.startswith("d2-arc:sharded:"):
+                return ch.spelling.split(":", 2)[2]
+        return None
+
+    def subscript_parts(cursor):
+        """(member name, index text) for subscript-shaped expressions."""
+        k = cindex.CursorKind
+        if cursor.kind == k.ARRAY_SUBSCRIPT_EXPR:
+            pass
+        elif cursor.kind == k.CALL_EXPR and cursor.spelling == "operator[]":
+            pass
+        else:
+            return None
+        toks = [t.spelling for t in cursor.get_tokens()]
+        text = " ".join(toks)
+        m = re.search(r"\b([A-Za-z_]\w*)\s*\[", text)
+        if not m:
+            return None
+        sub = first_subscript(text, text.index("[", m.start()))
+        if sub is None:
+            return None
+        return m.group(1), sub[0]
+
+    def walk(cursor, path, file_derived):
+        for ch in cursor.get_children():
+            loc = ch.location
+            if loc.file is not None and \
+                    os.path.abspath(loc.file.name) not in want:
+                continue
+            if ch.kind == cindex.CursorKind.FIELD_DECL:
+                domain = member_annotation(ch)
+                if domain is not None:
+                    seen_members[ch.spelling] = domain
+            parts = subscript_parts(ch)
+            if parts is not None:
+                name, index_expr = parts
+                domain = seen_members.get(name) or (
+                    registry.get(name, (None,))[0])
+                if domain in DOMAINS and not expr_is_derived(
+                        index_expr, domain, file_derived):
+                    raw = read_lines(os.path.abspath(loc.file.name)) or []
+                    if not (raw and allowed(raw, loc.line - 1,
+                                            "unowned-sharded-access")):
+                        findings.append(Finding(
+                            loc.file.name, loc.line,
+                            "unowned-sharded-access",
+                            f"sharded member '{name}' (domain '{domain}') "
+                            f"indexed by '{index_expr.strip()}', which does "
+                            f"not derive from the owning {domain}"))
+            walk(ch, path, file_derived)
+
+    parsed_any = False
+    for cmd in db.getAllCompileCommands() or []:
+        src = os.path.abspath(os.path.join(cmd.directory, cmd.filename))
+        args = [a for a in list(cmd.arguments)[1:]
+                if a not in ("-c", "-o", cmd.filename, src)]
+        try:
+            tu = index.parse(src, args=args)
+        except Exception:  # noqa: BLE001
+            continue
+        parsed_any = True
+        raw = read_lines(src)
+        code = preprocess(raw) if raw else []
+        file_derived = derived_locals(code, registry)
+        walk(tu.cursor, src, file_derived)
+        # The text-based sched check still applies (tags are comments,
+        # invisible to the AST).
+        if raw:
+            check_sched_class(src, raw, code, [])
+    if not parsed_any:
+        return None
+    # Headers are only seen through includers above; run the internal
+    # engine too so header-only subscripts and sched tags are covered.
+    findings.extend(run_internal(files, registry))
+    # Dedup (a header subscript can surface via both passes).
+    uniq = {}
+    for f in findings:
+        uniq[(os.path.abspath(f.path), f.line, f.diag)] = f
+    return [uniq[k] for k in sorted(uniq, key=lambda k: (k[0], k[1], k[2]))]
+
+
+# ---------------------------------------------------------------- driver --
+
+
+def collect_files(paths):
+    exts = (".cc", ".h")
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            if p.endswith(exts):
+                files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"d2_arc_check: no such path: {p}", file=sys.stderr)
+            return None
+    return sorted(files)
+
+
+# -------------------------------------------------------------- self-test --
+
+SELF_TEST_CASES = [
+    # (name, filename, source, expected diagnostic or None)
+    (
+        "macro-declared member, raw index flagged",
+        "src/store/x.h",
+        "std::vector<Slice> slices_ D2_SHARDED_BY_ARC(arc);\n"
+        "void f() { slices_[0].clear(); }\n",
+        "unowned-sharded-access",
+    ),
+    (
+        "comment-declared member, raw index flagged",
+        "src/core/x.h",
+        "std::vector<Gate> gates_;  // d2-arc: sharded(arc)\n"
+        "void f(int node) { gates_[node].due(); }\n",
+        "unowned-sharded-access",
+    ),
+    (
+        "arc_of-derived index clean",
+        "src/core/x.h",
+        "std::vector<Shard> expiry_ D2_SHARDED_BY_ARC(arc);\n"
+        "void f(const Key& k) {\n"
+        "  expiry_[static_cast<std::size_t>(map_.arc_of(k))].erase(k);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "owning loop variable clean",
+        "src/core/x.h",
+        "std::vector<Shard> shards_ D2_SHARDED_BY_ARC(arc);\n"
+        "void f() {\n"
+        "  for (int a = 0; a < config_.arcs; ++a) shards_[a].clear();\n"
+        "}\n",
+        None,
+    ),
+    (
+        "derived-local chain clean",
+        "src/core/x.h",
+        "std::vector<Shard> shards_ D2_SHARDED_BY_ARC(arc);\n"
+        "void f(const Key& k) {\n"
+        "  const int owner = map_.arc_of(k);\n"
+        "  const std::size_t idx = static_cast<std::size_t>(owner);\n"
+        "  shards_[idx].touch();\n"
+        "}\n",
+        None,
+    ),
+    (
+        "slot domain: shard_slot clean",
+        "src/core/x.h",
+        "std::vector<Bytes> bytes_sh_ D2_SHARDED_BY_ARC(slot);\n"
+        "void f(Bytes n) { bytes_sh_[shard_slot()] += n; }\n",
+        None,
+    ),
+    (
+        "slot domain: node index flagged",
+        "src/core/x.h",
+        "std::vector<Bytes> bytes_sh_ D2_SHARDED_BY_ARC(slot);\n"
+        "void f(int node, Bytes n) { bytes_sh_[node] += n; }\n",
+        "unowned-sharded-access",
+    ),
+    (
+        "queue domain: qi and queue_index clean",
+        "src/sim/x.h",
+        "std::vector<EventQueue> queues_ D2_SHARDED_BY_ARC(queue);\n"
+        "void f(int arc) {\n"
+        "  const int qi = min_queue();\n"
+        "  queues_[static_cast<std::size_t>(qi)].pop();\n"
+        "  queues_[queue_index(arc)].pop();\n"
+        "}\n",
+        None,
+    ),
+    (
+        "queue domain: literal index flagged",
+        "src/sim/x.h",
+        "std::vector<EventQueue> queues_ D2_SHARDED_BY_ARC(queue);\n"
+        "void f() { queues_[3].pop(); }\n",
+        "unowned-sharded-access",
+    ),
+    (
+        "allow escape clean",
+        "src/core/x.h",
+        "std::vector<Shard> shards_ D2_SHARDED_BY_ARC(arc);\n"
+        "void audit(std::size_t i) {\n"
+        "  // Coordinator audit walks every shard between windows.\n"
+        "  // d2-arc: allow(unowned-sharded-access)\n"
+        "  shards_[i].check();\n"
+        "}\n",
+        None,
+    ),
+    (
+        "unknown domain flagged",
+        "src/core/x.h",
+        "std::vector<int> v_ D2_SHARDED_BY_ARC(node);\n"
+        "void f(int arc) { v_[arc] = 1; }\n",
+        "unowned-sharded-access",
+    ),
+    (
+        "multi-line subscript clean",
+        "src/core/x.h",
+        "std::vector<Shard> reservations_ D2_SHARDED_BY_ARC(arc);\n"
+        "void f(const Key& k) {\n"
+        "  reservations_[static_cast<std::size_t>(\n"
+        "      map_.arc_of(k))].push_back(1);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "global tag on arc schedule flagged",
+        "src/core/x.cc",
+        "void System::arm(const Key& k) {\n"
+        "  // d2-sched: global — wrong: this lands on k's arc queue\n"
+        "  sim_.schedule_arc_at(map_.arc_of(k), t, cb);\n"
+        "}\n",
+        "sched-class-mismatch",
+    ),
+    (
+        "arc-local tag on global schedule flagged",
+        "src/core/x.cc",
+        "void System::arm() {\n"
+        "  // d2-sched: arc-local — wrong: schedule_after is the global "
+        "queue\n"
+        "  sim_.schedule_after(delay, cb);\n"
+        "}\n",
+        "sched-class-mismatch",
+    ),
+    (
+        "matching tags clean",
+        "src/core/x.cc",
+        "void System::arm(const Key& k) {\n"
+        "  // d2-sched: arc-local — timer touches only k's shard\n"
+        "  sim_.schedule_arc_at(map_.arc_of(k), t, cb);\n"
+        "  // d2-sched: global — barrier\n"
+        "  sim_.schedule_after(delay, cb);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "kGlobalArc with global tag clean",
+        "src/core/x.cc",
+        "void System::arm() {\n"
+        "  // d2-sched: global — explicit global-queue push\n"
+        "  sim_.schedule_arc_at(sim::Simulator::kGlobalArc, t, cb);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "mailbox tag on arc schedule clean",
+        "src/core/x.cc",
+        "void System::arm(const Key& k, int other_arc) {\n"
+        "  // d2-sched: mailbox — cross-arc send, staged at the barrier\n"
+        "  sim_.schedule_arc_at(other_arc, t, cb);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "untagged call ignored here (d2_lint owns presence)",
+        "src/core/x.cc",
+        "void System::arm() { sim_.schedule_after(delay, cb); }\n",
+        None,
+    ),
+    (
+        "sched mismatch allow escape clean",
+        "src/core/x.cc",
+        "void System::arm() {\n"
+        "  // d2-sched: arc-local — d2-arc: allow(sched-class-mismatch)\n"
+        "  sim_.schedule_after(delay, cb);\n"
+        "}\n",
+        None,
+    ),
+    (
+        "comment/string mentions clean",
+        "src/core/x.cc",
+        "// slices_[0] in a comment is fine\n"
+        'const char* kMsg = "slices_[0]";\n',
+        None,
+    ),
+]
+
+
+def run_self_test():
+    import tempfile
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, relpath, source, expected in SELF_TEST_CASES:
+            path = os.path.join(tmp, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(source)
+            registry = collect_registry([path])
+            findings = run_internal([path], registry)
+            diags = {f.diag for f in findings}
+            if expected is None:
+                if findings:
+                    print(f"SELF-TEST FAIL [{name}]: expected clean, got "
+                          f"{[str(f) for f in findings]}")
+                    failures += 1
+            else:
+                if expected not in diags:
+                    print(f"SELF-TEST FAIL [{name}]: expected {expected}, "
+                          f"got {sorted(diags) or 'nothing'}")
+                    failures += 1
+                if diags - {expected}:
+                    print(f"SELF-TEST FAIL [{name}]: unexpected extra "
+                          f"findings {sorted(diags - {expected})}")
+                    failures += 1
+    if failures:
+        print(f"self-test: {failures} failure(s)")
+        return 1
+    print(f"self-test: {len(SELF_TEST_CASES)} cases passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Arc-ownership checker for the partitioned simulator."
+    )
+    parser.add_argument("paths", nargs="*", default=[], help="files or dirs")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run embedded violation fixtures")
+    parser.add_argument("--engine", choices=("internal", "libclang"),
+                        default="internal")
+    parser.add_argument("--compdb", default="build",
+                        help="directory holding compile_commands.json "
+                             "(libclang engine)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    files = collect_files(args.paths or ["src"])
+    if files is None:
+        return 2
+    registry = collect_registry(files)
+    if not registry:
+        print("d2_arc_check: no sharded members declared in the given "
+              "paths — nothing to check", file=sys.stderr)
+
+    findings = None
+    if args.engine == "libclang":
+        findings = run_libclang(files, registry, args.compdb)
+        if findings is None:
+            print("d2_arc_check: libclang engine unavailable (no clang "
+                  "python bindings or no compile_commands.json); falling "
+                  "back to the internal engine", file=sys.stderr)
+    if findings is None:
+        findings = run_internal(files, registry)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"d2_arc_check: {len(findings)} finding(s) in "
+              f"{len(files)} file(s) ({len(registry)} sharded member(s))")
+        return 1
+    print(f"d2_arc_check: clean — {len(registry)} sharded member(s), "
+          f"{len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -33,14 +33,6 @@ idioms, so this linter rejects them mechanically:
                        differential reference inside event_queue, and that
                        use carries an allow() annotation. Anything else is
                        a scheduler bypass.
-  cross-arc-bypass     arc-sharded state (BlockMap slices, System TTL /
-                       extended-set shards, per-arc op lists) indexed by
-                       an expression that does not derive from the owning
-                       arc (arc_of()/shard_slot()/lane_arc()/an `arc`
-                       variable). Cross-arc effects must go through the
-                       simulator mailbox or run on the coordinator
-                       (DESIGN.md §9); a raw index is how a lane reaches
-                       into a shard it does not own.
   sched-class          a schedule_at/schedule_after/schedule_arc_at/
                        schedule_arc_after call in src/core/*.cc with no
                        `// d2-sched: arc-local|mailbox|global` tag on the
@@ -56,8 +48,18 @@ Escape hatch: a line (or its predecessor) containing
 suppresses those rules for that line; the comment is expected to say *why*
 the use is safe. `allow(all)` suppresses every rule.
 
+Arc-ownership checking (the old regex cross-arc-bypass rule) moved to
+tools/d2_arc_check.py, which analyzes index expressions semantically for
+any member declared sharded with D2_SHARDED_BY_ARC / `// d2-arc:
+sharded(...)` instead of pattern-matching a hard-coded member list.
+
 Usage:
     tools/d2_lint.py [--self-test] [paths...]      (default path: src/)
+    tools/d2_lint.py --list-allows [paths...]
+
+--list-allows reports every `d2-lint: allow(...)` / `d2-arc: allow(...)`
+escape in the tree with its justification, and fails (exit 1) when an
+escape states no reason — every suppression must say why it is safe.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage error.
 No third-party dependencies; stdlib only.
@@ -76,7 +78,6 @@ RULES = (
     "std-function",
     "unguarded-mutator",
     "priority-queue",
-    "cross-arc-bypass",
     "sched-class",
 )
 
@@ -138,16 +139,6 @@ STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
 # Subsystem where a binary heap would bypass the timing-wheel scheduler.
 PRIORITY_QUEUE_DIRS = (os.sep + "sim" + os.sep,)
 PRIORITY_QUEUE_RE = re.compile(r"\bstd::priority_queue\s*<")
-
-# Arc-sharded members (one element per keyspace arc). Indexing one with
-# anything not derived from the owning arc is a partition-confinement
-# bug unless the line explains itself (coordinator-side audits etc.).
-ARC_SHARD_RE = re.compile(
-    r"\b(slices_|expiry_|extended_|per_arc_|lane_pushes_|lane_events_|"
-    r"lane_last_time_|lane_audit_gates_)\s*\[([^\]]*)\]"
-)
-# Index expressions that visibly derive from the owning arc.
-ARC_DERIVED_RE = re.compile(r"arc|shard")
 
 # Scheduler calls in core/ must carry a placement classification so every
 # global-queue event (a parallel-window barrier) is a deliberate choice.
@@ -352,26 +343,6 @@ def lint_file(path, rules=None):
                         "pointer-key",
                         "ordered container keyed on a pointer iterates in "
                         "allocation order; key on a stable ID instead",
-                    )
-                )
-
-        if "cross-arc-bypass" in rules:
-            for m in ARC_SHARD_RE.finditer(code):
-                if ARC_DERIVED_RE.search(m.group(2)):
-                    continue
-                if allowed(i, "cross-arc-bypass"):
-                    continue
-                findings.append(
-                    Finding(
-                        path,
-                        lineno,
-                        "cross-arc-bypass",
-                        f"arc-sharded '{m.group(1)}' indexed by "
-                        f"'{m.group(2).strip()}', which does not derive "
-                        "from the owning arc; route through arc_of()/"
-                        "shard_slot()/lane_arc() (cross-arc effects go "
-                        "through the mailbox) or annotate why this "
-                        "coordinator-side access is safe",
                     )
                 )
 
@@ -615,43 +586,6 @@ SELF_TEST_CASES = [
         None,
     ),
     (
-        "cross-arc raw index flagged",
-        "src/core/x.cc",
-        "void System::expire(const Key& k) {\n"
-        "  D2_REQUIRE(true);\n"
-        "  expiry_[0].erase(k);\n"
-        "}\n",
-        "cross-arc-bypass",
-    ),
-    (
-        "cross-arc arc_of index clean",
-        "src/core/x.cc",
-        "void System::expire(const Key& k) {\n"
-        "  D2_REQUIRE(true);\n"
-        "  expiry_[static_cast<std::size_t>(map_.arc_of(k))].erase(k);\n"
-        "}\n",
-        None,
-    ),
-    (
-        "cross-arc loop var clean",
-        "src/core/x.cc",
-        "void f() {\n"
-        "  for (int arc = 0; arc < arcs_; ++arc) "
-        "slices_[static_cast<std::size_t>(arc)].clear();\n"
-        "}\n",
-        None,
-    ),
-    (
-        "cross-arc raw index allowed",
-        "src/store/x.cc",
-        "void f() {\n"
-        "  // Coordinator-side audit walks every shard."
-        "  // d2-lint: allow(cross-arc-bypass)\n"
-        "  slices_[i].check();\n"
-        "}\n",
-        None,
-    ),
-    (
         "sched-class unannotated flagged",
         "src/core/x.cc",
         "void System::arm() {\n"
@@ -755,6 +689,53 @@ def run_self_test():
     return 0
 
 
+# Any lint/arc-check escape marker, with the comment text around it (the
+# stated reason lives before or after the marker, or on the line above).
+LIST_ALLOW_RE = re.compile(
+    r"//(?P<pre>.*?)d2-(?P<kind>lint|arc):\s*allow\((?P<rules>[^)]*)\)"
+    r"(?P<post>.*)$"
+)
+ANY_ALLOW_MARKER_RE = re.compile(r"d2-(?:lint|arc):\s*allow\([^)]*\)")
+
+
+def list_allows(files):
+    """Reports every allow() escape with its justification; an escape
+    with no stated reason is a finding (exit 1) — suppressions must say
+    why they are safe."""
+    entries = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+        except OSError:
+            continue
+        for i, line in enumerate(lines):
+            m = LIST_ALLOW_RE.search(line)
+            if not m:
+                continue
+            reason = ANY_ALLOW_MARKER_RE.sub(
+                " ", m.group("pre") + " " + m.group("post"))
+            reason = reason.strip(" \t/-—:;,.")
+            if not re.search(r"\w", reason) and i > 0:
+                prev = lines[i - 1].strip()
+                if prev.startswith("//"):
+                    reason = prev.strip(" \t/-—").strip()
+            if not re.search(r"\w", reason):
+                reason = ""
+            entries.append(
+                (path, i + 1, m.group("kind"), m.group("rules").strip(),
+                 reason))
+    missing = 0
+    for path, lineno, kind, rules, reason in entries:
+        tag = reason if reason else "** NO REASON STATED **"
+        print(f"{path}:{lineno}: d2-{kind} allow({rules}) — {tag}")
+        if not reason:
+            missing += 1
+    print(f"d2_lint: {len(entries)} allow escape(s), "
+          f"{missing} without a stated reason")
+    return 1 if missing else 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Determinism and robustness lint for D2 sources."
@@ -762,6 +743,12 @@ def main(argv):
     parser.add_argument("paths", nargs="*", default=[], help="files or dirs")
     parser.add_argument(
         "--self-test", action="store_true", help="run embedded fixtures"
+    )
+    parser.add_argument(
+        "--list-allows",
+        action="store_true",
+        help="report every allow() escape and its justification; fails "
+             "when an escape states no reason",
     )
     parser.add_argument(
         "--rules",
@@ -772,6 +759,12 @@ def main(argv):
 
     if args.self_test:
         return run_self_test()
+
+    if args.list_allows:
+        files = collect_files(args.paths or ["src"])
+        if files is None:
+            return 2
+        return list_allows(files)
 
     rules = [r.strip() for r in args.rules.split(",") if r.strip()]
     unknown = [r for r in rules if r not in RULES]
